@@ -1,0 +1,145 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* caching (the No$ column, plus the re-check-count claim);
+* the boundary dynamic-argument-check optimization of section 4;
+* dependency-tracked invalidation vs. flushing the whole cache;
+* the formalism machine with and without its cache.
+"""
+
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.apps import all_builders
+from repro.formalism import Machine, parse_expr
+
+
+class TestCachingAblation:
+    def test_recheck_counts_pubs(self, bench_cfg):
+        """The paper's Pubs investigation: without caching, application
+        methods are re-checked once per call while iterating the large
+        array (13,000+ in the paper's workload)."""
+        world = all_builders()["pubs"](Engine(EngineConfig(caching=False)))
+        world.seed()
+        world.workload()
+        nocache = world.engine.stats
+
+        world2 = all_builders()["pubs"](Engine())
+        world2.seed()
+        world2.workload()
+        cached = world2.engine.stats
+
+        print(f"\npubs static checks: cached={cached.static_checks} "
+              f"uncached={nocache.static_checks} "
+              f"(hottest method re-checked {nocache.max_rechecks()}x)")
+        assert cached.max_rechecks() == 1
+        assert nocache.max_rechecks() > 100
+
+    def test_cached_workload_faster(self, benchmark, bench_cfg):
+        world = all_builders()["cct"](Engine(), **bench_cfg["cct"])
+        world.seed()
+        world.workload()
+
+        def run():
+            return world.workload()
+
+        benchmark(run)
+
+
+class TestArgCheckAblation:
+    @pytest.mark.parametrize("mode", ["boundary", "always", "never"])
+    def test_dynamic_check_policy(self, benchmark, bench_cfg, mode):
+        """Section 4's optimization: only boundary calls are dynamically
+        checked.  'always' re-checks every interception; 'never' trusts
+        everything."""
+        world = all_builders()["cct"](
+            Engine(EngineConfig(dynamic_arg_checks=mode)),
+            **bench_cfg["cct"])
+        world.seed()
+        world.workload()
+
+        def run():
+            return world.workload()
+
+        benchmark(run)
+        stats = world.engine.stats
+        if mode == "never":
+            assert stats.dynamic_arg_checks == 0
+        if mode == "always":
+            assert stats.dynamic_arg_checks_skipped == 0
+        if mode == "boundary":
+            assert stats.dynamic_arg_checks_skipped > 0
+
+
+class TestInvalidationAblation:
+    def _loaded_talks(self):
+        world = all_builders()["talks"]()
+        world.seed()
+        world.workload()
+        return world
+
+    def test_targeted_vs_full_flush(self, benchmark):
+        """Definition 1's selective invalidation vs. clearing the whole
+        cache on every change: the targeted strategy re-checks only the
+        changed method's dependents."""
+        world = self._loaded_talks()
+        engine = world.engine
+        full = len(engine.cache)
+
+        def change_and_rerun():
+            removed = engine.invalidate("Talk", "display_title")
+            world.seed()
+            world.workload()
+            return removed
+
+        removed = benchmark.pedantic(change_and_rerun, rounds=3,
+                                     iterations=1)
+        assert 0 < len(removed) < full
+
+    def test_full_flush_rechecks_everything(self):
+        world = self._loaded_talks()
+        engine = world.engine
+        before = engine.stats.static_checks
+        engine.cache.clear()
+        world.seed()
+        world.workload()
+        rechecked = engine.stats.static_checks - before
+        assert rechecked >= 20  # every exercised method again
+
+        world2 = self._loaded_talks()
+        engine2 = world2.engine
+        before2 = engine2.stats.static_checks
+        engine2.invalidate("Talk", "display_title")
+        world2.seed()
+        world2.workload()
+        targeted = engine2.stats.static_checks - before2
+        print(f"\nrechecks after one change: targeted={targeted} "
+              f"full-flush={rechecked}")
+        assert targeted < rechecked
+
+
+class TestFormalismCache:
+    PROGRAM = (
+        "type A.id : A -> A; def A.id(x) { x }; "
+        "type A.go : A -> A; def A.go(x) { self.id(self.id(x)) }; "
+        "a = A.new; "
+        + "; ".join(["a.go(a)"] * 60))
+
+    def test_machine_cached(self, benchmark):
+        expr = parse_expr(self.PROGRAM)
+        result = benchmark(lambda: Machine().run(expr, fuel=100_000))
+        assert result is not None
+
+    def test_machine_uncached(self, benchmark):
+        expr = parse_expr(self.PROGRAM)
+
+        class _NoCache(dict):
+            def __setitem__(self, key, value):
+                pass
+
+        def run():
+            machine = Machine()
+            machine.cache = _NoCache()
+            return machine.run(expr, fuel=200_000)
+
+        result = benchmark(run)
+        assert result is not None

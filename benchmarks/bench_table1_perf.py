@@ -1,0 +1,54 @@
+"""Table 1, performance columns: Orig / No$ / Hum per app.
+
+Each benchmark times one app's workload under one engine mode.  Run with
+``pytest benchmarks/ --benchmark-only``; compare the three modes of an app
+to reproduce the paper's overhead story: Hum adds a small constant factor
+over Orig, while disabling the cache (No$) is dramatically slower — the
+relative ordering Orig < Hum << No$ is the result being reproduced, not
+the absolute times.
+"""
+
+import pytest
+
+from repro.apps import all_builders
+from repro.evalharness.table1 import engine_for
+
+APPS = list(all_builders())
+MODES = ["orig", "hum", "nocache"]
+
+
+def _prepared_world(name, mode, cfg):
+    world = all_builders()[name](engine_for(mode), **cfg.get(name, {}))
+    world.seed()
+    world.workload()  # load phase: annotations executed, caches warm
+    return world
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("app", APPS)
+def test_workload_time(benchmark, bench_cfg, app, mode):
+    world = _prepared_world(app, mode, bench_cfg)
+
+    def run():
+        world.seed()
+        return world.workload()
+
+    result = benchmark(run)
+    assert result  # the workload produced responses in every mode
+
+
+@pytest.mark.parametrize("app", ["pubs", "cct"])
+def test_cache_orders_hot_apps(bench_cfg, app):
+    """Sanity on the reproduced shape: for the hot-loop apps, the cached
+    engine is much faster than the uncached one on identical workloads."""
+    import time
+
+    def timed(mode):
+        world = _prepared_world(app, mode, bench_cfg)
+        world.seed()
+        start = time.perf_counter()
+        world.workload()
+        return time.perf_counter() - start
+
+    hum, nocache = timed("hum"), timed("nocache")
+    assert nocache > hum * 2

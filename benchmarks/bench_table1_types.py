@@ -1,0 +1,51 @@
+"""Table 1, statistics columns: LoC, Chk'd/App/All, Gen'd/Used, Casts, Phs.
+
+The benchmark times the full build+check pipeline per app and prints the
+paper's rows; assertions pin the *shape* the paper reports (Gen'd >= Used,
+Countries generates nothing, Rolify is multi-phase, etc.).
+"""
+
+import pytest
+
+from repro.apps import all_builders
+from repro.evalharness.loc import count_world_loc
+from repro.evalharness.table1 import engine_for
+
+APPS = list(all_builders())
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_typecheck_statistics(benchmark, bench_cfg, app):
+    def build_and_run():
+        world = all_builders()[app](engine_for("hum"),
+                                    **bench_cfg.get(app, {}))
+        world.seed()
+        world.workload()
+        return world
+
+    world = benchmark.pedantic(build_and_run, rounds=3, iterations=1)
+    stats = world.engine.stats
+    row = {
+        "app": app,
+        "loc": count_world_loc(world),
+        "chkd": stats.chkd(),
+        "app_types": stats.app_count(),
+        "all_types": stats.all_count(),
+        "gen": stats.generated_count(),
+        "used": stats.used_generated_count(),
+        "casts": stats.cast_site_count(),
+        "phases": stats.phases(),
+    }
+    print(f"\nTable1[{app}]: {row}")
+
+    assert row["chkd"] <= row["app_types"] <= row["all_types"]
+    assert row["used"] <= row["gen"]
+    if app == "countries":
+        assert row["gen"] == 0
+        assert row["casts"] >= 5
+    else:
+        assert row["gen"] > 0
+    if app == "rolify":
+        assert row["phases"] > 1
+    else:
+        assert row["phases"] == 1

@@ -1,0 +1,17 @@
+"""Table 2: the dev-mode update experiment, timed and shape-checked."""
+
+from repro.apps.talks.updates import run_update_experiment
+from repro.evalharness.table2 import format_table2
+
+
+def test_update_experiment(benchmark):
+    rows = benchmark.pedantic(run_update_experiment, rounds=3, iterations=1)
+    print("\n" + format_table2(rows))
+    assert len(rows) == 7
+    baseline = rows[0].checked_with_helpers
+    for row in rows[1:]:
+        # Incremental invalidation: each update re-checks far fewer
+        # methods than the initial full load.
+        assert row.checked_without_helpers < baseline
+        expected = row.delta_meth + row.added + row.deps
+        assert abs(row.checked_without_helpers - expected) <= 1

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks use reduced workload sizes where the full-size run would make
+``--benchmark-only`` impractically slow (the no-cache modes re-check hot
+methods on every call by design); the harness
+(``python -m repro.evalharness table1``) runs the full sizes.
+"""
+
+import pytest
+
+#: Reduced workload knobs per app for benchmarking.
+BENCH_CFG = {
+    "talks": {},
+    "boxroom": {},
+    "pubs": {"publications": 40},
+    "rolify": {},
+    "cct": {"repeats": 10},
+    "countries": {"repeats": 5},
+}
+
+
+@pytest.fixture(scope="session")
+def bench_cfg():
+    return BENCH_CFG

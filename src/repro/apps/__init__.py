@@ -1,0 +1,53 @@
+"""``repro.apps`` — the six subject applications of the evaluation.
+
+Each app module exposes ``build(engine=None, **cfg) -> World`` and the
+shared :class:`World` protocol: a built application plus ``seed()`` and
+``workload()`` callables the harness and benchmarks drive.
+
+* :mod:`~repro.apps.talks` — Rails; talk announcements (plus the
+  historical type errors and the dev-mode update sequence);
+* :mod:`~repro.apps.boxroom` — Rails; file-sharing interface;
+* :mod:`~repro.apps.pubs` — Rails; publication lists (the hot-loop app);
+* :mod:`~repro.apps.rolify_app` — Rolify integrated with Talks users;
+* :mod:`~repro.apps.cct` — credit-card transactions library (Struct);
+* :mod:`~repro.apps.countries` — country data (no metaprogramming).
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class World:
+    """A built app: everything the harness needs to drive it."""
+
+    name: str
+    engine: object
+    seed: Callable[[], None]
+    workload: Callable[[], object]
+    uses_rails: bool = False
+    uses_metaprogramming: bool = True
+    #: classes whose (checked) sources count toward the LoC column
+    loc_modules: List[str] = field(default_factory=list)
+    extras: Dict = field(default_factory=dict)
+
+
+def all_builders() -> Dict[str, Callable]:
+    """Name → build function for every subject app."""
+    from .talks.app import build as talks
+    from .boxroom.app import build as boxroom
+    from .pubs.app import build as pubs
+    from .rolify_app.app import build as rolify
+    from .cct.app import build as cct
+    from .countries.app import build as countries
+    return {
+        "talks": talks,
+        "boxroom": boxroom,
+        "pubs": pubs,
+        "rolify": rolify,
+        "cct": cct,
+        "countries": countries,
+    }
+
+
+__all__ = ["World", "all_builders"]

@@ -1,0 +1,6 @@
+"""Boxroom — a Rails implementation of a simple file-sharing interface
+(paper app #2)."""
+
+from .app import build
+
+__all__ = ["build"]

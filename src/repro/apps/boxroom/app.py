@@ -1,0 +1,304 @@
+"""Boxroom: folders, files, shares — models, controllers, workload.
+
+Exercises recursive checked methods (``Folder.path`` walks the parent
+association), self-referential ``belongs_to``, and occurrence-typing on
+nullable columns.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...core import Engine
+from ...rails import RailsApp
+from ...rtypes import Sym
+from .. import World
+
+
+def build_schema(db) -> None:
+    db.create_table(
+        "users",
+        ("name", "string", False),
+        ("email", "string", False),
+        ("admin", "boolean", False))
+    db.create_table(
+        "folders",
+        ("name", "string", False),
+        ("parent_id", "integer"),
+        ("owner_id", "integer"))
+    db.create_table(
+        "user_files",
+        ("filename", "string", False),
+        ("size_bytes", "integer", False),
+        ("folder_id", "integer"),
+        ("owner_id", "integer"))
+    db.create_table(
+        "shares",
+        ("file_id", "integer", False),
+        ("user_id", "integer", False),
+        ("can_edit", "boolean", False))
+
+
+def build_models(app) -> SimpleNamespace:
+    hb = app.hb
+
+    @app.register_model
+    class User(app.Model):
+        @hb.typed("() -> String")
+        def display_name(self):
+            return f"{self.name} <{self.email}>"
+
+        @hb.typed("() -> %bool")
+        def can_manage(self):
+            return self.admin == True  # noqa: E712
+
+    @app.register_model
+    class Folder(app.Model):
+        @hb.typed("() -> String")
+        def path(self):
+            p = self.parent
+            if p is None:
+                return self.name
+            return f"{p.path()}/{self.name}"
+
+        @hb.typed("() -> Integer")
+        def total_size(self):
+            total = 0
+            for f in self.files:
+                total = total + f.size_bytes
+            return total
+
+        @hb.typed("() -> Integer")
+        def file_count(self):
+            return len(self.files)
+
+        @hb.typed("() -> Array<String>")
+        def child_names(self):
+            return [c.name for c in self.children]
+
+        @hb.typed("(User) -> %bool")
+        def owned_by(self, user):
+            return self.owner_id == user.id
+
+    @app.register_model
+    class UserFile(app.Model):
+        @hb.typed("() -> String")
+        def extension(self):
+            parts = self.filename.split(".")
+            return parts[len(parts) - 1]
+
+        @hb.typed("() -> String")
+        def human_size(self):
+            b = self.size_bytes
+            if b > 1048576:
+                return f"{b / 1048576} MB"
+            if b > 1024:
+                return f"{b / 1024} KB"
+            return f"{b} B"
+
+        @hb.typed("(User) -> %bool")
+        def shared_with(self, user):
+            for s in Share.find_all_by_file_id(self.id):
+                if s.user_id == user.id:
+                    return True
+            return False
+
+        @hb.typed("() -> String")
+        def location(self):
+            fld = self.folder
+            return f"{fld.path()}/{self.filename}"
+
+    @app.register_model
+    class Share(app.Model):
+        @hb.typed("() -> %bool")
+        def editable(self):
+            return self.can_edit == True  # noqa: E712
+
+    Folder.belongs_to("parent", class_name="Folder")
+    Folder.belongs_to("owner", class_name="User")
+    Folder.has_many("children", class_name="Folder", fk="parent_id")
+    Folder.has_many("files", class_name="UserFile", fk="folder_id")
+    UserFile.belongs_to("folder", class_name="Folder")
+    UserFile.belongs_to("owner", class_name="User")
+    Share.belongs_to("file", class_name="UserFile")
+    Share.belongs_to("user")
+    User.has_many("shares")
+
+    return SimpleNamespace(User=User, Folder=Folder, UserFile=UserFile,
+                           Share=Share)
+
+
+def build_controllers(app, m) -> SimpleNamespace:
+    hb = app.hb
+    User, Folder, UserFile, Share = m.User, m.Folder, m.UserFile, m.Share
+
+    class FoldersController(app.Controller):
+        @hb.typed("() -> String")
+        def index(self):
+            roots: "Array<String>" = []
+            for f in Folder.all():
+                if f.parent_id is None:
+                    roots.append(f.path())
+            return self.render("folders/index", {Sym("roots"): roots})
+
+        @hb.typed("() -> String")
+        def show(self):
+            folder = Folder.find(int(self.param(Sym("id"))))
+            files = [f.filename for f in folder.files]
+            return self.render("folders/show", {
+                Sym("path"): folder.path(),
+                Sym("children"): folder.child_names(),
+                Sym("files"): files,
+                Sym("size"): folder.total_size(),
+            })
+
+        @hb.typed("() -> String")
+        def create(self):
+            folder = Folder.create({
+                Sym("name"): self.param(Sym("name")),
+                Sym("parent_id"): int(self.param(Sym("parent_id"))),
+                Sym("owner_id"): int(self.param(Sym("owner_id"))),
+            })
+            return self.redirect_to(f"/folders/{folder.id}")
+
+        @hb.typed("() -> String")
+        def destroy(self):
+            folder = Folder.find(int(self.param(Sym("id"))))
+            folder.destroy()
+            return self.redirect_to("/folders")
+
+    class FilesController(app.Controller):
+        @hb.typed("() -> String")
+        def index(self):
+            rows = [self.file_row(f) for f in UserFile.all()]
+            return self.render("files/index", {Sym("rows"): rows})
+
+        @hb.typed("(UserFile) -> String")
+        def file_row(self, f):
+            return f"{f.location()} [{f.human_size()}] .{f.extension()}"
+
+        @hb.typed("() -> String")
+        def show(self):
+            f = UserFile.find(int(self.param(Sym("id"))))
+            u = User.find(int(self.param(Sym("viewer"))))
+            shared = f.shared_with(u)
+            return self.render("files/show", {
+                Sym("row"): self.file_row(f),
+                Sym("shared"): shared,
+            })
+
+        @hb.typed("() -> String")
+        def create(self):
+            f = UserFile.create({
+                Sym("filename"): self.param(Sym("filename")),
+                Sym("size_bytes"): int(self.param(Sym("size_bytes"))),
+                Sym("folder_id"): int(self.param(Sym("folder_id"))),
+                Sym("owner_id"): int(self.param(Sym("owner_id"))),
+            })
+            return self.redirect_to(f"/files/{f.id}")
+
+        @hb.typed("() -> String")
+        def move(self):
+            f = UserFile.find(int(self.param(Sym("id"))))
+            f.update({Sym("folder_id"): int(self.param(Sym("folder_id")))})
+            return self.redirect_to(f"/files/{f.id}")
+
+        @hb.typed("() -> String")
+        def destroy(self):
+            f = UserFile.find(int(self.param(Sym("id"))))
+            f.destroy()
+            return self.redirect_to("/files")
+
+    class SessionsController(app.Controller):
+        @hb.typed("() -> String")
+        def create(self):
+            u = User.find_by_email(self.param(Sym("email")))
+            if u is None:
+                return self.render("sessions/denied", {})
+            return self.render("sessions/welcome",
+                               {Sym("name"): u.display_name()})
+
+        @hb.typed("() -> String")
+        def destroy(self):
+            return self.redirect_to("/")
+
+    return SimpleNamespace(FoldersController=FoldersController,
+                           FilesController=FilesController,
+                           SessionsController=SessionsController)
+
+
+def build(engine: Engine = None, *, view_cost: int = 150) -> World:
+    app = RailsApp(engine, view_cost=view_cost)
+    build_schema(app.db)
+    models = build_models(app)
+    controllers = build_controllers(app, models)
+
+    fc, flc, sc = (controllers.FoldersController,
+                   controllers.FilesController,
+                   controllers.SessionsController)
+    app.get("/folders", fc, "index")
+    app.get("/folders/:id", fc, "show")
+    app.post("/folders", fc, "create")
+    app.post("/folders/:id/destroy", fc, "destroy")
+    app.get("/files", flc, "index")
+    app.get("/files/:id/:viewer", flc, "show")
+    app.post("/files", flc, "create")
+    app.post("/files/:id/move", flc, "move")
+    app.post("/files/:id/destroy", flc, "destroy")
+    app.post("/session", sc, "create")
+    app.post("/session/destroy", sc, "destroy")
+
+    def seed() -> None:
+        app.db.reset()
+        m = models
+        admin = m.User.create(name="Admin", email="admin@box.example",
+                              admin=True)
+        dana = m.User.create(name="Dana", email="dana@box.example",
+                             admin=False)
+        root = m.Folder.create(name="root", owner_id=admin.id)
+        docs = m.Folder.create(name="docs", parent_id=root.id,
+                               owner_id=admin.id)
+        pics = m.Folder.create(name="pics", parent_id=root.id,
+                               owner_id=dana.id)
+        deep = m.Folder.create(name="archive", parent_id=docs.id,
+                               owner_id=admin.id)
+        sizes = [512, 4096, 2 * 1048576, 90_000, 128, 7_340_032]
+        for i, size in enumerate(sizes):
+            folder = [docs, pics, deep][i % 3]
+            f = m.UserFile.create(filename=f"file_{i}.v{i}.txt",
+                                  size_bytes=size, folder_id=folder.id,
+                                  owner_id=[admin, dana][i % 2].id)
+            if i % 2 == 0:
+                m.Share.create(file_id=f.id, user_id=dana.id,
+                               can_edit=(i % 4 == 0))
+
+    def workload() -> list:
+        responses = []
+        responses.append(app.request("GET", "/folders"))
+        for fid in ("1", "2", "3", "4"):
+            responses.append(app.request("GET", f"/folders/{fid}"))
+        responses.append(app.request("GET", "/files"))
+        for file_id in ("1", "2", "3"):
+            responses.append(app.request("GET", f"/files/{file_id}/2"))
+        responses.append(app.request("POST", "/session",
+                                     {"email": "dana@box.example"}))
+        responses.append(app.request("POST", "/session",
+                                     {"email": "ghost@box.example"}))
+        responses.append(app.request("POST", "/folders", {
+            "name": "new", "parent_id": "1", "owner_id": "1"}))
+        responses.append(app.request("POST", "/files", {
+            "filename": "added.pdf", "size_bytes": "2048",
+            "folder_id": "2", "owner_id": "2"}))
+        responses.append(app.request("POST", "/files/7/move",
+                                     {"folder_id": "3"}))
+        responses.append(app.request("GET", "/files"))
+        responses.append(app.request("POST", "/files/7/destroy", {}))
+        responses.append(app.request("POST", "/folders/5/destroy", {}))
+        responses.append(app.request("POST", "/session/destroy", {}))
+        return responses
+
+    return World(
+        name="boxroom", engine=app.engine, seed=seed, workload=workload,
+        uses_rails=True, uses_metaprogramming=True,
+        loc_modules=["repro.apps.boxroom.app"],
+        extras={"app": app, "models": models, "controllers": controllers})

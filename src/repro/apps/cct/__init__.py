@@ -1,0 +1,8 @@
+"""CCT — the credit-card transactions library (paper app #5).
+
+Uses the Struct substrate with Fig. 3's user-written ``add_types``; no
+Rails, driven by a unit-test-style runner executed repeatedly."""
+
+from .app import build
+
+__all__ = ["build"]

@@ -1,0 +1,143 @@
+"""CCT: simple credit-card processing on Struct transactions.
+
+Fig. 3 realized: ``Transaction = Struct.new(:kind, :account_name,
+:amount, :card_number)`` plus ``Transaction.add_types(...)`` — the
+user-written metaprogramming that makes ``process_transactions``
+checkable.  Library-style app: most of its time is inside intercepted app
+methods, which is why the paper's CCT shows the *largest* cached overhead
+(5.7x) despite being tiny.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...core import Engine
+from ...rstruct import struct_new
+from .. import World
+
+
+def build_library(engine: Engine) -> SimpleNamespace:
+    hb = engine.api()
+
+    Transaction = struct_new(engine, "Transaction",
+                             "kind", "account_name", "amount",
+                             "card_number")
+    # Fig. 3's elegant solution: one call types all getters and setters.
+    Transaction.add_types("String", "String", "Integer", "String")
+
+    class CardValidator:
+        @hb.typed("(String) -> %bool")
+        def luhn_valid(self, card):
+            total = 0
+            i = 0
+            n = len(card)
+            while i < n:
+                d = int(card[i])
+                if (n - i) % 2 == 0:
+                    d = d * 2
+                    if d > 9:
+                        d = d - 9
+                total = total + d
+                i = i + 1
+            return total % 10 == 0
+
+        @hb.typed("(String) -> String")
+        def masked(self, card):
+            tail = card[len(card) - 4]
+            return f"****{tail}"
+
+    class FeeSchedule:
+        @hb.typed("(Transaction) -> Integer")
+        def fee_for(self, t):
+            if t.kind == "credit":
+                return t.amount / 50
+            if t.kind == "debit":
+                return t.amount / 100
+            return 0
+
+    class ApplicationRunner:
+        def __init__(self, transactions):
+            self.transactions = transactions
+            self.validator = CardValidator()
+            self.fees = FeeSchedule()
+
+        @hb.typed("() -> Hash<String, Integer>")
+        def process_transactions(self):
+            totals: "Hash<String, Integer>" = {}
+            for t in self.transactions:
+                name = t.account_name
+                if self.validator.luhn_valid(t.card_number):
+                    current = totals.get(name, 0)
+                    charge = t.amount + self.fees.fee_for(t)
+                    totals[name] = current + charge
+            return totals
+
+        @hb.typed("() -> Integer")
+        def count_valid(self):
+            count = 0
+            for t in self.transactions:
+                if self.validator.luhn_valid(t.card_number):
+                    count = count + 1
+            return count
+
+        @hb.typed("() -> Array<String>")
+        def summary(self):
+            totals = self.process_transactions()
+            return [f"{name}: {totals[name]}" for name in totals.keys()]
+
+        @hb.typed("() -> Array<String>")
+        def audit_lines(self):
+            lines: "Array<String>" = []
+            for t in self.transactions:
+                card = self.validator.masked(t.card_number)
+                lines.append(f"{t.kind} {t.account_name} {t.amount} {card}")
+            return lines
+
+    hb.field_type(ApplicationRunner, "transactions", "Array<Transaction>")
+    hb.field_type(ApplicationRunner, "validator", "CardValidator")
+    hb.field_type(ApplicationRunner, "fees", "FeeSchedule")
+
+    return SimpleNamespace(Transaction=Transaction,
+                           CardValidator=CardValidator,
+                           FeeSchedule=FeeSchedule,
+                           ApplicationRunner=ApplicationRunner)
+
+
+# Card numbers with valid and invalid Luhn checksums.
+_VALID_CARDS = ["4539578763621486", "4716461583322103", "379354508162306"]
+_INVALID_CARDS = ["4539578763621487", "1234567890123456"]
+
+
+def build(engine: Engine = None, *, repeats: int = 100) -> World:
+    engine = engine or Engine()
+    lib = build_library(engine)
+    state = {}
+
+    def seed() -> None:
+        t = lib.Transaction
+        txs = []
+        for i in range(30):
+            card = (_VALID_CARDS[i % 3] if i % 5 else
+                    _INVALID_CARDS[i % 2])
+            txs.append(t(("credit" if i % 2 else "debit"),
+                         f"account-{i % 7}", 100 + i * 13, card))
+        state["runner"] = lib.ApplicationRunner(txs)
+
+    def workload() -> list:
+        """The unit-test suite, run ``repeats`` times (paper: 100x)."""
+        runner = state["runner"]
+        out = []
+        for _ in range(repeats):
+            totals = runner.process_transactions()
+            out.append(len(totals))
+            out.append(runner.count_valid())
+            out.append(len(runner.summary()))
+            out.append(len(runner.audit_lines()))
+        return out
+
+    return World(
+        name="cct", engine=engine, seed=seed, workload=workload,
+        uses_rails=False, uses_metaprogramming=True,
+        loc_modules=["repro.apps.cct.app"],
+        extras={"lib": lib, "state": state})

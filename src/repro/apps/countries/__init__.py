@@ -1,0 +1,9 @@
+"""Countries — country data lookups (paper app #6).
+
+The no-metaprogramming baseline: every type is a static annotation, and
+the only dynamic machinery used is ``rdl_cast`` (the paper's Marshal.load
+example comes from this app)."""
+
+from .app import build
+
+__all__ = ["build"]

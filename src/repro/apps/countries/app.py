@@ -1,0 +1,198 @@
+"""Countries: data lookups over a serialized dataset, with casts.
+
+``DataStore.load_cache`` is the paper's own example (section 4): a
+marshal-style loader returns data of arbitrary type, downcast with
+``rdl_cast`` to the annotated hash type; ``languages`` shows the generic
+cast that iterates elements at run time.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...core import Engine
+from .. import World
+
+#: The "data file": (alpha2, name, region, currency, population,
+#: languages).  Shipped in-package since the environment is offline.
+RAW_DATA = [
+    ("US", "United States", "Americas", "USD", 331_000_000, ["en"]),
+    ("DE", "Germany", "Europe", "EUR", 83_000_000, ["de"]),
+    ("FR", "France", "Europe", "EUR", 67_000_000, ["fr"]),
+    ("JP", "Japan", "Asia", "JPY", 125_000_000, ["ja"]),
+    ("BR", "Brazil", "Americas", "BRL", 213_000_000, ["pt"]),
+    ("IN", "India", "Asia", "INR", 1_380_000_000, ["hi", "en"]),
+    ("NG", "Nigeria", "Africa", "NGN", 206_000_000, ["en"]),
+    ("EG", "Egypt", "Africa", "EGP", 102_000_000, ["ar"]),
+    ("AU", "Australia", "Oceania", "AUD", 25_000_000, ["en"]),
+    ("CA", "Canada", "Americas", "CAD", 38_000_000, ["en", "fr"]),
+    ("CN", "China", "Asia", "CNY", 1_410_000_000, ["zh"]),
+    ("ES", "Spain", "Europe", "EUR", 47_000_000, ["es"]),
+    ("MX", "Mexico", "Americas", "MXN", 128_000_000, ["es"]),
+    ("KE", "Kenya", "Africa", "KES", 54_000_000, ["sw", "en"]),
+    ("NZ", "New Zealand", "Oceania", "NZD", 5_000_000, ["en", "mi"]),
+    ("IT", "Italy", "Europe", "EUR", 59_000_000, ["it"]),
+]
+
+
+def build_library(engine: Engine) -> SimpleNamespace:
+    hb = engine.api()
+    # The run-time half of rdl_cast: the checker recognizes `cast(e, "T")`
+    # syntactically; this binding makes the dynamic conformance check run.
+    cast = engine.cast
+
+    class DataStore:
+        """Deserializes the country 'data file'."""
+
+        def read_blob(self):
+            # Stands in for Marshal.load(File.binread(f)): returns data
+            # whose static type is unknown (%any).
+            return {row[0]: {"name": row[1], "region": row[2],
+                             "currency": row[3], "population": row[4],
+                             "languages": list(row[5])}
+                    for row in RAW_DATA}
+
+        @hb.typed("() -> Hash<String, %any>")
+        def load_cache(self):
+            # The paper's load_cache: downcast the deserialized blob.
+            t = self.read_blob()
+            cache = cast(t, "Hash<String, %any>")
+            return cache
+
+    hb.annotate(DataStore, "read_blob", "() -> %any", app_level=True)
+
+    class Country:
+        def __init__(self, alpha2, data):
+            self.alpha2 = alpha2
+            self.data = data
+
+        @hb.typed("() -> String")
+        def name(self):
+            return cast(self.data["name"], "String")
+
+        @hb.typed("() -> String")
+        def region(self):
+            return cast(self.data["region"], "String")
+
+        @hb.typed("() -> String")
+        def currency(self):
+            return cast(self.data["currency"], "String")
+
+        @hb.typed("() -> Integer")
+        def population(self):
+            return cast(self.data["population"], "Integer")
+
+        @hb.typed("() -> Array<String>")
+        def languages(self):
+            # Generic cast: iterates the array elements at run time.
+            return cast(self.data["languages"], "Array<String>")
+
+        @hb.typed("(String) -> %bool")
+        def in_region(self, region_name):
+            return self.region() == region_name
+
+        @hb.typed("(String) -> %bool")
+        def speaks(self, lang):
+            return lang in self.languages()
+
+        @hb.typed("() -> String")
+        def summary_line(self):
+            langs = ", ".join(self.languages())
+            return (f"{self.name()} ({self.alpha2}) — {self.region()}, "
+                    f"{self.currency()}, pop {self.population()}, "
+                    f"[{langs}]")
+
+    hb.field_type(Country, "alpha2", "String")
+    hb.field_type(Country, "data", "Hash<String, %any>")
+
+    class CountryStore:
+        def __init__(self):
+            self.countries = []
+            raw = DataStore().load_cache()
+            for code in raw.keys():
+                self.countries.append(Country(code, raw[code]))
+
+        @hb.typed("(String) -> Country or nil")
+        def find_by_alpha2(self, code):
+            for c in self.countries:
+                if c.alpha2 == code:
+                    return c
+            return None
+
+        @hb.typed("(String) -> Country or nil")
+        def find_by_name(self, name):
+            for c in self.countries:
+                if c.name() == name:
+                    return c
+            return None
+
+        @hb.typed("(String) -> Array<Country>")
+        def in_region(self, region_name):
+            return [c for c in self.countries if c.in_region(region_name)]
+
+        @hb.typed("(String) -> Array<String>")
+        def speaking(self, lang):
+            out: "Array<String>" = []
+            for c in self.countries:
+                if c.speaks(lang):
+                    out.append(c.name())
+            return out
+
+        @hb.typed("() -> Integer")
+        def total_population(self):
+            total = 0
+            for c in self.countries:
+                total = total + c.population()
+            return total
+
+        @hb.typed("(String) -> Array<String>")
+        def currencies_in(self, region_name):
+            out: "Array<String>" = []
+            for c in self.in_region(region_name):
+                cur = c.currency()
+                if cur not in out:
+                    out.append(cur)
+            return out
+
+        @hb.typed("() -> Array<String>")
+        def report(self):
+            return [c.summary_line() for c in self.countries]
+
+    hb.field_type(CountryStore, "countries", "Array<Country>")
+
+    return SimpleNamespace(DataStore=DataStore, Country=Country,
+                           CountryStore=CountryStore)
+
+
+def build(engine: Engine = None, *, repeats: int = 25) -> World:
+    engine = engine or Engine()
+    lib = build_library(engine)
+    state = {}
+
+    def seed() -> None:
+        state["store"] = lib.CountryStore()
+
+    def workload() -> list:
+        store = state["store"]
+        out = []
+        for _ in range(repeats):
+            for code in ("US", "DE", "JP", "KE", "NZ", "ZZ"):
+                c = store.find_by_alpha2(code)
+                if c is not None:
+                    out.append(c.summary_line())
+            out.append(store.total_population())
+            for region in ("Europe", "Asia", "Africa", "Americas",
+                           "Oceania"):
+                out.append(len(store.in_region(region)))
+                out.append(store.currencies_in(region))
+            out.append(store.speaking("en"))
+            found = store.find_by_name("Brazil")
+            if found is not None:
+                out.append(found.currency())
+        return out
+
+    return World(
+        name="countries", engine=engine, seed=seed, workload=workload,
+        uses_rails=False, uses_metaprogramming=False,
+        loc_modules=["repro.apps.countries.app"],
+        extras={"lib": lib, "state": state})

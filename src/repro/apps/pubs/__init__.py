@@ -1,0 +1,10 @@
+"""Pubs — a Rails app for managing publication lists (paper app #3).
+
+The hot-loop app: citation formatting runs once per publication per
+request, so without caching the same methods are re-checked thousands of
+times (the paper's Pubs shows the worst no-cache slowdown, 62x, with
+methods checked 13,000+ times)."""
+
+from .app import build
+
+__all__ = ["build"]

@@ -1,0 +1,205 @@
+"""Pubs: publications, authors, venues — with a per-publication hot path."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...core import Engine
+from ...rails import RailsApp
+from ...rtypes import Sym
+from .. import World
+
+
+def build_schema(db) -> None:
+    db.create_table("authors", ("name", "string", False))
+    db.create_table(
+        "venues",
+        ("name", "string", False),
+        ("year", "integer", False))
+    db.create_table(
+        "publications",
+        ("title", "string", False),
+        ("venue_id", "integer"),
+        ("pages", "string"),
+        ("url", "string"),
+        ("kind", "string", False))
+    db.create_table(
+        "authorships",
+        ("publication_id", "integer", False),
+        ("author_id", "integer", False),
+        ("position", "integer", False))
+
+
+def build_models(app) -> SimpleNamespace:
+    hb = app.hb
+
+    @app.register_model
+    class Author(app.Model):
+        @hb.typed("() -> String")
+        def last_name(self):
+            parts = self.name.split(" ")
+            return parts[len(parts) - 1]
+
+        @hb.typed("() -> String")
+        def initials(self):
+            out = ""
+            for part in self.name.split(" "):
+                out = out + part[0] + "."
+            return out
+
+    @app.register_model
+    class Venue(app.Model):
+        @hb.typed("() -> String")
+        def label(self):
+            return f"{self.name} {self.year}"
+
+    @app.register_model
+    class Publication(app.Model):
+        @hb.typed("() -> Array<String>")
+        def author_names(self):
+            names: "Array<String>" = []
+            for a in Authorship.find_all_by_publication_id(self.id):
+                author = Author.find(a.author_id)
+                names.append(author.last_name())
+            return names
+
+        @hb.typed("() -> String")
+        def format_citation(self):
+            # The hot method: called once per publication per request.
+            names = self.author_names()
+            joined = ", ".join(names)
+            venue = self.venue
+            where = venue.label()
+            p = self.pages
+            if p is None:
+                return f"{joined}. {self.title}. In {where}."
+            return f"{joined}. {self.title}. In {where}, pages {p}."
+
+        @hb.typed("() -> String")
+        def bibtex_key(self):
+            first = self.author_names()
+            venue = self.venue
+            if len(first) == 0:
+                return f"anon{venue.year}"
+            return f"{first[0]}{venue.year}"
+
+        @hb.typed("() -> String")
+        def to_bibtex(self):
+            kind = self.kind
+            key = self.bibtex_key()
+            return (f"@{kind}{{{key}, title={{{self.title}}}, "
+                    f"venue={{{self.venue.label()}}}}}")
+
+        @hb.typed("(Integer) -> %bool")
+        def published_in(self, year):
+            return self.venue.year == year
+
+    @app.register_model
+    class Authorship(app.Model):
+        pass
+
+    Publication.belongs_to("venue")
+    Authorship.belongs_to("publication")
+    Authorship.belongs_to("author")
+    Author.has_many("authorships")
+    Venue.has_many("publications", fk="venue_id")
+
+    return SimpleNamespace(Author=Author, Venue=Venue,
+                           Publication=Publication, Authorship=Authorship)
+
+
+def build_controllers(app, m) -> SimpleNamespace:
+    hb = app.hb
+    Author, Venue, Publication = m.Author, m.Venue, m.Publication
+
+    class PubsController(app.Controller):
+        @hb.typed("() -> String")
+        def index(self):
+            citations = [p.format_citation() for p in Publication.all()]
+            return self.render("pubs/index", {Sym("citations"): citations})
+
+        @hb.typed("() -> String")
+        def by_year(self):
+            year = int(self.param(Sym("year")))
+            rows: "Array<String>" = []
+            for p in Publication.all():
+                if p.published_in(year):
+                    rows.append(p.format_citation())
+            return self.render("pubs/by_year", {Sym("rows"): rows})
+
+        @hb.typed("() -> String")
+        def bibtex(self):
+            entries = [p.to_bibtex() for p in Publication.all()]
+            return self.render("pubs/bibtex", {Sym("entries"): entries})
+
+        @hb.typed("() -> String")
+        def show(self):
+            p = Publication.find(int(self.param(Sym("id"))))
+            return self.render("pubs/show", {
+                Sym("citation"): p.format_citation(),
+                Sym("bibtex"): p.to_bibtex(),
+            })
+
+    class VenuesController(app.Controller):
+        @hb.typed("() -> String")
+        def index(self):
+            labels = [v.label() for v in Venue.all()]
+            return self.render("venues/index", {Sym("labels"): labels})
+
+    return SimpleNamespace(PubsController=PubsController,
+                           VenuesController=VenuesController)
+
+
+def build(engine: Engine = None, *, view_cost: int = 150,
+          publications: int = 120) -> World:
+    app = RailsApp(engine, view_cost=view_cost)
+    build_schema(app.db)
+    models = build_models(app)
+    controllers = build_controllers(app, models)
+
+    pc, vc = controllers.PubsController, controllers.VenuesController
+    app.get("/pubs", pc, "index")
+    app.get("/pubs/bibtex", pc, "bibtex")
+    app.get("/pubs/year/:year", pc, "by_year")
+    app.get("/pubs/:id", pc, "show")
+    app.get("/venues", vc, "index")
+
+    def seed() -> None:
+        app.db.reset()
+        m = models
+        authors = [m.Author.create(name=n) for n in (
+            "Brianna M Ren", "Jeffrey S Foster", "Michael Hicks",
+            "David An", "T Stephen Strickland", "Avik Chaudhuri")]
+        venues = [m.Venue.create(name=n, year=2008 + i)
+                  for i, n in enumerate(
+                      ("PLDI", "OOPSLA", "POPL", "DLS", "SAC", "ASE"))]
+        for i in range(publications):
+            p = m.Publication.create(
+                title=f"Paper number {i} on gradual checking",
+                venue_id=venues[i % len(venues)].id,
+                pages=(f"{i * 3}-{i * 3 + 12}" if i % 4 else None),
+                url=f"https://example.org/p{i}.pdf",
+                kind=("inproceedings" if i % 3 else "article"))
+            for pos in range(1 + i % 3):
+                m.Authorship.create(publication_id=p.id,
+                                    author_id=authors[(i + pos) % 6].id,
+                                    position=pos)
+
+    def workload() -> list:
+        responses = []
+        # The large-array path: each request touches every publication.
+        responses.append(app.request("GET", "/pubs"))
+        responses.append(app.request("GET", "/pubs/bibtex"))
+        for year in ("2008", "2009", "2010", "2011", "2012", "2013"):
+            responses.append(app.request("GET", f"/pubs/year/{year}"))
+        show_ids = {1, 5, min(25, publications), min(50, publications)}
+        for pub_id in sorted(show_ids):
+            responses.append(app.request("GET", f"/pubs/{pub_id}"))
+        responses.append(app.request("GET", "/venues"))
+        return responses
+
+    return World(
+        name="pubs", engine=app.engine, seed=seed, workload=workload,
+        uses_rails=True, uses_metaprogramming=True,
+        loc_modules=["repro.apps.pubs.app"],
+        extras={"app": app, "models": models, "controllers": controllers})

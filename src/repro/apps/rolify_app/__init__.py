@@ -1,0 +1,6 @@
+"""Rolify-on-Talks — role management integrated with the User resource
+(paper app #4, the only multi-phase app)."""
+
+from .app import build
+
+__all__ = ["build"]

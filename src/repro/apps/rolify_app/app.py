@@ -1,0 +1,140 @@
+"""Rolify integrated with a Talks-style User resource.
+
+Fig. 2's flow, end to end: ``define_dynamic_method`` creates ``is_<role>``
+methods on ``User`` at run time; the RDL pre-contract generates their
+types at the same moment; the generated bodies are *user code*, so
+Hummingbird statically checks their closure bodies at first call.
+
+Because roles are defined piecemeal between calls, annotation and check
+events interleave — this is the paper's only multi-phase app (Phs 12).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...core import Engine
+from ...rails import RailsApp
+from ...rolify import build_rolify
+from ...rtypes import Sym
+from .. import World
+
+
+def build_schema(db) -> None:
+    db.create_table(
+        "users",
+        ("name", "string", False),
+        ("email", "string", False))
+
+
+def build_models(app, RolifyDynamic) -> SimpleNamespace:
+    hb = app.hb
+
+    @app.register_model
+    class User(app.Model, RolifyDynamic):
+        @hb.typed("() -> String")
+        def display_name(self):
+            return f"{self.name} <{self.email}>"
+
+        @hb.typed("() -> String")
+        def role_summary(self):
+            names = self.roles_list()
+            joined = ", ".join(names)
+            return f"{self.display_name()}: {joined}"
+
+        @hb.typed("(String) -> %bool")
+        def grant(self, role_name):
+            self.add_role(role_name)
+            self.define_dynamic_method(role_name, None)
+            return self.has_role(role_name)
+
+        @hb.typed("(String) -> %bool")
+        def revoke(self, role_name):
+            self.remove_role(role_name)
+            return self.has_role(role_name)
+
+    return SimpleNamespace(User=User)
+
+
+def build_controllers(app, models) -> SimpleNamespace:
+    hb = app.hb
+    User = models.User
+
+    class RolesController(app.Controller):
+        @hb.typed("() -> String")
+        def index(self):
+            summaries = [u.role_summary() for u in User.all()]
+            return self.render("roles/index", {Sym("rows"): summaries})
+
+        @hb.typed("() -> String")
+        def grant(self):
+            u = User.find(int(self.param(Sym("id"))))
+            u.grant(self.param(Sym("role")))
+            return self.render("roles/grant",
+                               {Sym("summary"): u.role_summary()})
+
+        @hb.typed("() -> String")
+        def revoke(self):
+            u = User.find(int(self.param(Sym("id"))))
+            u.revoke(self.param(Sym("role")))
+            return self.render("roles/revoke",
+                               {Sym("summary"): u.role_summary()})
+
+    return SimpleNamespace(RolesController=RolesController)
+
+
+def build(engine: Engine = None, *, view_cost: int = 400) -> World:
+    app = RailsApp(engine, view_cost=view_cost)
+    build_schema(app.db)
+    RolifyDynamic = build_rolify(app.engine)
+    models = build_models(app, RolifyDynamic)
+    controllers = build_controllers(app, models)
+    User = models.User
+    app.get("/roles", controllers.RolesController, "index")
+    app.post("/roles/:id/grant", controllers.RolesController, "grant")
+    app.post("/roles/:id/revoke", controllers.RolesController, "revoke")
+
+    def seed() -> None:
+        app.db.reset()
+        User.create(name="Pat", email="pat@umd.example")
+        User.create(name="Quinn", email="quinn@umd.example")
+        User.create(name="Riley", email="riley@umd.example")
+
+    def workload() -> list:
+        """Unit-test-style driver plus role pages: roles are defined
+        piecemeal between checks, producing the paper's multiple phases."""
+        out = []
+        pat, quinn, riley = User.all()
+        # Roles are granted user by user; each grant's
+        # define_dynamic_method generates fresh annotations mid-run.
+        out.append(app.request("POST", "/roles/1/grant",
+                               {"role": "professor"}))
+        out.append(pat.is_professor())
+        out.append(app.request("POST", "/roles/1/grant",
+                               {"role": "advisor"}))
+        out.append(pat.is_advisor())
+        out.append(app.request("POST", "/roles/2/grant",
+                               {"role": "student"}))
+        out.append(quinn.is_student())
+        out.append(quinn.is_student_of(pat))
+        out.append(app.request("POST", "/roles/3/grant",
+                               {"role": "student"}))
+        out.append(app.request("POST", "/roles/3/grant",
+                               {"role": "grader"}))
+        out.append(riley.is_grader())
+        out.append(app.request("GET", "/roles"))
+        out.append(app.request("POST", "/roles/1/revoke",
+                               {"role": "advisor"}))
+        out.append(pat.is_advisor())
+        # Browsing the role pages dominates wall-clock, like the paper's
+        # unit-test driver whose time is mostly framework-side.
+        for _ in range(10):
+            out.append(app.request("GET", "/roles"))
+        return out
+
+    return World(
+        name="rolify", engine=app.engine, seed=seed, workload=workload,
+        uses_rails=True, uses_metaprogramming=True,
+        loc_modules=["repro.apps.rolify_app.app"],
+        extras={"app": app, "models": models, "controllers": controllers,
+                "RolifyDynamic": RolifyDynamic})

@@ -1,0 +1,11 @@
+"""Talks — a Rails app for publicizing talk announcements (paper app #1).
+
+The largest subject app: models with associations, controllers, helper
+mixins, a request-script workload, the six historical type errors
+(:mod:`~repro.apps.talks.history`), and the seven-version dev-mode update
+sequence (:mod:`~repro.apps.talks.updates`).
+"""
+
+from .app import build
+
+__all__ = ["build"]

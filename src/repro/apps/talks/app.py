@@ -1,0 +1,142 @@
+"""Talks: schema, routes, seed data, and the request-script workload."""
+
+from __future__ import annotations
+
+import datetime
+
+from ...core import Engine
+from ...rails import RailsApp
+from .. import World
+from .controllers import build_controllers
+from .models import build_models
+
+
+def build_schema(db) -> None:
+    db.create_table(
+        "users",
+        ("name", "string"),
+        ("email", "string", False),
+        ("password", "string", False),
+        ("admin", "boolean"))
+    db.create_table(
+        "lists",
+        ("name", "string", False),
+        ("owner_id", "integer"))
+    db.create_table(
+        "talks",
+        ("title", "string", False),
+        ("abstract", "string"),
+        ("room", "string"),
+        ("video_url", "string"),
+        ("owner_id", "integer"),
+        ("list_id", "integer"),
+        ("starts_at", "datetime", False),
+        ("hidden", "boolean", False))
+    db.create_table(
+        "subscriptions",
+        ("user_id", "integer", False),
+        ("list_id", "integer", False))
+
+
+def build(engine: Engine = None, *, view_cost: int = 150) -> World:
+    app = RailsApp(engine, view_cost=view_cost)
+    build_schema(app.db)
+    models = build_models(app)
+    controllers = build_controllers(app, models)
+
+    tc, lc, uc, sc = (controllers.TalksController,
+                      controllers.ListsController,
+                      controllers.UsersController,
+                      controllers.SubscriptionsController)
+    app.get("/talks", tc, "index")
+    app.get("/talks/upcoming", tc, "upcoming")
+    app.get("/talks/by_owner/:user_id", tc, "by_owner")
+    app.get("/talks/:id", tc, "show")
+    app.post("/talks", tc, "create")
+    app.post("/talks/:id", tc, "update")
+    app.post("/talks/:id/destroy", tc, "destroy")
+    app.get("/lists", lc, "index")
+    app.get("/lists/:id", lc, "show")
+    app.post("/lists", lc, "create")
+    app.get("/users", uc, "index")
+    app.get("/users/:id", uc, "show")
+    app.get("/users/:id/talks", uc, "talks_for")
+    app.post("/users", uc, "create")
+    app.post("/subscriptions", sc, "create")
+    app.post("/subscriptions/:id/destroy", sc, "destroy")
+
+    def seed() -> None:
+        app.db.reset()
+        m = models
+        alice = m.User.create(name="Alice", email="alice@cs.example",
+                              password="pw1", admin=True)
+        bob = m.User.create(name=None, email="bob@cs.example",
+                            password="pw2", admin=False)
+        carol = m.User.create(name="Carol", email="carol@cs.example",
+                              password="pw3", admin=False)
+        pl = m.List.create(name="PL Seminar", owner_id=alice.id)
+        sys = m.List.create(name="Systems Lunch", owner_id=bob.id)
+        base = datetime.datetime(2016, 4, 13, 12, 0, 0)
+        titles = [
+            ("Just-in-Time Static Type Checking", "CSIC 1115", 1),
+            ("Profile-Guided Static Typing. For Dynamic Languages", None, 2),
+            ("The Ruby Intermediate Language", "AVW 3258", 3),
+            ("Contracts for Domain-Specific Languages", None, -1),
+            ("Static Typing for Rails", "CSIC 2117", 5),
+            ("Dynamic Inference of Static Types", None, 7),
+            ("The Ruby Type Checker", "AVW 4424", -2),
+            ("Typing the Numeric Tower", None, 9),
+        ]
+        for i, (title, room, day_offset) in enumerate(titles):
+            m.Talk.create(
+                title=title,
+                abstract=f"{title}. An abstract with details number {i}.",
+                room=room,
+                owner_id=[alice, bob, carol][i % 3].id,
+                list_id=[pl, sys][i % 2].id,
+                starts_at=base + datetime.timedelta(days=day_offset),
+                hidden=(i == 7))
+        m.Subscription.create(user_id=alice.id, list_id=sys.id)
+        m.Subscription.create(user_id=bob.id, list_id=pl.id)
+        m.Subscription.create(user_id=carol.id, list_id=pl.id)
+
+    def workload() -> list:
+        """The curl script: exercises a wide range of functionality."""
+        responses = []
+        get, post = app.request, app.request
+        responses.append(get("GET", "/talks"))
+        responses.append(get("GET", "/talks/upcoming"))
+        for talk_id in ("1", "2", "3", "4", "5"):
+            responses.append(get("GET", f"/talks/{talk_id}"))
+        responses.append(get("GET", "/talks/by_owner/1"))
+        responses.append(get("GET", "/talks/by_owner/2"))
+        responses.append(get("GET", "/lists"))
+        responses.append(get("GET", "/lists/1"))
+        responses.append(get("GET", "/lists/2"))
+        responses.append(get("GET", "/users"))
+        responses.append(get("GET", "/users/1"))
+        responses.append(get("GET", "/users/2"))
+        responses.append(get("GET", "/users/1/talks"))
+        responses.append(get("GET", "/users/3/talks"))
+        responses.append(post("POST", "/users", {
+            "name": "Dave", "email": "dave@cs.example", "password": "pw4"}))
+        responses.append(post("POST", "/lists", {
+            "name": "Theory Reading", "owner_id": "1"}))
+        responses.append(post("POST", "/talks", {
+            "title": "A New Talk", "owner_id": "1", "list_id": "1",
+            "abstract": "Fresh. New."}))
+        responses.append(post("POST", "/talks/9", {"title": "Renamed Talk"}))
+        responses.append(get("GET", "/talks/9"))
+        responses.append(post("POST", "/subscriptions", {
+            "user_id": "2", "list_id": "2"}))
+        responses.append(post("POST", "/subscriptions/4/destroy", {}))
+        responses.append(post("POST", "/talks/9/destroy", {}))
+        responses.append(get("GET", "/talks"))
+        return responses
+
+    return World(
+        name="talks", engine=app.engine, seed=seed, workload=workload,
+        uses_rails=True, uses_metaprogramming=True,
+        loc_modules=["repro.apps.talks.models",
+                     "repro.apps.talks.controllers"],
+        extras={"app": app, "models": models, "controllers": controllers})

@@ -1,0 +1,180 @@
+"""Talks controllers and helpers — the request-handling app code."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...rtypes import Sym
+
+
+def build_controllers(app, m) -> SimpleNamespace:
+    hb = app.hb
+    User, List, Talk, Subscription = m.User, m.List, m.Talk, m.Subscription
+
+    class TalksHelpers:
+        """An app-level helper mixin (Rails's ApplicationHelper)."""
+
+        __hb_module__ = True
+
+        @hb.typed("(Time) -> String")
+        def format_time(self, t):
+            return t.strftime("%Y-%m-%d %H:%M")
+
+        @hb.typed("(Talk) -> Array<String>")
+        def compute_edit_fields(self, talk):
+            return ["title", "abstract", "room", talk.display_title()]
+
+        @hb.typed("(Talk) -> String")
+        def edit_link(self, talk):
+            fields = self.compute_edit_fields(talk)
+            return f"/talks/{talk.id}/edit?fields={len(fields)}"
+
+        @hb.typed("(String, Integer) -> String")
+        def truncate(self, text, limit):
+            if len(text) > limit:
+                sentences = text.split(".")
+                return sentences[0]
+            return text
+
+    class TalksController(app.Controller, TalksHelpers):
+        @hb.typed("() -> String")
+        def index(self):
+            talks = Talk.all()
+            entries = [self.entry(t) for t in talks]
+            return self.render("talks/index", {Sym("entries"): entries})
+
+        @hb.typed("(Talk) -> String")
+        def entry(self, t):
+            return f"{t.display_title()} at {self.format_time(t.starts_at)}"
+
+        @hb.typed("() -> String")
+        def show(self):
+            t = Talk.find(int(self.param(Sym("id"))))
+            return self.render("talks/show", {
+                Sym("title"): t.display_title(),
+                Sym("summary"): self.truncate(t.summary(), 60),
+                Sym("edit"): self.edit_link(t),
+            })
+
+        @hb.typed("() -> String")
+        def upcoming(self):
+            titles: "Array<String>" = []
+            for t in Talk.all():
+                if t.upcoming_p(self.now()):
+                    titles.append(t.display_title())
+            return self.render("talks/upcoming", {Sym("titles"): titles})
+
+        @hb.typed("() -> String")
+        def by_owner(self):
+            u = User.find(int(self.param(Sym("user_id"))))
+            talks = Talk.find_all_by_owner_id(u.id)
+            titles = [t.title for t in talks]
+            return self.render("talks/by_owner", {
+                Sym("owner"): u.display_name(),
+                Sym("titles"): titles,
+            })
+
+        @hb.typed("() -> String")
+        def create(self):
+            t = Talk.create({
+                Sym("title"): self.param(Sym("title")),
+                Sym("abstract"): self.param_or(Sym("abstract"), ""),
+                Sym("owner_id"): int(self.param(Sym("owner_id"))),
+                Sym("list_id"): int(self.param(Sym("list_id"))),
+                Sym("starts_at"): self.now(),
+                Sym("hidden"): False,
+            })
+            return self.redirect_to(f"/talks/{t.id}")
+
+        @hb.typed("() -> String")
+        def update(self):
+            t = Talk.find(int(self.param(Sym("id"))))
+            t.update({Sym("title"): self.param(Sym("title"))})
+            return self.redirect_to(f"/talks/{t.id}")
+
+        @hb.typed("() -> String")
+        def destroy(self):
+            t = Talk.find(int(self.param(Sym("id"))))
+            t.destroy()
+            return self.redirect_to("/talks")
+
+    class ListsController(app.Controller, TalksHelpers):
+        @hb.typed("() -> String")
+        def index(self):
+            lists = List.all()
+            names = [lst.name for lst in lists]
+            return self.render("lists/index", {Sym("names"): names})
+
+        @hb.typed("() -> String")
+        def show(self):
+            lst = List.find(int(self.param(Sym("id"))))
+            talks = lst.upcoming(self.now())
+            titles = [t.display_title() for t in talks]
+            return self.render("lists/show", {
+                Sym("name"): lst.name,
+                Sym("count"): lst.talk_count(),
+                Sym("titles"): titles,
+            })
+
+        @hb.typed("() -> String")
+        def create(self):
+            lst = List.create({
+                Sym("name"): self.param(Sym("name")),
+                Sym("owner_id"): int(self.param(Sym("owner_id"))),
+            })
+            return self.redirect_to(f"/lists/{lst.id}")
+
+    class UsersController(app.Controller, TalksHelpers):
+        @hb.typed("() -> String")
+        def index(self):
+            names = [u.display_name() for u in User.all()]
+            return self.render("users/index", {Sym("names"): names})
+
+        @hb.typed("() -> String")
+        def show(self):
+            u = User.find(int(self.param(Sym("id"))))
+            return self.render("users/show", {
+                Sym("name"): u.display_name(),
+                Sym("admin"): u.admin_p(),
+                Sym("lists"): len(u.owned_lists()),
+            })
+
+        @hb.typed("() -> String")
+        def talks_for(self):
+            u = User.find(int(self.param(Sym("id"))))
+            talks = u.subscribed_talks(Sym("upcoming"))
+            titles = [t.display_title() for t in talks]
+            return self.render("users/talks", {Sym("titles"): titles})
+
+        @hb.typed("() -> String")
+        def create(self):
+            u = User.create({
+                Sym("name"): self.param(Sym("name")),
+                Sym("email"): self.param(Sym("email")),
+                Sym("password"): self.param(Sym("password")),
+                Sym("admin"): False,
+            })
+            return self.redirect_to(f"/users/{u.id}")
+
+    class SubscriptionsController(app.Controller):
+        @hb.typed("() -> String")
+        def create(self):
+            Subscription.create({
+                Sym("user_id"): int(self.param(Sym("user_id"))),
+                Sym("list_id"): int(self.param(Sym("list_id"))),
+            })
+            return self.redirect_to("/lists")
+
+        @hb.typed("() -> String")
+        def destroy(self):
+            s = Subscription.find(int(self.param(Sym("id"))))
+            s.destroy()
+            return self.redirect_to("/lists")
+
+    return SimpleNamespace(
+        TalksHelpers=TalksHelpers,
+        TalksController=TalksController,
+        ListsController=ListsController,
+        UsersController=UsersController,
+        SubscriptionsController=SubscriptionsController,
+    )

@@ -1,0 +1,205 @@
+"""The six historical Talks type errors (paper section 5).
+
+Each entry reproduces one error the paper found by running Hummingbird on
+old versions of Talks, as a (buggy source, fixed source) pair applied to a
+fresh Talks build.  The harness defines the buggy method, forces its JIT
+check, and expects a :class:`StaticTypeError` whose message matches the
+paper's diagnosis; the fixed source must then check cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...core import StaticTypeError
+from ...rtypes import Sym
+from .app import build
+
+
+@dataclass(frozen=True)
+class HistoricalError:
+    """One introduced-then-fixed error from the Talks git history."""
+
+    version: str          # the paper's checkin label
+    description: str
+    cls_name: str
+    meth: str
+    sig: str
+    buggy_source: str
+    fixed_source: str
+    error_match: str      # substring expected in the error message
+
+
+HISTORICAL_ERRORS = [
+    HistoricalError(
+        version="1/8/12-4",
+        description="misspells compute_edit_fields as copute_edit_fields; "
+                    "an unbound local that is also not a valid method",
+        cls_name="TalksController", meth="edit", sig="() -> String",
+        buggy_source=(
+            "def edit(self):\n"
+            "    t = Talk.find(int(self.param(Sym('id'))))\n"
+            "    fields = self.copute_edit_fields(t)\n"
+            "    return self.render('talks/edit', {Sym('n'): len(fields)})\n"
+        ),
+        fixed_source=(
+            "def edit(self):\n"
+            "    t = Talk.find(int(self.param(Sym('id'))))\n"
+            "    fields = self.compute_edit_fields(t)\n"
+            "    return self.render('talks/edit', {Sym('n'): len(fields)})\n"
+        ),
+        error_match="copute_edit_fields"),
+    HistoricalError(
+        version="1/7/12-5",
+        description="passes a block to upcoming (the .sort was dropped); "
+                    "upcoming's type says it takes no block — Ruby itself "
+                    "would silently ignore this",
+        cls_name="ListsController", meth="sorted_upcoming",
+        sig="() -> String",
+        buggy_source=(
+            "def sorted_upcoming(self):\n"
+            "    lst = List.find(int(self.param(Sym('id'))))\n"
+            "    talks = lst.upcoming(self.now(), lambda a, b: 0)\n"
+            "    return self.render('lists/up', {Sym('n'): len(talks)})\n"
+        ),
+        fixed_source=(
+            "def sorted_upcoming(self):\n"
+            "    lst = List.find(int(self.param(Sym('id'))))\n"
+            "    talks = lst.upcoming(self.now())\n"
+            "    return self.render('lists/up', {Sym('n'): len(talks)})\n"
+        ),
+        error_match="block"),
+    HistoricalError(
+        version="1/26/12-3",
+        description="calls subscribed_talks(True), but the argument is "
+                    "a Symbol",
+        cls_name="UsersController", meth="user_talks", sig="() -> String",
+        buggy_source=(
+            "def user_talks(self):\n"
+            "    u = User.find(int(self.param(Sym('id'))))\n"
+            "    talks = u.subscribed_talks(True)\n"
+            "    return self.render('users/t', {Sym('n'): len(talks)})\n"
+        ),
+        fixed_source=(
+            "def user_talks(self):\n"
+            "    u = User.find(int(self.param(Sym('id'))))\n"
+            "    talks = u.subscribed_talks(Sym('upcoming'))\n"
+            "    return self.render('users/t', {Sym('n'): len(talks)})\n"
+        ),
+        error_match="Symbol"),
+    HistoricalError(
+        version="1/28/12",
+        description="calls @job.handler.object, but handler returns a "
+                    "String, which has no object method",
+        cls_name="DelayedJob", meth="job_object", sig="() -> %any",
+        buggy_source=(
+            "def job_object(self):\n"
+            "    h = self.handler\n"
+            "    return h.object()\n"
+        ),
+        fixed_source=(
+            "def job_object(self):\n"
+            "    h = self.handler\n"
+            "    return h\n"
+        ),
+        error_match="object"),
+    HistoricalError(
+        version="2/6/12-2",
+        description="uses undefined variable old_talk; assumed to be a "
+                    "no-argument method, whose type does not exist",
+        cls_name="TalksController", meth="compare_talks",
+        sig="() -> String",
+        buggy_source=(
+            "def compare_talks(self):\n"
+            "    t = Talk.find(int(self.param(Sym('id'))))\n"
+            "    if old_talk == t:\n"
+            "        return self.render('talks/same', {})\n"
+            "    return self.render('talks/diff', {})\n"
+        ),
+        fixed_source=(
+            "def compare_talks(self):\n"
+            "    t = Talk.find(int(self.param(Sym('id'))))\n"
+            "    old_talk = Talk.find(int(self.param(Sym('other'))))\n"
+            "    if old_talk == t:\n"
+            "        return self.render('talks/same', {})\n"
+            "    return self.render('talks/diff', {})\n"
+        ),
+        error_match="old_talk"),
+    HistoricalError(
+        version="2/6/12-3",
+        description="uses undefined variable new_talk",
+        cls_name="TalksController", meth="clone_talk", sig="() -> String",
+        buggy_source=(
+            "def clone_talk(self):\n"
+            "    t = Talk.find(int(self.param(Sym('id'))))\n"
+            "    title = new_talk.title\n"
+            "    return self.render('talks/clone', {Sym('t'): title})\n"
+        ),
+        fixed_source=(
+            "def clone_talk(self):\n"
+            "    new_talk = Talk.find(int(self.param(Sym('id'))))\n"
+            "    title = new_talk.title\n"
+            "    return self.render('talks/clone', {Sym('t'): title})\n"
+        ),
+        error_match="new_talk"),
+]
+
+
+def check_historical_error(entry: HistoricalError) -> Optional[str]:
+    """Apply one historical version to a fresh Talks build and JIT-check
+    the buggy method.  Returns the error message Hummingbird reports (or
+    None, which the test suite treats as a reproduction failure), then
+    verifies the subsequent fixed version checks cleanly."""
+    world = build()
+    app = world.extras["app"]
+    cls = _target_class(world, entry.cls_name)
+    namespace = _exec_namespace(world)
+
+    buggy = _compile(entry.buggy_source, entry.meth, namespace)
+    app.engine.define_method(cls, entry.meth, buggy, sig=entry.sig,
+                             check=True, source=entry.buggy_source)
+    message = None
+    try:
+        app.engine.check_method_now(cls, entry.meth)
+    except StaticTypeError as exc:
+        message = str(exc)
+
+    fixed = _compile(entry.fixed_source, entry.meth, namespace)
+    app.engine.define_method(cls, entry.meth, fixed, sig=entry.sig,
+                             check=True, source=entry.fixed_source)
+    app.engine.check_method_now(cls, entry.meth)  # must not raise
+    return message
+
+
+def _target_class(world, cls_name: str):
+    app = world.extras["app"]
+    controllers = world.extras["controllers"]
+    models = world.extras["models"]
+    if cls_name == "DelayedJob":
+        if not app.db.has_table("delayed_jobs"):
+            app.db.create_table("delayed_jobs", ("handler", "string", False))
+
+            @app.register_model
+            class DelayedJob(app.Model):
+                pass
+
+            world.extras["DelayedJob"] = DelayedJob
+        return world.extras["DelayedJob"]
+    if hasattr(controllers, cls_name):
+        return getattr(controllers, cls_name)
+    return getattr(models, cls_name)
+
+
+def _exec_namespace(world) -> dict:
+    models = world.extras["models"]
+    return {"Sym": Sym, "Talk": models.Talk, "List": models.List,
+            "User": models.User, "Subscription": models.Subscription}
+
+
+def _compile(source: str, name: str, namespace: dict):
+    ns = dict(namespace)
+    exec(compile(source, f"<history:{name}>", "exec"), ns)
+    fn = ns[name]
+    fn.__hb_source__ = source
+    return fn

@@ -1,0 +1,128 @@
+"""Talks models: User, List, Talk, Subscription.
+
+Every ``@hb.typed`` method here is *app code*: statically checked just in
+time at its first call.  The bodies deliberately depend on types the
+framework generates at run time (association getters like ``self.owner``,
+finders like ``find_all_by_user_id``) — without the typegen hooks none of
+them would check, which is the paper's core claim about metaprogramming.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from ...rtypes import Sym
+
+
+def build_models(app) -> SimpleNamespace:
+    hb = app.hb
+
+    @app.register_model
+    class User(app.Model):
+        @hb.typed("() -> String")
+        def display_name(self):
+            n = self.name
+            if n is None:
+                return self.email
+            return n
+
+        @hb.typed("() -> %bool")
+        def admin_p(self):
+            return self.admin == True  # noqa: E712 — column may be nil
+
+        @hb.typed("(List) -> %bool")
+        def subscribed(self, lst):
+            subs = Subscription.find_all_by_user_id(self.id)
+            for s in subs:
+                if s.list_id == lst.id:
+                    return True
+            return False
+
+        @hb.typed("(Symbol) -> Array<Talk>")
+        def subscribed_talks(self, kind):
+            out: "Array<Talk>" = []
+            subs = Subscription.find_all_by_user_id(self.id)
+            for s in subs:
+                lst = List.find(s.list_id)
+                for t in lst.talks:
+                    if kind == Sym("upcoming"):
+                        if not t.hidden:
+                            out.append(t)
+                    else:
+                        out.append(t)
+            return out
+
+        @hb.typed("() -> Array<List>")
+        def owned_lists(self):
+            return List.find_all_by_owner_id(self.id)
+
+    @app.register_model
+    class List(app.Model):
+        @hb.typed("(Time) -> Array<Talk>")
+        def upcoming(self, now):
+            out: "Array<Talk>" = []
+            for t in self.talks:
+                if t.starts_at > now:
+                    if not t.hidden:
+                        out.append(t)
+            return out
+
+        @hb.typed("(User) -> %bool")
+        def owned_by(self, user):
+            return self.owner_id == user.id
+
+        @hb.typed("() -> Integer")
+        def talk_count(self):
+            return len(self.talks)
+
+    @app.register_model
+    class Talk(app.Model):
+        @hb.typed("(User) -> %bool")
+        def owner_p(self, user):
+            # Fig. 1's owner?: `owner` only exists because belongs_to
+            # created it — and only checks because the pre-hook typed it.
+            return self.owner == user
+
+        @hb.typed("() -> String")
+        def display_title(self):
+            r = self.room
+            if r is None:
+                return self.title
+            return f"{self.title} ({r})"
+
+        @hb.typed("(Time) -> %bool")
+        def upcoming_p(self, now):
+            return self.starts_at > now
+
+        @hb.typed("() -> String")
+        def summary(self):
+            a = self.abstract
+            if a is None:
+                return ""
+            sentences = a.split(".")
+            return sentences[0]
+
+        @hb.typed("(User) -> User")
+        def set_owner(self, user):
+            self.owner = user
+            return user
+
+    @app.register_model
+    class Subscription(app.Model):
+        @hb.typed("(User) -> %bool")
+        def involves(self, user):
+            return self.user_id == user.id
+
+    # Associations may be declared anywhere after (or before!) the class —
+    # the paper stresses Rails only requires them to run before first use.
+    Talk.belongs_to("owner", class_name="User")
+    Talk.belongs_to("list", class_name="List")
+    List.belongs_to("owner", class_name="User")
+    List.has_many("talks", fk="list_id")
+    User.has_many("talks", fk="owner_id")
+    User.has_many("subscriptions")
+    Subscription.belongs_to("user")
+    Subscription.belongs_to("list", class_name="List")
+
+    return SimpleNamespace(User=User, List=List, Talk=Talk,
+                           Subscription=Subscription)

@@ -1,0 +1,285 @@
+"""The Table 2 experiment: consecutive Talks updates in dev mode.
+
+Seven versions of a dev-mode Talks front end are applied through the
+reloader.  After each update the database is reset, the same request
+script runs (exactly the Table 2 protocol), and the ledger records:
+
+* ``∆Meth`` — methods whose bodies/types changed vs. the previous version;
+* ``Added`` — new methods (checked at first call, no invalidations);
+* ``Deps`` — cached dependents invalidated alongside the changed methods;
+* ``Chk'd`` — methods newly or re-checked after the update, reported both
+  including and excluding the always-rechecked helper methods (the Rails
+  helper-class-renaming quirk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...rails.reloader import AppVersion, Reloader
+from ...rtypes import Sym
+from .app import build
+
+Key = Tuple[str, str]
+
+# --------------------------------------------------------------------------
+# Method sources.  DevTalksController/DevListsController are the reloadable
+# "files"; methods marked helper=True live in the helper file.
+# --------------------------------------------------------------------------
+
+_BASE_METHODS = {
+    # (class, name): (sig, source, helper)
+    ("DevTalksController", "index"): ("() -> String", (
+        "def index(self):\n"
+        "    rows = [self.entry(t) for t in Talk.all()]\n"
+        "    return self.render('talks/index', {Sym('rows'): rows})\n"), False),
+    ("DevTalksController", "entry"): ("(Talk) -> String", (
+        "def entry(self, t):\n"
+        "    return self.fmt_title(t)\n"), False),
+    ("DevTalksController", "show"): ("() -> String", (
+        "def show(self):\n"
+        "    t = Talk.find(int(self.param(Sym('id'))))\n"
+        "    return self.render('talks/show', "
+        "{Sym('title'): self.fmt_title(t)})\n"), False),
+    ("DevTalksController", "upcoming"): ("() -> String", (
+        "def upcoming(self):\n"
+        "    titles: 'Array<String>' = []\n"
+        "    for t in Talk.all():\n"
+        "        if t.starts_at > self.now():\n"
+        "            titles.append(self.fmt_title(t))\n"
+        "    return self.render('talks/up', {Sym('titles'): titles})\n"),
+        False),
+    ("DevTalksController", "by_owner"): ("() -> String", (
+        "def by_owner(self):\n"
+        "    u = User.find(int(self.param(Sym('user_id'))))\n"
+        "    talks = Talk.find_all_by_owner_id(u.id)\n"
+        "    names = [t.title for t in talks]\n"
+        "    return self.render('talks/owner', {Sym('names'): names})\n"),
+        False),
+    ("DevTalksController", "create"): ("() -> String", (
+        "def create(self):\n"
+        "    t = Talk.create({Sym('title'): self.param(Sym('title')),\n"
+        "                     Sym('owner_id'): 1, Sym('list_id'): 1,\n"
+        "                     Sym('starts_at'): self.now(),\n"
+        "                     Sym('hidden'): False})\n"
+        "    return self.redirect_to(f'/dev/talks/{t.id}')\n"), False),
+    ("DevListsController", "index"): ("() -> String", (
+        "def index(self):\n"
+        "    names = [lst.name for lst in List.all()]\n"
+        "    return self.render('lists/index', {Sym('names'): names})\n"),
+        False),
+    ("DevListsController", "show"): ("() -> String", (
+        "def show(self):\n"
+        "    lst = List.find(int(self.param(Sym('id'))))\n"
+        "    return self.render('lists/show', "
+        "{Sym('label'): self.list_label(lst)})\n"), False),
+    ("DevListsController", "list_label"): ("(List) -> String", (
+        "def list_label(self, lst):\n"
+        "    return f'{lst.name} ({lst.talk_count()})'\n"), False),
+    # --- helper file (always re-checked after reload) ---
+    ("DevTalksController", "fmt_title"): ("(Talk) -> String", (
+        "def fmt_title(self, t):\n"
+        "    return f'{t.title} @ {self.fmt_time(t.starts_at)}'\n"), True),
+    ("DevTalksController", "fmt_time"): ("(Time) -> String", (
+        "def fmt_time(self, when):\n"
+        "    return when.strftime('%Y-%m-%d')\n"), True),
+    ("DevTalksController", "link_to"): ("(String, String) -> String", (
+        "def link_to(self, label, path):\n"
+        "    return f'<a href=\"{path}\">{label}</a>'\n"), True),
+}
+
+# Each step: label, {key: new source}, {key: (sig, source, helper)} added,
+# [keys removed]
+_UPDATE_STEPS = [
+    ("7/24/12",
+     {("DevTalksController", "entry"):
+        "def entry(self, t):\n"
+        "    return self.link_to(self.fmt_title(t), f'/dev/talks/{t.id}')\n"},
+     {}, []),
+    ("8/24/12-1",
+     {("DevTalksController", "show"):
+        "def show(self):\n"
+        "    t = Talk.find(int(self.param(Sym('id'))))\n"
+        "    return self.render('talks/show', "
+        "{Sym('title'): self.fmt_title(t), Sym('room'): t.display_title()})\n",
+      ("DevTalksController", "upcoming"):
+        "def upcoming(self):\n"
+        "    titles: 'Array<String>' = []\n"
+        "    for t in Talk.all():\n"
+        "        if t.upcoming_p(self.now()):\n"
+        "            titles.append(self.entry(t))\n"
+        "    return self.render('talks/up', {Sym('titles'): titles})\n",
+      ("DevTalksController", "fmt_title"):
+        "def fmt_title(self, t):\n"
+        "    return f'{t.display_title()} @ {self.fmt_time(t.starts_at)}'\n"},
+     {("DevListsController", "counts"): ("() -> String", (
+        "def counts(self):\n"
+        "    totals = [self.list_label(lst) for lst in List.all()]\n"
+        "    return self.render('lists/counts', {Sym('totals'): totals})\n"),
+        False),
+      ("DevTalksController", "fmt_room"): ("(Talk) -> String", (
+        "def fmt_room(self, t):\n"
+        "    r = t.room\n"
+        "    if r is None:\n"
+        "        return 'TBA'\n"
+        "    return r\n"), True)},
+     []),
+    ("8/24/12-2", {},
+     {("DevTalksController", "search"): ("() -> String", (
+        "def search(self):\n"
+        "    q = self.param(Sym('q'))\n"
+        "    hits: 'Array<String>' = []\n"
+        "    for t in Talk.all():\n"
+        "        if q in t.title:\n"
+        "            hits.append(self.entry(t))\n"
+        "    return self.render('talks/search', {Sym('hits'): hits})\n"),
+        False)},
+     []),
+    ("8/24/12-3",
+     {("DevListsController", "list_label"):
+        "def list_label(self, lst):\n"
+        "    return f'{lst.name} — {lst.talk_count()} talks'\n"},
+     {("DevListsController", "empty_p"): ("(List) -> %bool", (
+        "def empty_p(self, lst):\n"
+        "    return lst.talk_count() == 0\n"), False)},
+     []),
+    ("9/14/12",
+     {("DevTalksController", "by_owner"):
+        "def by_owner(self):\n"
+        "    u = User.find(int(self.param(Sym('user_id'))))\n"
+        "    talks = Talk.find_all_by_owner_id(u.id)\n"
+        "    names = [self.entry(t) for t in talks]\n"
+        "    return self.render('talks/owner', {Sym('names'): names})\n"},
+     {}, []),
+    ("1/4/13",
+     {("DevTalksController", "index"):
+        "def index(self):\n"
+        "    rows = [self.entry(t) for t in Talk.all()]\n"
+        "    return self.render('talks/index', "
+        "{Sym('rows'): rows, Sym('count'): len(rows)})\n",
+      ("DevTalksController", "create"):
+        "def create(self):\n"
+        "    t = Talk.create({Sym('title'): self.param(Sym('title')),\n"
+        "                     Sym('owner_id'): 1, Sym('list_id'): 1,\n"
+        "                     Sym('starts_at'): self.now(),\n"
+        "                     Sym('hidden'): False})\n"
+        "    return self.redirect_to(f'/dev/talks/{t.id}?fresh=1')\n",
+      ("DevListsController", "show"):
+        "def show(self):\n"
+        "    lst = List.find(int(self.param(Sym('id'))))\n"
+        "    return self.render('lists/show', "
+        "{Sym('label'): self.list_label(lst), "
+        "Sym('empty'): self.empty_p(lst)})\n",
+      ("DevListsController", "counts"):
+        "def counts(self):\n"
+        "    totals = [self.list_label(lst) for lst in List.all()]\n"
+        "    return self.render('lists/counts', "
+        "{Sym('totals'): totals, Sym('n'): len(totals)})\n"},
+     {}, []),
+]
+
+
+@dataclass
+class UpdateRow:
+    """One Table 2 row."""
+
+    version: str
+    delta_meth: Optional[int]
+    added: Optional[int]
+    deps: Optional[int]
+    checked_with_helpers: int
+    checked_without_helpers: int
+
+
+def _versions() -> List[AppVersion]:
+    """Materialize the cumulative version snapshots."""
+    current: Dict[Key, tuple] = dict(_BASE_METHODS)
+    versions = [_to_version("5/14/12", current)]
+    for label, changes, adds, removes in _UPDATE_STEPS:
+        for key, source in changes.items():
+            sig, _, helper = current[key]
+            current[key] = (sig, source, helper)
+        current.update(adds)
+        for key in removes:
+            current.pop(key, None)
+        versions.append(_to_version(label, current))
+    return versions
+
+
+def _to_version(label: str, methods: Dict[Key, tuple]) -> AppVersion:
+    version = AppVersion(label)
+    for (cls, name), (sig, source, helper) in methods.items():
+        version.add(cls, name, sig, source, helper=helper)
+    return version
+
+
+def _request_script(app, talks_ctrl: type, lists_ctrl: type) -> None:
+    """The fixed request script; newer endpoints are exercised once their
+    methods exist (earlier versions simply do not route to them)."""
+    req = app.request
+    req("GET", "/dev/talks")
+    req("GET", "/dev/talks/upcoming")
+    req("GET", "/dev/talks/1")
+    req("GET", "/dev/talks/2")
+    req("GET", "/dev/talks/by_owner/1")
+    req("POST", "/dev/talks", {"title": "From the curl script"})
+    req("GET", "/dev/lists")
+    req("GET", "/dev/lists/1")
+    if hasattr(lists_ctrl, "counts"):
+        req("GET", "/dev/lists/counts")
+    if hasattr(talks_ctrl, "search"):
+        req("GET", "/dev/talks/search_q/typing")
+
+
+def run_update_experiment(view_cost: int = 30) -> List[UpdateRow]:
+    """Launch Talks in development mode, apply the six consecutive
+    updates, and return the Table 2 ledger."""
+    world = build(view_cost=view_cost)
+    app = world.extras["app"]
+    engine = app.engine
+    models = world.extras["models"]
+
+    class DevTalksController(app.Controller):
+        pass
+
+    class DevListsController(app.Controller):
+        pass
+
+    app.get("/dev/talks", DevTalksController, "index")
+    app.get("/dev/talks/upcoming", DevTalksController, "upcoming")
+    app.get("/dev/talks/by_owner/:user_id", DevTalksController, "by_owner")
+    app.get("/dev/talks/search_q/:q", DevTalksController, "search")
+    app.get("/dev/talks/:id", DevTalksController, "show")
+    app.post("/dev/talks", DevTalksController, "create")
+    app.get("/dev/lists", DevListsController, "index")
+    app.get("/dev/lists/counts", DevListsController, "counts")
+    app.get("/dev/lists/:id", DevListsController, "show")
+
+    reloader = Reloader(app)
+    reloader.register_class(DevTalksController)
+    reloader.register_class(DevListsController)
+    reloader.expose(Sym=Sym, Talk=models.Talk, List=models.List,
+                    User=models.User)
+
+    rows: List[UpdateRow] = []
+    for i, version in enumerate(_versions()):
+        report = reloader.apply(version)
+        before = dict(engine.stats.check_counts)
+        world.seed()  # reset the database between versions
+        _request_script(app, DevTalksController, DevListsController)
+        after = engine.stats.check_counts
+        checked = {key for key in after
+                   if after[key] > before.get(key, 0)}
+        helper_keys = {(m.cls_name, m.name) for m in version.methods
+                       if m.helper}
+        without = {k for k in checked
+                   if k not in helper_keys or k in report.changed}
+        if i == 0:
+            rows.append(UpdateRow(version.label, None, None, None,
+                                  len(checked), len(checked)))
+        else:
+            rows.append(UpdateRow(
+                version.label, report.delta_methods, report.added_count,
+                report.dependent_count, len(checked), len(without)))
+    return rows

@@ -1,0 +1,23 @@
+"""``repro.core`` — the Hummingbird engine (the paper's contribution).
+
+Just-in-time static type checking: annotations execute at run time, method
+bodies are statically checked at first call against the current type table,
+and successful checks are memoized with dependency-based invalidation.
+"""
+
+from .annotations import Api, TypedMethod
+from .cache import CacheEntry, CheckCache
+from .checker import CheckOutcome, Checker
+from .engine import Engine, EngineConfig
+from .errors import (
+    ArgumentTypeError, CastError, HummingbirdError, NoMethodBodyError,
+    ReturnTypeError, StaticTypeError, TypeSignatureError,
+)
+from .stats import PhaseTracker, Stats
+
+__all__ = [
+    "Api", "ArgumentTypeError", "CacheEntry", "CastError", "CheckCache",
+    "CheckOutcome", "Checker", "Engine", "EngineConfig", "HummingbirdError",
+    "NoMethodBodyError", "PhaseTracker", "ReturnTypeError", "StaticTypeError",
+    "Stats", "TypedMethod", "TypeSignatureError",
+]

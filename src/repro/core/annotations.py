@@ -1,0 +1,122 @@
+"""The public annotation API — what app code imports and uses.
+
+``hb = engine.api()`` gives a bound helper with:
+
+* ``@hb.typed("(User) -> %bool")`` — annotate-and-check a method where it
+  is defined (the paper's ``type :owner?, "(User) -> %bool"``);
+* ``hb.annotate(cls, "owner", "() -> User", generated=True)`` — the dynamic
+  form metaprogramming hooks call (Fig. 1's generated getter/setter types);
+* ``hb.field_type(cls, "transactions", "Array<Transaction>")`` — Fig. 3;
+* ``hb.cast(value, "T")`` — ``rdl_cast``;
+* ``hb.pre(cls, "belongs_to", fn)`` / ``hb.post`` — RDL contracts;
+* ``hb.define_method(cls, "owner", fn, sig=...)`` — run-time method
+  definition with IR registration and cache invalidation (``def A.m``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..rdl.registry import CLASS, INSTANCE
+from ..rdl.wrap import add_post, add_pre
+
+
+class TypedMethod:
+    """Descriptor placed by ``@typed``; finalizes at class creation.
+
+    ``__set_name__`` fires while the class body is being installed, which
+    is exactly when Ruby would execute a ``type`` call written above a
+    ``def`` — the annotation executes at (class-)load time.
+    """
+
+    def __init__(self, fn: Callable, sig: str, engine, *, check: bool,
+                 kind: str, app_level: bool):
+        self.fn = fn
+        self.sig = sig
+        self.engine = engine
+        self.check = check
+        self.kind = kind
+        self.app_level = app_level
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        fn = self.fn
+        if isinstance(fn, (classmethod, staticmethod)):
+            kind = CLASS
+            fn = fn.__func__
+        else:
+            kind = self.kind
+        setattr(owner, name, classmethod(fn) if kind == CLASS else fn)
+        self.engine.register_class(owner)
+        self.engine.annotate(owner, name, self.sig, kind=kind,
+                             check=self.check, app_level=self.app_level,
+                             fn=fn)
+
+    def __call__(self, *args, **kwargs):  # pragma: no cover - guidance only
+        raise TypeError(
+            "@typed methods must be used inside a class body so "
+            "__set_name__ can install them")
+
+
+class Api:
+    """Annotation helpers bound to one engine."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    # -- decorators ----------------------------------------------------------
+
+    def typed(self, sig: str, *, check: bool = True, kind: str = INSTANCE,
+              app_level: bool = True):
+        """Annotate the decorated method; its body will be statically
+        checked just in time at its first call (unless ``check=False``,
+        which records a trusted signature)."""
+        def deco(fn):
+            return TypedMethod(fn, sig, self.engine, check=check, kind=kind,
+                               app_level=app_level)
+        return deco
+
+    def trusted(self, sig: str, *, kind: str = INSTANCE):
+        """A trusted (unchecked) signature — for framework/helper methods
+        whose types we assert rather than verify."""
+        return self.typed(sig, check=False, kind=kind)
+
+    # -- dynamic forms ---------------------------------------------------------
+
+    def annotate(self, owner, name: str, sig: str, *, check: bool = False,
+                 generated: bool = False, kind: str = INSTANCE,
+                 app_level: bool = False, wrap: bool = True):
+        """The run-time ``type`` call: give ``owner#name`` a signature now.
+
+        Metaprogramming hooks call this with ``generated=True`` — these are
+        the "Dynamic types" of Table 1.  ``wrap=False`` records a signature
+        for a method dispatched dynamically (``__getattr__``-backed
+        framework attributes) that has no concrete function to intercept.
+        """
+        return self.engine.annotate(owner, name, sig, kind=kind, check=check,
+                                    generated=generated,
+                                    app_level=app_level, wrap=wrap)
+
+    def field_type(self, owner, field_name: str, type_text: str) -> None:
+        self.engine.field_type(owner, field_name, type_text)
+
+    def define_method(self, owner: type, name: str, fn, *, sig=None,
+                      check: bool = False, generated: bool = False,
+                      kind: str = INSTANCE, source: Optional[str] = None):
+        self.engine.define_method(owner, name, fn, sig=sig, check=check,
+                                  generated=generated, kind=kind,
+                                  source=source)
+
+    def cast(self, value, type_text: str):
+        return self.engine.cast(value, type_text)
+
+    def pre(self, owner: type, name: str, contract: Callable) -> None:
+        add_pre(self.engine, owner, name, contract)
+
+    def post(self, owner: type, name: str, contract: Callable) -> None:
+        add_post(self.engine, owner, name, contract)
+
+    def register_class(self, pycls: type, **kwargs) -> str:
+        return self.engine.register_class(pycls, **kwargs)
+
+    def check_now(self, owner, name: str, kind: str = INSTANCE) -> None:
+        self.engine.check_method_now(owner, name, kind)

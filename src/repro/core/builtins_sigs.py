@@ -1,0 +1,267 @@
+"""Trusted type annotations for the core library.
+
+"For all apps, we used common type annotations from RDL for the Ruby core
+and standard libraries" (paper, section 5).  This module is that common
+annotation set for the Python host, written in the RDL type language.  Two
+kinds of selectors appear:
+
+* IR-level selectors the lowering produces (``+``, ``[]``, ``[]=``,
+  ``length``, ``include?``, ``to_s``, ``map``, ``select``, ``puts``, …);
+* real host method names apps call directly (``append``, ``keys``,
+  ``upper``, ``startswith``, ``items``, …).
+
+All of these are *trusted* — their bodies are never statically checked —
+exactly as the paper trusts library annotations.
+"""
+
+from __future__ import annotations
+
+# (owner, method, signature) triples; repeated (owner, method) pairs build
+# intersection types, e.g. Integer#+ below mirrors the paper's Array#[]
+# overloading example.
+CORE_SIGS = [
+    # ---- Object (including Kernel methods available everywhere) ----
+    ("Object", "==", "(%any) -> %bool"),
+    ("Object", "!=", "(%any) -> %bool"),
+    ("Object", "equal?", "(%any) -> %bool"),
+    ("Object", "nil?", "() -> %bool"),
+    ("Object", "to_s", "() -> String"),
+    ("Object", "inspect", "() -> String"),
+    ("Object", "hash", "() -> Integer"),
+    ("Object", "freeze", "() -> self"),
+    ("Object", "dup", "() -> self"),
+    ("Object", "respond_to?", "(Symbol or String) -> %bool"),
+    ("Object", "puts", "(*%any) -> nil"),
+    ("Object", "print", "(*%any) -> nil"),
+
+    # ---- Comparable ----
+    ("Comparable", "<", "(self) -> %bool"),
+    ("Comparable", "<=", "(self) -> %bool"),
+    ("Comparable", ">", "(self) -> %bool"),
+    ("Comparable", ">=", "(self) -> %bool"),
+    ("Comparable", "between?", "(self, self) -> %bool"),
+
+    # ---- Integer ----
+    ("Integer", "+", "(Integer) -> Integer"),
+    ("Integer", "+", "(Float) -> Float"),
+    ("Integer", "-", "(Integer) -> Integer"),
+    ("Integer", "-", "(Float) -> Float"),
+    ("Integer", "*", "(Integer) -> Integer"),
+    ("Integer", "*", "(Float) -> Float"),
+    ("Integer", "/", "(Integer) -> Integer"),
+    ("Integer", "/", "(Float) -> Float"),
+    ("Integer", "%", "(Integer) -> Integer"),
+    ("Integer", "**", "(Integer) -> Integer"),
+    ("Integer", "-@", "() -> Integer"),
+    ("Integer", "abs", "() -> Integer"),
+    ("Integer", "succ", "() -> Integer"),
+    ("Integer", "to_i", "() -> Integer"),
+    ("Integer", "to_f", "() -> Float"),
+    ("Integer", "zero?", "() -> %bool"),
+    ("Integer", "even?", "() -> %bool"),
+    ("Integer", "odd?", "() -> %bool"),
+    ("Integer", "min", "(Integer) -> Integer"),
+    ("Integer", "max", "(Integer) -> Integer"),
+    ("Integer", "<", "(Numeric) -> %bool"),
+    ("Integer", "<=", "(Numeric) -> %bool"),
+    ("Integer", ">", "(Numeric) -> %bool"),
+    ("Integer", ">=", "(Numeric) -> %bool"),
+
+    # ---- Float ----
+    ("Float", "+", "(Numeric) -> Float"),
+    ("Float", "-", "(Numeric) -> Float"),
+    ("Float", "*", "(Numeric) -> Float"),
+    ("Float", "/", "(Numeric) -> Float"),
+    ("Float", "%", "(Numeric) -> Float"),
+    ("Float", "**", "(Numeric) -> Float"),
+    ("Float", "-@", "() -> Float"),
+    ("Float", "abs", "() -> Float"),
+    ("Float", "round", "(?Integer) -> Integer or Float"),
+    ("Float", "to_i", "() -> Integer"),
+    ("Float", "to_f", "() -> Float"),
+    ("Float", "zero?", "() -> %bool"),
+    ("Float", "<", "(Numeric) -> %bool"),
+    ("Float", "<=", "(Numeric) -> %bool"),
+    ("Float", ">", "(Numeric) -> %bool"),
+    ("Float", ">=", "(Numeric) -> %bool"),
+
+    # ---- String (IR selectors + host str methods) ----
+    ("String", "+", "(String) -> String"),
+    ("String", "*", "(Integer) -> String"),
+    ("String", "%", "(%any) -> String"),
+    ("String", "[]", "(Integer) -> String"),
+    ("String", "[]", "(Range<Integer>) -> String"),
+    ("String", "length", "() -> Integer"),
+    ("String", "size", "() -> Integer"),
+    ("String", "empty?", "() -> %bool"),
+    ("String", "include?", "(String) -> %bool"),
+    ("String", "to_i", "() -> Integer"),
+    ("String", "to_f", "() -> Float"),
+    ("String", "to_sym", "() -> Symbol"),
+    ("String", "upper", "() -> String"),
+    ("String", "lower", "() -> String"),
+    ("String", "upcase", "() -> String"),
+    ("String", "downcase", "() -> String"),
+    ("String", "capitalize", "() -> String"),
+    ("String", "title", "() -> String"),
+    ("String", "strip", "() -> String"),
+    ("String", "lstrip", "() -> String"),
+    ("String", "rstrip", "() -> String"),
+    ("String", "reverse", "() -> String"),
+    ("String", "startswith", "(String) -> %bool"),
+    ("String", "endswith", "(String) -> %bool"),
+    ("String", "start_with?", "(String) -> %bool"),
+    ("String", "end_with?", "(String) -> %bool"),
+    ("String", "split", "(?String) -> Array<String>"),
+    ("String", "join", "(Array<String>) -> String"),
+    ("String", "replace", "(String, String) -> String"),
+    ("String", "sub", "(String, String) -> String"),
+    ("String", "gsub", "(String, String) -> String"),
+    ("String", "find", "(String) -> Integer"),
+    ("String", "index", "(String) -> Integer or nil"),
+    ("String", "count", "(String) -> Integer"),
+    ("String", "isdigit", "() -> %bool"),
+    ("String", "isalpha", "() -> %bool"),
+    ("String", "zfill", "(Integer) -> String"),
+    ("String", "ljust", "(Integer, ?String) -> String"),
+    ("String", "rjust", "(Integer, ?String) -> String"),
+    ("String", "format", "(*%any) -> String"),
+    ("String", "<", "(String) -> %bool"),
+    ("String", "<=", "(String) -> %bool"),
+    ("String", ">", "(String) -> %bool"),
+    ("String", ">=", "(String) -> %bool"),
+    ("String", "chars", "() -> Array<String>"),
+    ("String", "encode", "(?String) -> %any"),
+
+    # ---- Symbol ----
+    ("Symbol", "to_s", "() -> String"),
+    ("Symbol", "to_sym", "() -> Symbol"),
+    ("Symbol", "name", "() -> String"),
+
+    # ---- NilClass ----
+    ("NilClass", "nil?", "() -> %bool"),
+    ("NilClass", "to_s", "() -> String"),
+    ("NilClass", "to_a", "() -> Array<%any>"),
+
+    # ---- Boolean ----
+    ("Boolean", "&", "(%bool) -> %bool"),
+    ("Boolean", "|", "(%bool) -> %bool"),
+
+    # ---- Array<t> (IR selectors + host list methods) ----
+    ("Array", "[]", "(Integer) -> t"),
+    ("Array", "[]", "(Range<Integer>) -> Array<t>"),
+    ("Array", "[]=", "(Integer, t) -> t"),
+    ("Array", "+", "(Array<t>) -> Array<t>"),
+    ("Array", "*", "(Integer) -> Array<t>"),
+    ("Array", "length", "() -> Integer"),
+    ("Array", "size", "() -> Integer"),
+    ("Array", "empty?", "() -> %bool"),
+    ("Array", "include?", "(%any) -> %bool"),
+    ("Array", "append", "(t) -> nil"),
+    ("Array", "push", "(t) -> Array<t>"),
+    ("Array", "pop", "() -> t or nil"),
+    ("Array", "insert", "(Integer, t) -> nil"),
+    ("Array", "remove", "(t) -> nil"),
+    ("Array", "extend", "(Array<t>) -> nil"),
+    ("Array", "clear", "() -> nil"),
+    ("Array", "index", "(t) -> Integer"),
+    ("Array", "count", "(?t) -> Integer"),
+    ("Array", "first", "() -> t or nil"),
+    ("Array", "last", "() -> t or nil"),
+    ("Array", "reverse", "() -> Array<t>"),
+    ("Array", "sort", "() ?{ (t, t) -> Integer } -> nil"),
+    ("Array", "copy", "() -> Array<t>"),
+    ("Array", "map", "() { (t) -> u } -> Array<u>"),
+    ("Array", "select", "() { (t) -> %any } -> Array<t>"),
+    ("Array", "each", "() { (t) -> %any } -> Array<t>"),
+    ("Array", "zip", "(Array<u>) -> Array<[t, u]>"),
+    ("Array", "join", "(?String) -> String"),
+    ("Array", "uniq", "() -> Array<t>"),
+    ("Array", "flatten", "() -> Array<%any>"),
+    ("Array", "compact", "() -> Array<t>"),
+    ("Array", "sum", "() -> t"),
+    ("Array", "min", "() -> t or nil"),
+    ("Array", "max", "() -> t or nil"),
+
+    # ---- Hash<k, v> (IR selectors + host dict methods) ----
+    ("Hash", "[]", "(k) -> v"),
+    ("Hash", "[]=", "(k, v) -> v"),
+    ("Hash", "get", "(k) -> v or nil"),
+    ("Hash", "get", "(k, v) -> v"),
+    ("Hash", "fetch", "(k) -> v"),
+    ("Hash", "keys", "() -> Array<k>"),
+    ("Hash", "values", "() -> Array<v>"),
+    ("Hash", "items", "() -> Array<[k, v]>"),
+    ("Hash", "key?", "(k) -> %bool"),
+    ("Hash", "include?", "(k) -> %bool"),
+    ("Hash", "length", "() -> Integer"),
+    ("Hash", "size", "() -> Integer"),
+    ("Hash", "empty?", "() -> %bool"),
+    ("Hash", "pop", "(k, ?v) -> v or nil"),
+    ("Hash", "update", "(Hash<k, v>) -> nil"),
+    ("Hash", "setdefault", "(k, v) -> v"),
+    ("Hash", "copy", "() -> Hash<k, v>"),
+    ("Hash", "clear", "() -> nil"),
+    ("Hash", "map", "() { (k) -> u } -> Array<u>"),
+    ("Hash", "select", "() { (k) -> %any } -> Array<k>"),
+
+    # ---- Range<t> ----
+    ("Range", "map", "() { (t) -> u } -> Array<u>"),
+    ("Range", "select", "() { (t) -> %any } -> Array<t>"),
+    ("Range", "include?", "(t) -> %bool"),
+    ("Range", "length", "() -> Integer"),
+    ("Range", "size", "() -> Integer"),
+    ("Range", "first", "() -> t"),
+    ("Range", "last", "() -> t"),
+    ("Range", "to_a", "() -> Array<t>"),
+
+    # ---- Set<t> ----
+    ("Set", "add", "(t) -> nil"),
+    ("Set", "remove", "(t) -> nil"),
+    ("Set", "include?", "(t) -> %bool"),
+    ("Set", "length", "() -> Integer"),
+    ("Set", "size", "() -> Integer"),
+
+    # ---- Proc ----
+    ("Proc", "call", "(*%any) -> %any"),
+
+    # ---- Time ----
+    ("Time", "strftime", "(String) -> String"),
+    ("Time", "year", "() -> Integer"),
+    ("Time", "month", "() -> Integer"),
+    ("Time", "day", "() -> Integer"),
+    ("Time", "hour", "() -> Integer"),
+    ("Time", "minute", "() -> Integer"),
+    ("Time", "isoformat", "() -> String"),
+    ("Time", "timestamp", "() -> Float"),
+    ("Time", "date", "() -> Time"),
+    ("Time", "<", "(Time) -> %bool"),
+    ("Time", "<=", "(Time) -> %bool"),
+    ("Time", ">", "(Time) -> %bool"),
+    ("Time", ">=", "(Time) -> %bool"),
+    ("Time", "-", "(Time) -> %any"),
+
+    # ---- exceptions ----
+    ("Exception", "message", "() -> String"),
+    ("Exception", "args", "() -> Array<%any>"),
+]
+
+#: Host exception classes apps may raise; registered under Object so the
+#: checker accepts ``raise ValueError(...)``.
+HOST_EXCEPTIONS = [
+    "ValueError", "RuntimeError", "KeyError", "IndexError",
+    "NotImplementedError", "AttributeError", "StopIteration",
+]
+
+
+def install(engine) -> None:
+    """Register the core-library annotations into ``engine``.
+
+    These do not count toward phase tracking or Gen'd statistics — they are
+    the library baseline every experiment shares.
+    """
+    for name in HOST_EXCEPTIONS:
+        engine.hier.add_class(name, "StandardError")
+    for owner, name, sig in CORE_SIGS:
+        engine.types.add(owner, name, sig, check=False, generated=False)
+    engine.stats.phase.reset()

@@ -1,0 +1,118 @@
+"""The type-check cache — the X of the formalism.
+
+An entry memoizes a successful static check of ``A#m``'s body.  Each entry
+records its *dependencies*: every ``B#m'`` whose signature the derivation
+consulted (the (TApp) uses of the formalism), plus every field type read.
+
+Invalidation implements Definition 1 exactly:
+
+1. entries keyed ``A#m`` are removed, and
+2. entries whose derivation applied (TApp) with ``A#m`` are removed —
+
+note this is *one* level, not transitive: if ``C`` calls ``B`` calls ``A``,
+changing ``A`` invalidates ``B`` (whose derivation used ``A``'s signature)
+but not ``C`` (whose derivation used only ``B``'s signature, which did not
+change).  Cache *upgrading* (Definition 2) is represented by stamping each
+entry with the type-table version; since invalidation already removed every
+entry that mentioned the changed signature, surviving entries remain valid
+under the new table and simply have their stamp refreshed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+Key = Tuple[str, str]  # (class name, method name)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A memoized derivation: what was checked and what it relied on."""
+
+    key: Key
+    deps: FrozenSet[Key]
+    field_deps: FrozenSet[Key]  # (owner, field name) reads
+    table_version: int
+
+    def mentions(self, key: Key) -> bool:
+        return key in self.deps or key == self.key
+
+
+class CheckCache:
+    """Memoized type-check derivations with dependency-based invalidation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Key, CacheEntry] = {}
+        self._rdeps: Dict[Key, Set[Key]] = {}        # dep -> dependents
+        self._field_rdeps: Dict[Key, Set[Key]] = {}  # field -> dependents
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Key) -> Optional[CacheEntry]:
+        return self._entries.get(key)
+
+    def store(self, key: Key, deps: Iterable[Key],
+              field_deps: Iterable[Key] = (),
+              table_version: int = 0) -> CacheEntry:
+        entry = CacheEntry(key, frozenset(deps), frozenset(field_deps),
+                           table_version)
+        self.remove(key)
+        self._entries[key] = entry
+        for dep in entry.deps:
+            self._rdeps.setdefault(dep, set()).add(key)
+        for fdep in entry.field_deps:
+            self._field_rdeps.setdefault(fdep, set()).add(key)
+        return entry
+
+    def remove(self, key: Key) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for dep in entry.deps:
+            self._rdeps.get(dep, set()).discard(key)
+        for fdep in entry.field_deps:
+            self._field_rdeps.get(fdep, set()).discard(key)
+
+    def dependents(self, key: Key) -> Set[Key]:
+        """Cached methods whose derivations consulted ``key``'s signature."""
+        return set(self._rdeps.get(key, ()))
+
+    def invalidate(self, key: Key) -> Set[Key]:
+        """Definition 1: drop ``key`` and every entry that used it."""
+        removed = set()
+        if key in self._entries:
+            removed.add(key)
+        removed |= self.dependents(key)
+        for k in removed:
+            self.remove(k)
+        return removed
+
+    def invalidate_field(self, owner: str, field_name: str) -> Set[Key]:
+        """Drop entries whose derivations read the given field type."""
+        removed = set(self._field_rdeps.get((owner, field_name), ()))
+        for k in removed:
+            self.remove(k)
+        return removed
+
+    def upgrade(self, table_version: int) -> None:
+        """Definition 2: restamp surviving derivations with the new table.
+
+        Valid only after invalidation removed every entry mentioning the
+        changed signature, which :meth:`invalidate` guarantees.
+        """
+        for key, entry in list(self._entries.items()):
+            self._entries[key] = CacheEntry(entry.key, entry.deps,
+                                            entry.field_deps, table_version)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._rdeps.clear()
+        self._field_rdeps.clear()
+
+    def keys(self) -> Set[Key]:
+        return set(self._entries)

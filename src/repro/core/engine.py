@@ -1,0 +1,459 @@
+"""The Hummingbird engine: just-in-time static type checking.
+
+The protocol (paper sections 1, 3, 4):
+
+1. Type annotations *execute at run time*, adding signatures to the type
+   table (:class:`~repro.rdl.registry.TypeRegistry`).  Metaprogramming code
+   generates annotations the same way it generates methods.
+2. Every annotated method is wrapped.  When a wrapped method is called:
+
+   * **cache hit** (EAppHit) — the body was already checked under the
+     current table; only the dynamic argument check may run;
+   * **cache miss** (EAppMiss) — the body's IR is fetched from the registry
+     and statically checked against the current table *now*; the derivation
+     and its dependency set are memoized.
+
+3. Dynamic argument checks run only when the immediate caller is not
+   itself statically checked (the section 4 optimization), tracked with a
+   per-engine call stack.
+4. Defining a method (EDef) or changing a signature (EType) invalidates the
+   cache entry and its dependents (Definitions 1 and 2).
+
+Different :class:`EngineConfig` settings give the paper's measurement
+modes: ``intercept=False`` is "Orig", ``caching=False`` is "No$", defaults
+are "Hum".
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rdl.registry import CLASS, INSTANCE, MethodSig, TypeRegistry
+from ..ril import CFGRegistry, bodies_differ
+from ..ril.registry import MethodIR, RegistrationError
+from ..rtypes import (
+    ANY,
+    ClassObjectType, MethodType, NominalType, Type, class_name_of,
+    default_hierarchy, parse_type, value_conforms,
+)
+from .builtins_sigs import install as install_builtins
+from .cache import CheckCache
+from .checker import Checker
+from .errors import (
+    ArgumentTypeError, CastError, NoMethodBodyError, StaticTypeError,
+    TypeSignatureError,
+)
+from .stats import Stats
+
+Key = Tuple[str, str]
+
+
+@dataclass
+class EngineConfig:
+    """Knobs for the paper's measurement modes and ablations."""
+
+    #: wrap annotated methods at all; False reproduces the "Orig" column.
+    intercept: bool = True
+    #: perform JIT static checks; False turns wrapping into plain contracts.
+    static_checking: bool = True
+    #: memoize static checks; False reproduces the "No$" column.
+    caching: bool = True
+    #: dynamic argument checks: "boundary" (only from unchecked callers —
+    #: the paper's optimization), "always", or "never" (ablations).
+    dynamic_arg_checks: str = "boundary"
+    #: strict-nil subtyping ablation (the paper uses nil <= A).
+    strict_nil: bool = False
+    #: occurrence-typing narrowing extension.
+    narrowing: bool = True
+
+
+class Engine:
+    """One Hummingbird instance: type table, IR registry, cache, stats."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, *,
+                 builtins: bool = True):
+        self.config = config or EngineConfig()
+        self.hier = default_hierarchy()
+        self.types = TypeRegistry()
+        self.cfgs = CFGRegistry()
+        self.cache = CheckCache()
+        self.stats = Stats()
+        self.checker = Checker(self)
+        self._stack: List[bool] = []  # is each active frame statically checked?
+        self._app_classes: Dict[str, type] = {}
+        self._pending_wraps: Set[Tuple[str, str, str]] = set()
+        self.types.on_change(self._on_type_change)
+        if builtins:
+            install_builtins(self)
+
+    # -- public API surface ---------------------------------------------------
+
+    def api(self):
+        """A bound annotation helper (``hb = engine.api()``)."""
+        from .annotations import Api
+        return Api(self)
+
+    # -- class registration -----------------------------------------------------
+
+    def register_class(self, pycls: type, *, module: bool = False) -> str:
+        """Record a host class in the hierarchy.
+
+        The first base is the superclass; remaining bases are treated as
+        mixins (Ruby ``include``).  Classes marked ``__hb_module__`` are
+        modules.
+        """
+        name = pycls.__name__
+        if name in self._app_classes:
+            return name
+        self._app_classes[name] = pycls
+        bases = [b for b in pycls.__bases__ if b is not object]
+        for base in bases:
+            self.register_class(base)
+        # Module-ness must not be inherited: a class mixing a module in is
+        # still a class, so consult the class's own __dict__ only.
+        is_module = module or bool(pycls.__dict__.get("__hb_module__"))
+        if is_module:
+            self.hier.add_module(name)
+        else:
+            supers = [b for b in bases
+                      if not b.__dict__.get("__hb_module__")]
+            parent = supers[0].__name__ if supers else "Object"
+            if not self.hier.is_known(name):
+                self.hier.add_class(name, parent)
+        for base in bases:
+            if base.__dict__.get("__hb_module__"):
+                self.hier.include_module(name, base.__name__)
+        self._rewrap_pending(name)
+        return name
+
+    def host_class(self, name: str) -> Optional[type]:
+        return self._app_classes.get(name)
+
+    # -- annotation --------------------------------------------------------------
+
+    def annotate(self, owner, name: str, sig, *, kind: str = INSTANCE,
+                 check: bool = False, generated: bool = False,
+                 app_level: bool = True, wrap: bool = True,
+                 fn=None) -> MethodSig:
+        """Execute a type annotation: record the signature now, and wrap the
+        method so calls are intercepted.
+
+        ``owner`` may be a host class or a class name.  There is no
+        ordering requirement between annotation and definition — if the
+        method does not exist yet, wrapping happens at definition time
+        (:meth:`define_method`), exactly like the formalism's independent
+        ``type`` and ``def`` expressions.
+        """
+        pycls = owner if isinstance(owner, type) else self._app_classes.get(
+            owner)
+        owner_name = owner.__name__ if isinstance(owner, type) else owner
+        if pycls is not None:
+            self.register_class(pycls)
+        elif not self.hier.is_known(owner_name):
+            self.hier.add_class(owner_name)
+        before = self.types.version
+        entry = self.types.add(owner_name, name, sig, kind=kind, check=check,
+                               generated=generated)
+        if self.types.version != before:
+            # "Adding the same type again is harmless" — duplicates are
+            # dropped by the registry and not double-counted here.
+            self.stats.record_annotation(check=check, generated=generated,
+                                         app_level=app_level,
+                                         key=(owner_name, name))
+        if wrap and self.config.intercept:
+            target = fn
+            if target is None and pycls is not None:
+                target = _find_callable(pycls, name, kind)
+            if pycls is not None and target is not None:
+                self._install_wrapper(pycls, name, kind, target)
+            else:
+                self._pending_wraps.add((owner_name, name, kind))
+        return entry
+
+    def field_type(self, owner, field_name: str, type_text) -> None:
+        """Record an instance-field type (Fig. 3's ``field_type``)."""
+        owner_name = owner.__name__ if isinstance(owner, type) else owner
+        if isinstance(owner, type):
+            self.register_class(owner)
+        self.types.add_field(owner_name, field_name, type_text)
+
+    def define_method(self, owner: type, name: str, fn, *, sig=None,
+                      kind: str = INSTANCE, check: bool = False,
+                      generated: bool = False, source: Optional[str] = None
+                      ) -> None:
+        """The formalism's ``def A.m``: (re)define a method at run time.
+
+        Installs ``fn`` on the class, registers its IR if it will be
+        statically checked, wraps it if it has a signature, and invalidates
+        the cache when an existing body actually changed (the IR diff used
+        by dev-mode reloading).
+        """
+        self.register_class(owner)
+        owner_name = owner.__name__
+        if source is not None:
+            fn.__hb_source__ = source
+        old = self.cfgs.lookup(owner_name, name)
+        setattr(owner, name, classmethod(fn) if kind == CLASS else fn)
+        if sig is not None:
+            self.annotate(owner, name, sig, kind=kind, check=check,
+                          generated=generated, fn=fn)
+        else:
+            existing = self.types.lookup(owner_name, name, kind)
+            if existing is not None:
+                self._install_wrapper(owner, name, kind, fn)
+        new = self.cfgs.lookup(owner_name, name)
+        if old is not None and (new is None or bodies_differ(old, new)):
+            self.invalidate(owner_name, name)
+
+    def method_removed(self, owner_name: str, name: str) -> None:
+        """Ruby's ``method_removed`` hook: drop IR and invalidate."""
+        self.cfgs.forget(owner_name, name)
+        self.invalidate(owner_name, name)
+
+    # -- signature resolution -------------------------------------------------------
+
+    def resolve_sig(self, owner: str, name: str,
+                    kind: str = INSTANCE) -> Optional[Tuple[str, MethodSig]]:
+        """Look up a signature through the ancestor linearization."""
+        if not self.hier.is_known(owner):
+            sig = self.types.lookup(owner, name, kind)
+            return (owner, sig) if sig is not None else None
+        for ancestor in self.hier.ancestors(owner):
+            sig = self.types.lookup(ancestor, name, kind)
+            if sig is not None:
+                return ancestor, sig
+        return None
+
+    # -- the JIT protocol -------------------------------------------------------------
+
+    def invoke(self, def_owner: str, name: str, kind: str, fn, recv,
+               args: tuple, kwargs: dict):
+        """Intercepted call path (the (EApp*) rules).
+
+        ``def_owner`` is the class the wrapped function was found on;
+        the *receiver's* class keys the cache, so module methods mixed into
+        several classes are checked separately per class (section 4).
+        """
+        self.stats.calls_intercepted += 1
+        if kind == CLASS:
+            owner = recv.__name__ if isinstance(recv, type) else \
+                class_name_of(recv)
+        else:
+            owner = class_name_of(recv)
+        resolved = self.resolve_sig(owner, name, kind)
+        if resolved is None:
+            resolved = self.resolve_sig(def_owner, name, kind)
+        checked = False
+        if resolved is not None:
+            sig_owner, sig = resolved
+            key = (owner, name)
+            if sig.check and self.config.static_checking:
+                self.jit_check(key, sig, def_owner, kind)
+                checked = True
+            if self._should_check_args(sig):
+                self._dynamic_arg_check(sig, fn, recv, args, kwargs, owner,
+                                        name, kind)
+                self.stats.dynamic_arg_checks += 1
+            else:
+                self.stats.dynamic_arg_checks_skipped += 1
+        self._stack.append(checked)
+        try:
+            return fn(recv, *args, **kwargs)
+        finally:
+            self._stack.pop()
+
+    def jit_check(self, key: Key, sig: MethodSig, def_owner: str,
+                  kind: str = INSTANCE) -> None:
+        """Check ``key``'s body now unless a valid cached check exists."""
+        if self.config.caching and key in self.cache:
+            self.stats.cache_hits += 1
+            return
+        self.stats.cache_misses += 1
+        mir = self.cfgs.lookup(def_owner, key[1])
+        if mir is None:
+            mir = self.cfgs.lookup(key[0], key[1])
+        if mir is None:
+            raise NoMethodBodyError(
+                f"{key[0]}#{key[1]} has a type signature but no method "
+                f"body is registered for checking")
+        self_type: Type = (ClassObjectType(key[0]) if kind == CLASS
+                           else self._self_type(key[0]))
+        outcome = self.checker.check_method(mir, sig.intersection(),
+                                            self_type)
+        self.stats.record_static_check(key)
+        self.stats.record_consulted(outcome.deps)
+        for used in outcome.used_generated:
+            self.stats.record_generated_use(used)
+        self.stats.cast_sites |= outcome.cast_sites
+        if self.config.caching:
+            self.cache.store(key, outcome.deps, outcome.field_deps,
+                             self.types.version)
+
+    def _self_type(self, owner: str) -> Type:
+        arity = self.hier.generic_arity(owner) if self.hier.is_known(owner) \
+            else 0
+        if arity:
+            return NominalType(owner)  # raw generic self
+        return NominalType(owner)
+
+    def check_method_now(self, owner, name: str,
+                         kind: str = INSTANCE) -> None:
+        """Force a JIT check without calling the method (used by tests and
+        the historical-error harness)."""
+        owner_name = owner.__name__ if isinstance(owner, type) else owner
+        resolved = self.resolve_sig(owner_name, name, kind)
+        if resolved is None:
+            raise TypeSignatureError(f"{owner_name}#{name} has no signature")
+        sig_owner, sig = resolved
+        self.jit_check((owner_name, name), sig, sig_owner, kind)
+
+    # -- dynamic checks ------------------------------------------------------------------
+
+    def _should_check_args(self, sig: MethodSig) -> bool:
+        mode = self.config.dynamic_arg_checks
+        if mode == "always":
+            return True
+        if mode == "never":
+            return False
+        # "boundary": skip when the immediate caller was statically checked
+        # (section 4's optimization).
+        return not (self._stack and self._stack[-1])
+
+    def _dynamic_arg_check(self, sig: MethodSig, fn, recv, args, kwargs,
+                           owner: str, name: str, kind: str) -> None:
+        values = _positional_view(fn, recv, args, kwargs)
+        for arm in sig.arms:
+            checked = values
+            if (arm.block is not None and checked
+                    and callable(checked[-1])
+                    and not arm.accepts_arity(len(checked))):
+                # The code block is passed as the final host parameter;
+                # higher-order checks are skipped (section 4).
+                checked = checked[:-1]
+            if not arm.accepts_arity(len(checked)):
+                continue
+            if all(self._value_ok(v, arm.param_type_at(i))
+                   for i, v in enumerate(checked)):
+                return
+        raise ArgumentTypeError(
+            f"{owner}#{name} called with "
+            f"({', '.join(type(v).__name__ for v in values)}), which "
+            f"matches no signature arm of {sig.arms}")
+
+    def _value_ok(self, value, expected: Optional[Type]) -> bool:
+        if expected is None:
+            return False
+        if callable(value) and not isinstance(value, type):
+            # Higher-order contract checks are not implemented (section 4:
+            # "simply assumes code block arguments are type safe").
+            return True
+        return value_conforms(value, expected, self.hier,
+                              strict_nil=self.config.strict_nil)
+
+    def cast(self, value, type_text: str):
+        """``rdl_cast``: dynamic conformance check, returns the value.
+
+        For arrays/hashes the check iterates through elements, as described
+        in section 4.
+        """
+        t = parse_type(type_text)
+        self.stats.casts += 1
+        if not value_conforms(value, t, self.hier,
+                              strict_nil=self.config.strict_nil):
+            raise CastError(
+                f"value {value!r} does not conform to {type_text}")
+        return value
+
+    def validate_untrusted_hash(self, h: dict, type_text: str) -> None:
+        """Dynamic check for untrusted inputs (the Rails ``params`` hash is
+        always checked, section 4)."""
+        t = parse_type(type_text)
+        if not value_conforms(h, t, self.hier,
+                              strict_nil=self.config.strict_nil):
+            raise ArgumentTypeError(
+                f"untrusted hash {h!r} does not conform to {type_text}")
+
+    # -- invalidation ----------------------------------------------------------------------
+
+    def invalidate(self, owner: str, name: str) -> Set[Key]:
+        """Definition 1 + Definition 2 for ``owner#name``."""
+        removed = self.cache.invalidate((owner, name))
+        if removed:
+            self.stats.record_invalidation(removed)
+        self.cache.upgrade(self.types.version)
+        return removed
+
+    def _on_type_change(self, owner: str, name: str, kind: str) -> None:
+        if kind == "field":
+            removed = self.cache.invalidate_field(owner, name)
+            if removed:
+                self.stats.record_invalidation(removed)
+            return
+        self.invalidate(owner, name)
+
+    # -- wrapping ---------------------------------------------------------------------------
+
+    def _install_wrapper(self, pycls: type, name: str, kind: str,
+                         fn) -> None:
+        from ..rdl.wrap import wrap_method
+        sig = self.types.lookup(pycls.__name__, name, kind)
+        if sig is not None and sig.check:
+            try:
+                self.cfgs.register_function(pycls.__name__, name, fn)
+            except RegistrationError:
+                pass  # surfaces as NoMethodBodyError at first call
+        if self.config.intercept:
+            wrap_method(self, pycls, name, kind=kind, fn=fn)
+        self._pending_wraps.discard((pycls.__name__, name, kind))
+
+    def _rewrap_pending(self, owner_name: str) -> None:
+        pycls = self._app_classes.get(owner_name)
+        if pycls is None:
+            return
+        for pending in [p for p in self._pending_wraps
+                        if p[0] == owner_name]:
+            _, name, kind = pending
+            fn = _find_callable(pycls, name, kind)
+            if fn is not None:
+                self._install_wrapper(pycls, name, kind, fn)
+
+
+def _find_callable(pycls: type, name: str, kind: str):
+    """The raw function for ``name`` along the MRO, unwrapping descriptors
+    and previously-installed wrappers."""
+    for klass in pycls.__mro__:
+        if name in klass.__dict__:
+            raw = klass.__dict__[name]
+            if isinstance(raw, (classmethod, staticmethod)):
+                raw = raw.__func__
+            original = getattr(raw, "__hb_original__", None)
+            if original is not None:
+                return original
+            return raw if callable(raw) else None
+    return None
+
+
+def _positional_view(fn, recv, args: tuple, kwargs: dict) -> list:
+    """Flatten a call's arguments into declared positional order so each
+    value lines up with the signature's parameter list."""
+    if not kwargs:
+        return list(args)
+    try:
+        bound = inspect.signature(fn).bind(recv, *args, **kwargs)
+    except TypeError:
+        return list(args) + list(kwargs.values())
+    values = []
+    params = list(bound.signature.parameters.values())[1:]  # drop self
+    for param in params:
+        if param.name not in bound.arguments:
+            continue
+        got = bound.arguments[param.name]
+        if param.kind == inspect.Parameter.VAR_POSITIONAL:
+            values.extend(got)
+        elif param.kind == inspect.Parameter.VAR_KEYWORD:
+            values.append(got)
+        else:
+            values.append(got)
+    return values

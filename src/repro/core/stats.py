@@ -1,0 +1,163 @@
+"""Statistics the evaluation needs (everything in Table 1 and Table 2).
+
+* annotation counts, split into statically-checked app methods ("Chk'd"),
+  trusted app methods ("App"), and everything incl. library sigs ("All");
+* dynamically generated types ("Gen'd") and how many were consulted during
+  checking ("Used");
+* run-time casts ("Casts");
+* phases ("Phs"): a phase is "a sequence of type annotation calls with no
+  intervening static type checks, followed by a sequence of static type
+  checks with no intervening annotations" — computed from the event stream;
+* cache hits/misses, per-method check counts (Table 2 "Chk'd", and the
+  no-cache recheck claim for Pubs), invalidation counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Set, Tuple
+
+Key = Tuple[str, str]
+
+
+class PhaseTracker:
+    """Counts annotation/check phases from an event stream."""
+
+    def __init__(self) -> None:
+        self._events: List[str] = []  # 'A' (annotation) or 'C' (check)
+
+    def annotation(self) -> None:
+        self._events.append("A")
+
+    def check(self) -> None:
+        self._events.append("C")
+
+    def phases(self) -> int:
+        """Number of maximal annotation-run + check-run blocks."""
+        if not self._events:
+            return 0
+        count = 1
+        for prev, cur in zip(self._events, self._events[1:]):
+            if prev == "C" and cur == "A":
+                count += 1
+        return count
+
+    def reset(self) -> None:
+        self._events.clear()
+
+
+class Stats:
+    """Mutable counters owned by one engine."""
+
+    def __init__(self) -> None:
+        self.phase = PhaseTracker()
+        # annotations
+        self.annotations_total = 0
+        self.annotations_checked = 0       # app methods we statically check
+        self.annotations_app_trusted = 0   # app methods with trusted sigs
+        self.annotations_generated = 0     # created by metaprogramming hooks
+        self.generated_keys: Set[Key] = set()
+        self.used_generated: Set[Key] = set()
+        self.app_annotation_keys: Set[Key] = set()
+        self.consulted_keys: Set[Key] = set()  # sigs looked up during checks
+        self.cast_sites: Set[Tuple[str, str, int]] = set()
+        # checking
+        self.static_checks = 0
+        self.check_counts: Counter = Counter()   # key -> times checked
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.invalidations = 0
+        self.invalidated_keys: Set[Key] = set()
+        # dynamic checks
+        self.casts = 0
+        self.dynamic_arg_checks = 0
+        self.dynamic_arg_checks_skipped = 0
+        self.calls_intercepted = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record_annotation(self, *, check: bool, generated: bool,
+                          app_level: bool, key: Key) -> None:
+        self.annotations_total += 1
+        self.phase.annotation()
+        if generated:
+            self.annotations_generated += 1
+            self.generated_keys.add(key)
+        if check:
+            self.annotations_checked += 1
+        elif app_level:
+            self.annotations_app_trusted += 1
+        if app_level and not generated:
+            self.app_annotation_keys.add(key)
+
+    def record_static_check(self, key: Key) -> None:
+        self.static_checks += 1
+        self.check_counts[key] += 1
+        self.phase.check()
+
+    def record_consulted(self, keys) -> None:
+        self.consulted_keys |= set(keys)
+
+    def record_generated_use(self, key: Key) -> None:
+        if key in self.generated_keys:
+            self.used_generated.add(key)
+
+    def record_invalidation(self, keys) -> None:
+        keys = set(keys)
+        self.invalidations += len(keys)
+        self.invalidated_keys |= keys
+
+    # -- Table 1 views ---------------------------------------------------------
+
+    def chkd(self) -> int:
+        """'Chk'd': annotations for app methods whose bodies we check."""
+        return self.annotations_checked
+
+    def app_count(self) -> int:
+        """'App': checked + trusted app-specific annotations."""
+        return self.annotations_checked + self.annotations_app_trusted
+
+    def all_count(self) -> int:
+        """'All': the 'App' count plus library annotations for methods
+        actually referred to during type checking (paper's definition)."""
+        library = {k for k in self.consulted_keys
+                   if k not in self.app_annotation_keys
+                   and k not in self.generated_keys}
+        return self.app_count() + len(library)
+
+    def cast_site_count(self) -> int:
+        """'Casts': distinct cast sites encountered during checking."""
+        return len(self.cast_sites)
+
+    def generated_count(self) -> int:
+        return self.annotations_generated
+
+    def used_generated_count(self) -> int:
+        return len(self.used_generated)
+
+    def phases(self) -> int:
+        return self.phase.phases()
+
+    def methods_checked(self) -> int:
+        """Distinct methods checked at least once (Table 2 'Chk'd')."""
+        return len(self.check_counts)
+
+    def max_rechecks(self) -> int:
+        """The hottest method's check count (the Pubs ~13,000 claim)."""
+        return max(self.check_counts.values(), default=0)
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary for harness printing."""
+        return {
+            "chkd": self.chkd(),
+            "app": self.app_count(),
+            "all": self.all_count(),
+            "generated": self.generated_count(),
+            "used": self.used_generated_count(),
+            "casts": self.cast_site_count(),
+            "phases": self.phases(),
+            "static_checks": self.static_checks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "calls_intercepted": self.calls_intercepted,
+        }

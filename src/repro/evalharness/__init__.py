@@ -1,0 +1,16 @@
+"""``repro.evalharness`` — regenerates the paper's evaluation artifacts.
+
+* :mod:`~repro.evalharness.loc` — the sloccount analog;
+* :mod:`~repro.evalharness.table1` — Table 1 (type-checking statistics and
+  Orig/No$/Hum timings) from live runs;
+* :mod:`~repro.evalharness.table2` — Table 2 (dev-mode updates);
+* :mod:`~repro.evalharness.errors` — the historical Talks errors;
+* ``python -m repro.evalharness <table1|table2|errors>`` prints them.
+"""
+
+from .loc import count_loc, count_module_loc
+from .table1 import Table1Row, build_world, measure_app, table1_rows
+from .table2 import table2_rows
+
+__all__ = ["Table1Row", "build_world", "count_loc", "count_module_loc",
+           "measure_app", "table1_rows", "table2_rows"]

@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.evalharness <table1|table2|errors|all>``."""
+
+from __future__ import annotations
+
+import sys
+
+from .errors import format_errors, run_error_experiment
+from .table1 import format_table1, table1_rows
+from .table2 import format_table2, table2_rows
+
+
+def main(argv) -> int:
+    which = argv[1] if len(argv) > 1 else "all"
+    if which in ("table1", "all"):
+        print("Table 1 — type checking results and overhead "
+              "(3-run means):")
+        print(format_table1(table1_rows()))
+        print()
+    if which in ("table2", "all"):
+        print("Table 2 — Talks dev-mode update results:")
+        print(format_table2(table2_rows()))
+        print()
+    if which in ("errors", "all"):
+        print(format_errors(run_error_experiment()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,25 @@
+"""Harness for the 'Type Errors in Talks' experiment (section 5)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..apps.talks.history import HISTORICAL_ERRORS, check_historical_error
+
+
+def run_error_experiment() -> List[Tuple[str, bool, str]]:
+    """Returns (version, detected-with-matching-message, message)."""
+    out = []
+    for entry in HISTORICAL_ERRORS:
+        message = check_historical_error(entry)
+        matched = message is not None and entry.error_match in message
+        out.append((entry.version, matched, message or "<not detected>"))
+    return out
+
+
+def format_errors(results) -> str:
+    lines = ["Historical Talks type errors (introduced and later fixed):"]
+    for version, matched, message in results:
+        status = "DETECTED" if matched else "MISSED"
+        lines.append(f"  {version:<11} {status}: {message}")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Table 1: type-checking statistics and run-time overhead per app.
+
+For each app the harness runs the workload in the paper's three modes:
+
+* **Orig** — no Hummingbird at all (``intercept=False``);
+* **No$** — JIT checking with the cache disabled (``caching=False``);
+* **Hum** — the full system.
+
+Each timing is the arithmetic mean of three runs, exactly as in
+section 5.  The statistics columns (Chk'd/App/All, Gen'd/Used, Casts, Phs)
+come from the full-system run's engine stats.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import Engine, EngineConfig
+from ..apps import World, all_builders
+from .loc import count_world_loc
+
+MODES = ("orig", "nocache", "hum")
+
+
+def engine_for(mode: str) -> Engine:
+    if mode == "orig":
+        return Engine(EngineConfig(intercept=False))
+    if mode == "nocache":
+        return Engine(EngineConfig(caching=False))
+    if mode == "hum":
+        return Engine()
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def build_world(name: str, mode: str = "hum", **cfg) -> World:
+    """Build one app under one measurement mode."""
+    return all_builders()[name](engine_for(mode), **cfg)
+
+
+def time_workload(world: World, runs: int = 3) -> float:
+    """Arithmetic mean over ``runs`` timed workload executions."""
+    world.seed()
+    world.workload()  # warm load: annotations executed, methods defined
+    total = 0.0
+    for _ in range(runs):
+        world.seed()
+        start = time.perf_counter()
+        world.workload()
+        total += time.perf_counter() - start
+    return total / runs
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1."""
+
+    app: str
+    loc: int
+    chkd: int
+    app_types: int
+    all_types: int
+    generated: int
+    used: int
+    casts: int
+    phases: int
+    orig_s: float
+    nocache_s: float
+    hum_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.hum_s / self.orig_s if self.orig_s else float("inf")
+
+    @property
+    def nocache_ratio(self) -> float:
+        return self.nocache_s / self.orig_s if self.orig_s else float("inf")
+
+
+def measure_app(name: str, runs: int = 3, **cfg) -> Table1Row:
+    """Build, run, and measure one app in all three modes."""
+    timings: Dict[str, float] = {}
+    stats_world: Optional[World] = None
+    for mode in MODES:
+        world = build_world(name, mode, **cfg)
+        timings[mode] = time_workload(world, runs=runs)
+        if mode == "hum":
+            stats_world = world
+    stats = stats_world.engine.stats
+    return Table1Row(
+        app=name,
+        loc=count_world_loc(stats_world),
+        chkd=stats.chkd(),
+        app_types=stats.app_count(),
+        all_types=stats.all_count(),
+        generated=stats.generated_count(),
+        used=stats.used_generated_count(),
+        casts=stats.cast_site_count(),
+        phases=stats.phases(),
+        orig_s=timings["orig"],
+        nocache_s=timings["nocache"],
+        hum_s=timings["hum"],
+    )
+
+
+def table1_rows(runs: int = 3, apps: Optional[List[str]] = None
+                ) -> List[Table1Row]:
+    names = apps or list(all_builders())
+    return [measure_app(name, runs=runs) for name in names]
+
+
+def format_table1(rows: List[Table1Row]) -> str:
+    header = (f"{'App':<11}{'LoC':>6}{'Chkd':>6}{'App':>5}{'All':>5}"
+              f"{'Gen':>6}{'Used':>6}{'Casts':>6}{'Phs':>5}"
+              f"{'Orig(s)':>9}{'No$(s)':>9}{'Hum(s)':>9}{'Ratio':>7}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.app:<11}{r.loc:>6}{r.chkd:>6}{r.app_types:>5}"
+            f"{r.all_types:>5}{r.generated:>6}{r.used:>6}{r.casts:>6}"
+            f"{r.phases:>5}{r.orig_s:>9.3f}{r.nocache_s:>9.3f}"
+            f"{r.hum_s:>9.3f}{r.ratio:>6.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Table 2: the Talks dev-mode update ledger."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..apps.talks.updates import UpdateRow, run_update_experiment
+
+
+def table2_rows(view_cost: int = 30) -> List[UpdateRow]:
+    return run_update_experiment(view_cost=view_cost)
+
+
+def format_table2(rows: List[UpdateRow]) -> str:
+    header = (f"{'Version':<11}{'dMeth':>7}{'Added':>7}{'Deps':>6}"
+              f"{'Chkd':>10}")
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        if r.delta_meth is None:
+            lines.append(f"{r.version:<11}{'N/A':>7}{'N/A':>7}{'N/A':>6}"
+                         f"{r.checked_with_helpers:>10}")
+        else:
+            chkd = (f"{r.checked_with_helpers}/"
+                    f"{r.checked_without_helpers}")
+            lines.append(f"{r.version:<11}{r.delta_meth:>7}{r.added:>7}"
+                         f"{r.deps:>6}{chkd:>10}")
+    return "\n".join(lines)

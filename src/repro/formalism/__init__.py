@@ -1,0 +1,36 @@
+"""``repro.formalism`` — the paper's core calculus, executable.
+
+Section 3's language (:mod:`~repro.formalism.syntax`), Figure 5's type
+system with real derivations (:mod:`~repro.formalism.typecheck`),
+Figure 6's small-step semantics with cache and blame
+(:mod:`~repro.formalism.semantics`), Appendix A's consistency relations as
+runtime-checkable invariants (:mod:`~repro.formalism.invariants`), and a
+concrete syntax (:mod:`~repro.formalism.parser`).
+"""
+
+from .invariants import (
+    InvariantViolation, check_all, check_blame_permitted,
+    check_cache_consistency, check_env_wellformed,
+)
+from .parser import CoreSyntaxError, parse_expr
+from .semantics import Blame, CacheEntry, Machine, StuckError, run_program
+from .syntax import (
+    EAssign, ECall, EDef, EIf, ENew, ESelf, ESeq, EType, EVal, EVar, Expr,
+    MTy, Premethod, T_NIL, TCls, TNil, Tau, V_NIL, Value, VNil, VObj, lub,
+    nil, obj, seq, subtype, type_of,
+)
+from .typecheck import (
+    CoreTypeError, Derivation, check_method_body, type_check, uses_of,
+)
+
+__all__ = [
+    "Blame", "CacheEntry", "CoreSyntaxError", "CoreTypeError", "Derivation",
+    "EAssign", "ECall", "EDef", "EIf", "ENew", "ESelf", "ESeq", "EType",
+    "EVal", "EVar", "Expr", "InvariantViolation", "MTy", "Machine",
+    "Premethod", "StuckError", "T_NIL", "TCls", "TNil", "Tau", "V_NIL",
+    "Value", "VNil", "VObj",
+    "check_all", "check_blame_permitted", "check_cache_consistency",
+    "check_env_wellformed", "check_method_body", "lub", "nil", "obj",
+    "parse_expr", "run_program", "seq", "subtype", "type_check", "type_of",
+    "uses_of",
+]

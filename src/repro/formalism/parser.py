@@ -1,0 +1,183 @@
+"""Concrete syntax for the core calculus, for tests and examples.
+
+Grammar (lowest precedence first)::
+
+    expr     := assign (';' expr)?                     -- sequencing
+    assign   := IDENT '=' assign | postfix
+    postfix  := primary ('.' IDENT '(' expr ')' | '.new')*
+    primary  := 'nil' | 'self' | IDENT | CLASSNAME
+              | 'if' expr 'then' expr 'else' expr 'end'
+              | 'def' CLASSNAME '.' IDENT '(' IDENT ')' '{' expr '}'
+              | 'type' CLASSNAME '.' IDENT ':' tau '->' tau
+              | '(' expr ')'
+    tau      := 'nil' | CLASSNAME
+
+Class names start uppercase, variables lowercase.  ``A.new`` creates an
+instance; a bare ``CLASSNAME`` is only legal before ``.new``.
+
+Example::
+
+    parse_expr("type A.m : nil -> A; def A.m(x) { A.new }; A.new.m(nil)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .syntax import (
+    EAssign, ECall, EDef, EIf, ENew, ESelf, ESeq, EType, EVal, EVar, Expr,
+    MTy, Premethod, T_NIL, TCls, Tau, V_NIL,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<punct>[();.{}:=])|(?P<word>[A-Za-z_][A-Za-z0-9_]*))")
+
+_KEYWORDS = {"nil", "self", "if", "then", "else", "end", "def", "type",
+             "new"}
+
+
+class CoreSyntaxError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> List[str]:
+    out, i = [], 0
+    while i < len(text):
+        m = _TOKEN_RE.match(text, i)
+        if m is None or m.end() == i:
+            rest = text[i:].strip()
+            if not rest:
+                break
+            raise CoreSyntaxError(f"bad token at {rest[:10]!r}")
+        tok = m.group("arrow") or m.group("punct") or m.group("word")
+        out.append(tok)
+        i = m.end()
+    out.append("<eof>")
+    return out
+
+
+class _P:
+    def __init__(self, text: str):
+        self.toks = _tokenize(text)
+        self.i = 0
+
+    def peek(self) -> str:
+        return self.toks[self.i]
+
+    def next(self) -> str:
+        tok = self.toks[self.i]
+        if tok != "<eof>":
+            self.i += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise CoreSyntaxError(f"expected {tok!r}, got {got!r}")
+
+    # -- grammar ----------------------------------------------------------
+
+    def expr(self) -> Expr:
+        left = self.assign()
+        if self.peek() == ";":
+            self.next()
+            return ESeq(left, self.expr())
+        return left
+
+    def assign(self) -> Expr:
+        if (self.peek() not in _KEYWORDS and self.peek()[0].islower()
+                and self.toks[self.i + 1] == "="):
+            name = self.next()
+            self.expect("=")
+            return EAssign(name, self.assign())
+        return self.postfix()
+
+    def postfix(self) -> Expr:
+        e = self.primary()
+        while self.peek() == ".":
+            self.next()
+            name = self.next()
+            if name == "new":
+                if not isinstance(e, _ClassRef):
+                    raise CoreSyntaxError(".new requires a class name")
+                e = ENew(e.name)
+                continue
+            self.expect("(")
+            arg = self.expr()
+            self.expect(")")
+            if isinstance(e, _ClassRef):
+                raise CoreSyntaxError(
+                    f"cannot call {name} on a bare class name")
+            e = ECall(e, name, arg)
+        if isinstance(e, _ClassRef):
+            raise CoreSyntaxError(f"bare class name {e.name}")
+        return e
+
+    def primary(self) -> Expr:
+        tok = self.next()
+        if tok == "nil":
+            return EVal(V_NIL)
+        if tok == "self":
+            return ESelf()
+        if tok == "(":
+            e = self.expr()
+            self.expect(")")
+            return e
+        if tok == "if":
+            test = self.expr()
+            self.expect("then")
+            then = self.expr()
+            self.expect("else")
+            orelse = self.expr()
+            self.expect("end")
+            return EIf(test, then, orelse)
+        if tok == "def":
+            cls = self.next()
+            self.expect(".")
+            meth = self.next()
+            self.expect("(")
+            param = self.next()
+            self.expect(")")
+            self.expect("{")
+            body = self.expr()
+            self.expect("}")
+            return EDef(cls, meth, Premethod(param, body))
+        if tok == "type":
+            cls = self.next()
+            self.expect(".")
+            meth = self.next()
+            self.expect(":")
+            dom = self.tau()
+            self.expect("->")
+            rng = self.tau()
+            return EType(cls, meth, MTy(dom, rng))
+        if tok == "<eof>":
+            raise CoreSyntaxError("unexpected end of input")
+        if tok[0].isupper():
+            return _ClassRef(tok)
+        return EVar(tok)
+
+    def tau(self) -> Tau:
+        tok = self.next()
+        if tok == "nil":
+            return T_NIL
+        if tok[0].isupper():
+            return TCls(tok)
+        raise CoreSyntaxError(f"expected a type, got {tok!r}")
+
+
+class _ClassRef(Expr):
+    """Internal: a class name awaiting ``.new``."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a core-calculus program."""
+    p = _P(text)
+    e = p.expr()
+    if p.peek() != "<eof>":
+        raise CoreSyntaxError(f"trailing input at {p.peek()!r}")
+    return e

@@ -1,0 +1,326 @@
+"""The dynamic semantics of Figure 6, executable, with blame.
+
+Configurations are ``⟨X, TT, DT, E, e, S⟩``.  Evaluation contexts are
+represented as an explicit frame stack per activation (a zipper over the
+paper's context grammar ``C``), and ``S`` is the call stack of saved
+``(E, C)`` pairs pushed by (EApp*) and popped by (ERet).
+
+The cache ``X`` maps ``A.m`` to its memoized derivations ``(DM, D≤)`` plus
+the (TApp) uses of ``DM`` (Definition 1's invalidation needs them).
+(EDef) invalidates ``X \\ A.m``; (EType) additionally *upgrades* the cache
+to the new table (Definition 2), which here means re-pointing entries at
+the new ``TT`` — sound because invalidation already removed everything
+that mentioned ``A.m``.
+
+Blame covers exactly the paper's three run-time failures:
+
+* invoking a method on ``nil``;
+* calling a method whose body does not type check at run time;
+* calling a method that has a type signature but is itself undefined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .syntax import (
+    EAssign, ECall, EDef, EIf, ENew, ESelf, ESeq, EType, EVal, EVar, Expr,
+    MTy, Premethod, T_NIL, TCls, V_NIL, Value, VNil, VObj, subtype, type_of,
+)
+from .typecheck import (
+    CoreTypeError, Derivation, TypeTable, check_method_body, uses_of,
+)
+
+Key = Tuple[str, str]
+
+
+class StuckError(Exception):
+    """The machine cannot step and the state is not blame — soundness says
+    this never happens for well-typed programs."""
+
+
+@dataclass(frozen=True)
+class Blame:
+    """A run-time failure the type system deliberately permits."""
+
+    reason: str  # "nil-receiver" | "body-ill-typed" | "method-undefined"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"blame({self.reason}: {self.detail})"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """(DM, D≤) plus derived bookkeeping."""
+
+    dm: Derivation
+    ret_tau: object          # the τ with τ ≤ τ2 (the D≤ witness)
+    uses: frozenset          # TApp uses of DM
+    premethod: Premethod     # the body DM is about (consistency checks)
+    mty: MTy                 # the signature DM checked against
+
+
+# -- evaluation-context frames (the paper's C grammar) ------------------------
+
+
+@dataclass(frozen=True)
+class FAssign:
+    name: str
+
+
+@dataclass(frozen=True)
+class FSeq:
+    rest: Expr
+
+
+@dataclass(frozen=True)
+class FIf:
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True)
+class FCallRecv:
+    """Evaluating the receiver; the argument expression waits."""
+
+    meth: str
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class FCallArg:
+    """Receiver evaluated; evaluating the argument."""
+
+    recv: Value
+    meth: str
+
+
+Frame = Union[FAssign, FSeq, FIf, FCallRecv, FCallArg]
+
+
+@dataclass
+class Activation:
+    """One activation record: its environment and its local context."""
+
+    env: Dict[str, Value]
+    frames: List[Frame] = field(default_factory=list)
+
+
+@dataclass
+class Machine:
+    """The full configuration ⟨X, TT, DT, E, e, S⟩ plus step accounting."""
+
+    cache: Dict[Key, CacheEntry] = field(default_factory=dict)
+    tt: TypeTable = field(default_factory=dict)
+    dt: Dict[Key, Premethod] = field(default_factory=dict)
+    control: Optional[Expr] = None
+    #: S — saved activations; the last element is the *current* activation.
+    stack: List[Activation] = field(default_factory=list)
+    steps: int = 0
+    checks_performed: int = 0
+    cache_hits: int = 0
+    invalidations: int = 0
+    phases: List[str] = field(default_factory=list)  # 'A'/'C' events
+
+    # -- cache operations ------------------------------------------------------
+
+    def invalidate(self, key: Key) -> None:
+        """Definition 1: remove ``key`` and entries whose DM uses it."""
+        removed = [k for k, entry in self.cache.items()
+                   if k == key or key in entry.uses]
+        for k in removed:
+            del self.cache[k]
+        self.invalidations += len(removed)
+
+    def active_tapp_uses(self) -> Set[Key]:
+        """TApp(S): signature uses of every derivation whose method is
+        currently executing — (EType)'s side condition consults this."""
+        out: Set[Key] = set()
+        for act in self.stack:
+            key = getattr(act, "checking_key", None)
+            entry = self.cache.get(key) if key else None
+            if entry is not None:
+                out |= set(entry.uses)
+        return out
+
+    # -- running ------------------------------------------------------------------
+
+    def load(self, program: Expr) -> "Machine":
+        self.control = program
+        self.stack = [Activation(env={})]
+        return self
+
+    def current(self) -> Activation:
+        return self.stack[-1]
+
+    def step(self) -> Optional[Union[Value, Blame]]:
+        """One small step.  Returns a final Value, a Blame, or None to
+        continue.  Raises :class:`StuckError` on a stuck state."""
+        self.steps += 1
+        e = self.control
+        act = self.current()
+
+        if isinstance(e, EVal):
+            return self._plug(e.value)
+
+        if isinstance(e, EVar):
+            if e.name not in act.env:
+                raise StuckError(f"unbound variable {e.name}")
+            self.control = EVal(act.env[e.name])
+            return None
+        if isinstance(e, ESelf):
+            if "self" not in act.env:
+                raise StuckError("self unbound")
+            self.control = EVal(act.env["self"])
+            return None
+        if isinstance(e, EAssign):
+            act.frames.append(FAssign(e.name))
+            self.control = e.value
+            return None
+        if isinstance(e, ESeq):
+            act.frames.append(FSeq(e.second))
+            self.control = e.first
+            return None
+        if isinstance(e, ENew):
+            self.control = EVal(VObj(e.cls))
+            return None
+        if isinstance(e, EIf):
+            act.frames.append(FIf(e.then, e.orelse))
+            self.control = e.test
+            return None
+        if isinstance(e, ECall):
+            act.frames.append(FCallRecv(e.meth, e.arg))
+            self.control = e.recv
+            return None
+        if isinstance(e, EDef):
+            # (EDef): update DT, invalidate A.m.
+            self.dt[(e.cls, e.meth)] = e.premethod
+            self.invalidate((e.cls, e.meth))
+            self.control = EVal(V_NIL)
+            return None
+        if isinstance(e, EType):
+            # (EType): requires A.m ∉ TApp(S).
+            key = (e.cls, e.meth)
+            if key in self.active_tapp_uses():
+                raise StuckError(
+                    f"type {e.cls}.{e.meth} while a dependent method is "
+                    f"active (side condition of (EType))")
+            self.invalidate(key)
+            self.tt = dict(self.tt)
+            self.tt[key] = e.mty
+            # Definition 2 (upgrade): surviving entries now refer to the
+            # new table; invalidation guaranteed none mention key.
+            self.phases.append("A")
+            self.control = EVal(V_NIL)
+            return None
+        raise StuckError(f"cannot step {e}")
+
+    def _plug(self, v: Value) -> Optional[Union[Value, Blame]]:
+        act = self.current()
+        if not act.frames:
+            if len(self.stack) == 1:
+                return v  # whole program finished
+            # (ERet): pop the call stack.
+            self.stack.pop()
+            self.control = EVal(v)
+            return None
+        frame = act.frames.pop()
+        if isinstance(frame, FAssign):
+            act.env[frame.name] = v
+            self.control = EVal(v)
+            return None
+        if isinstance(frame, FSeq):
+            self.control = frame.rest
+            return None
+        if isinstance(frame, FIf):
+            self.control = (frame.orelse if isinstance(v, VNil)
+                            else frame.then)
+            return None
+        if isinstance(frame, FCallRecv):
+            act.frames.append(FCallArg(v, frame.meth))
+            self.control = frame.arg
+            return None
+        if isinstance(frame, FCallArg):
+            return self._apply(frame.recv, frame.meth, v)
+        raise StuckError(f"unknown frame {frame}")
+
+    def _apply(self, recv: Value, meth: str,
+               arg: Value) -> Optional[Union[Value, Blame]]:
+        """(EAppMiss)/(EAppHit) and the three blame rules."""
+        if isinstance(recv, VNil):
+            return Blame("nil-receiver", f"nil.{meth}")
+        assert isinstance(recv, VObj)
+        key = (recv.cls, meth)
+        mty = self.tt.get(key)
+        if mty is None:
+            raise StuckError(f"{recv.cls}.{meth} has no type")
+        premethod = self.dt.get(key)
+        if premethod is None:
+            return Blame("method-undefined",
+                         f"{recv.cls}.{meth} is typed but undefined")
+        if not subtype(type_of(arg), mty.dom):
+            return Blame("argument-type",
+                         f"{recv.cls}.{meth} expects {mty.dom}, "
+                         f"got {type_of(arg)}")
+        if key not in self.cache:
+            # (EAppMiss): statically check the body NOW.
+            try:
+                dm, ret_tau = check_method_body(
+                    self.tt, recv.cls, premethod.param, premethod.body, mty)
+            except CoreTypeError as exc:
+                return Blame("body-ill-typed", str(exc))
+            self.cache[key] = CacheEntry(dm, ret_tau,
+                                         frozenset(uses_of(dm)),
+                                         premethod, mty)
+            self.checks_performed += 1
+            self.phases.append("C")
+        else:
+            self.cache_hits += 1
+        callee = Activation(env={"self": recv, premethod.param: arg})
+        callee.checking_key = key  # type: ignore[attr-defined]
+        self.stack.append(callee)
+        self.control = premethod.body
+        return None
+
+    def run(self, program: Expr, fuel: int = 100_000,
+            on_step=None) -> Union[Value, Blame]:
+        """Drive the machine to a value or blame (or raise on divergence
+        past ``fuel`` steps / stuck states)."""
+        self.load(program)
+        for _ in range(fuel):
+            outcome = self.step()
+            if on_step is not None:
+                on_step(self)
+            if outcome is not None:
+                return outcome
+        raise TimeoutError(f"no normal form within {fuel} steps")
+
+    def phase_count(self) -> int:
+        """Phases as defined in section 5: maximal annotation-run +
+        check-run blocks."""
+        if not self.phases:
+            return 0
+        count = 1
+        for prev, cur in zip(self.phases, self.phases[1:]):
+            if prev == "C" and cur == "A":
+                count += 1
+        return count
+
+
+def run_program(program: Expr, *, caching: bool = True,
+                fuel: int = 100_000) -> Tuple[Union[Value, Blame], Machine]:
+    """Convenience: run a closed program on a fresh machine.
+
+    ``caching=False`` disables memoization (every call re-checks), the
+    formal analog of the paper's "No$" measurements.
+    """
+    machine = Machine()
+    if not caching:
+        class _NoCache(dict):
+            def __setitem__(self, key, value):  # drop all stores
+                pass
+        machine.cache = _NoCache()
+    result = machine.run(program, fuel=fuel)
+    return result, machine

@@ -1,0 +1,236 @@
+"""The core Ruby-like language of paper section 3 (Figure 4).
+
+Values are ``nil`` and class instances ``[A]``.  Expressions are values,
+variables, ``self``, assignment, sequencing, ``A.new``, conditionals,
+method invocation, run-time method definition ``def A.m = λx.e`` and
+run-time type annotation ``type A.m : τ → τ'``.  Types are class names or
+``nil``.
+
+Everything is immutable and hashable so derivations can reference
+expressions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+# -- types (val typs τ ::= A | nil) -----------------------------------------
+
+
+class Tau:
+    """Base class for the calculus's value types."""
+
+
+@dataclass(frozen=True)
+class TNil(Tau):
+    def __str__(self) -> str:
+        return "nil"
+
+
+@dataclass(frozen=True)
+class TCls(Tau):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+T_NIL = TNil()
+
+
+@dataclass(frozen=True)
+class MTy:
+    """A method type τ → τ′."""
+
+    dom: Tau
+    rng: Tau
+
+    def __str__(self) -> str:
+        return f"{self.dom} -> {self.rng}"
+
+
+def subtype(a: Tau, b: Tau) -> bool:
+    """nil ≤ τ and A ≤ A — exactly the paper's subtyping."""
+    return isinstance(a, TNil) or a == b
+
+
+def lub(a: Tau, b: Tau) -> Optional[Tau]:
+    """A ⊔ A = A and nil ⊔ τ = τ ⊔ nil = τ; undefined otherwise."""
+    if isinstance(a, TNil):
+        return b
+    if isinstance(b, TNil):
+        return a
+    if a == b:
+        return a
+    return None
+
+
+# -- values ------------------------------------------------------------------
+
+
+class Value:
+    """Base class for run-time values."""
+
+
+@dataclass(frozen=True)
+class VNil(Value):
+    def __str__(self) -> str:
+        return "nil"
+
+
+@dataclass(frozen=True)
+class VObj(Value):
+    cls: str
+
+    def __str__(self) -> str:
+        return f"[{self.cls}]"
+
+
+V_NIL = VNil()
+
+
+def type_of(v: Value) -> Tau:
+    """type_of(nil) = nil and type_of([A]) = A (paper, EAppMiss)."""
+    if isinstance(v, VNil):
+        return T_NIL
+    assert isinstance(v, VObj)
+    return TCls(v.cls)
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class EVal(Expr):
+    """A value in expression position."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class EVar(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ESelf(Expr):
+    def __str__(self) -> str:
+        return "self"
+
+
+@dataclass(frozen=True)
+class EAssign(Expr):
+    name: str
+    value: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.value}"
+
+
+@dataclass(frozen=True)
+class ESeq(Expr):
+    first: "Expr"
+    second: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.first}; {self.second})"
+
+
+@dataclass(frozen=True)
+class ENew(Expr):
+    cls: str
+
+    def __str__(self) -> str:
+        return f"{self.cls}.new"
+
+
+@dataclass(frozen=True)
+class EIf(Expr):
+    test: "Expr"
+    then: "Expr"
+    orelse: "Expr"
+
+    def __str__(self) -> str:
+        return f"(if {self.test} then {self.then} else {self.orelse})"
+
+
+@dataclass(frozen=True)
+class ECall(Expr):
+    recv: "Expr"
+    meth: str
+    arg: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.recv}.{self.meth}({self.arg})"
+
+
+@dataclass(frozen=True)
+class Premethod:
+    """λx.e"""
+
+    param: str
+    body: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.param}) {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class EDef(Expr):
+    """``def A.m = λx.e`` — run-time method (re)definition."""
+
+    cls: str
+    meth: str
+    premethod: Premethod
+
+    def __str__(self) -> str:
+        return f"def {self.cls}.{self.meth}{self.premethod}"
+
+
+@dataclass(frozen=True)
+class EType(Expr):
+    """``type A.m : τ → τ'`` — run-time type annotation."""
+
+    cls: str
+    meth: str
+    mty: MTy
+
+    def __str__(self) -> str:
+        return f"type {self.cls}.{self.meth} : {self.mty}"
+
+
+def is_value_expr(e: Expr) -> bool:
+    return isinstance(e, EVal)
+
+
+# -- convenience constructors for tests/examples --------------------------------
+
+
+def nil() -> EVal:
+    return EVal(V_NIL)
+
+
+def obj(cls: str) -> EVal:
+    return EVal(VObj(cls))
+
+
+def seq(*exprs: Expr) -> Expr:
+    """Right-nested sequencing of one or more expressions."""
+    if not exprs:
+        raise ValueError("seq of nothing")
+    out = exprs[-1]
+    for e in reversed(exprs[:-1]):
+        out = ESeq(e, out)
+    return out

@@ -1,0 +1,163 @@
+"""The static type system of Figure 5, producing real derivation trees.
+
+Judgment: ``TT ⊢ ⟨Γ, e⟩ ⇒ ⟨Γ′, τ⟩``.  The type table maps ``A.m`` to a
+method type; Γ maps variables (and ``self``) to value types.  The output
+environment makes the system flow-sensitive: (TAssn) rebinds the assigned
+variable, (TIf) joins the branch environments pointwise and *drops*
+variables bound on only one side.
+
+Derivations record, per node, which rule applied and — for (TApp) — which
+``A.m`` signature was consulted.  :func:`uses_of` collects those uses,
+which is exactly what cache invalidation's Definition 1(2) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from .syntax import (
+    EAssign, ECall, EDef, EIf, ENew, ESelf, ESeq, EType, EVal, EVar, Expr,
+    MTy, T_NIL, TCls, Tau, VNil, VObj, lub, subtype,
+)
+
+TypeEnv = Dict[str, Tau]
+TypeTable = Dict[Tuple[str, str], MTy]
+
+
+class CoreTypeError(Exception):
+    """Static type checking failed (the calculus's type error)."""
+
+    def __init__(self, message: str, expr: Expr):
+        super().__init__(f"{message} in {expr}")
+        self.expr = expr
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One node of a typing derivation."""
+
+    rule: str
+    env_in: Tuple[Tuple[str, Tau], ...]
+    expr: Expr
+    env_out: Tuple[Tuple[str, Tau], ...]
+    tau: Tau
+    premises: Tuple["Derivation", ...] = ()
+    tapp_use: Optional[Tuple[str, str]] = None  # (A, m) for (TApp)
+
+    def out_env(self) -> TypeEnv:
+        return dict(self.env_out)
+
+
+def uses_of(deriv: Derivation) -> Set[Tuple[str, str]]:
+    """All (TApp) signature uses in the derivation — Definition 1(2)."""
+    out: Set[Tuple[str, str]] = set()
+    stack = [deriv]
+    while stack:
+        d = stack.pop()
+        if d.tapp_use is not None:
+            out.add(d.tapp_use)
+        stack.extend(d.premises)
+    return out
+
+
+def _freeze(env: TypeEnv) -> Tuple[Tuple[str, Tau], ...]:
+    return tuple(sorted(env.items()))
+
+
+def type_check(tt: TypeTable, env: TypeEnv, e: Expr) -> Derivation:
+    """Prove ``TT ⊢ ⟨Γ, e⟩ ⇒ ⟨Γ′, τ⟩`` or raise :class:`CoreTypeError`."""
+    env_in = _freeze(env)
+
+    if isinstance(e, EVal):
+        if isinstance(e.value, VNil):
+            return Derivation("TNil", env_in, e, env_in, T_NIL)
+        assert isinstance(e.value, VObj)
+        return Derivation("TObject", env_in, e, env_in, TCls(e.value.cls))
+
+    if isinstance(e, ESelf):
+        if "self" not in env:
+            raise CoreTypeError("self is unbound", e)
+        return Derivation("TSelf", env_in, e, env_in, env["self"])
+
+    if isinstance(e, EVar):
+        if e.name not in env:
+            raise CoreTypeError(f"unbound variable {e.name}", e)
+        return Derivation("TVar", env_in, e, env_in, env[e.name])
+
+    if isinstance(e, ESeq):
+        d1 = type_check(tt, env, e.first)
+        d2 = type_check(tt, d1.out_env(), e.second)
+        return Derivation("TSeq", env_in, e, d2.env_out, d2.tau, (d1, d2))
+
+    if isinstance(e, EAssign):
+        d = type_check(tt, env, e.value)
+        out = d.out_env()
+        out[e.name] = d.tau
+        return Derivation("TAssn", env_in, e, _freeze(out), d.tau, (d,))
+
+    if isinstance(e, ENew):
+        return Derivation("TNew", env_in, e, env_in, TCls(e.cls))
+
+    if isinstance(e, EDef):
+        # (TDef): the body is NOT checked here — that happens at run time
+        # when the method is called.
+        return Derivation("TDef", env_in, e, env_in, T_NIL)
+
+    if isinstance(e, EType):
+        # (TType): no static effect; the table changes only at run time.
+        return Derivation("TType", env_in, e, env_in, T_NIL)
+
+    if isinstance(e, EIf):
+        d0 = type_check(tt, env, e.test)
+        env_after = d0.out_env()
+        d1 = type_check(tt, env_after, e.then)
+        d2 = type_check(tt, env_after, e.orelse)
+        tau = lub(d1.tau, d2.tau)
+        if tau is None:
+            raise CoreTypeError(
+                f"branches have incompatible types {d1.tau} and {d2.tau}", e)
+        out1, out2 = d1.out_env(), d2.out_env()
+        joined: TypeEnv = {}
+        for name in out1:
+            if name in out2:
+                j = lub(out1[name], out2[name])
+                if j is not None:
+                    joined[name] = j
+        return Derivation("TIf", env_in, e, _freeze(joined), tau,
+                          (d0, d1, d2))
+
+    if isinstance(e, ECall):
+        d0 = type_check(tt, env, e.recv)
+        if not isinstance(d0.tau, TCls):
+            raise CoreTypeError(
+                f"receiver has type {d0.tau}, which has no methods", e)
+        d1 = type_check(tt, d0.out_env(), e.arg)
+        key = (d0.tau.name, e.meth)
+        mty = tt.get(key)
+        if mty is None:
+            raise CoreTypeError(
+                f"{d0.tau.name}.{e.meth} is not in the type table", e)
+        if not subtype(d1.tau, mty.dom):
+            raise CoreTypeError(
+                f"argument has type {d1.tau}, expected {mty.dom}", e)
+        return Derivation("TApp", env_in, e, d1.env_out, mty.rng, (d0, d1),
+                          tapp_use=key)
+
+    raise CoreTypeError(f"unknown expression form {type(e).__name__}", e)
+
+
+def check_method_body(tt: TypeTable, cls: str, param: str, body: Expr,
+                      mty: MTy) -> Tuple[Derivation, Tau]:
+    """The (EAppMiss) premises: derive
+    ``TT ⊢ ⟨[x↦τ1, self↦A], e⟩ ⇒ ⟨Γ′, τ⟩`` and check ``τ ≤ τ2``.
+
+    Returns ``(DM, τ)``; the ``τ ≤ τ2`` fact is the D≤ component.
+    """
+    env: TypeEnv = {param: mty.dom, "self": TCls(cls)}
+    deriv = type_check(tt, env, body)
+    if not subtype(deriv.tau, mty.rng):
+        raise CoreTypeError(
+            f"body has type {deriv.tau}, declared return is {mty.rng}",
+            body)
+    return deriv, deriv.tau

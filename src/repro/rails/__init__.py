@@ -1,0 +1,24 @@
+"""``repro.rails`` — the mini Rails substrate.
+
+ActiveRecord-style models whose attribute methods, finders, and
+associations are created by run-time metaprogramming *with generated type
+signatures* (:mod:`~repro.rails.activerecord`, :mod:`~repro.rails.typegen`),
+controllers with untrusted ``params`` (:mod:`~repro.rails.controller`),
+request routing (:mod:`~repro.rails.router`), and development-mode
+reloading with diff-based cache invalidation (:mod:`~repro.rails.reloader`).
+"""
+
+from .application import RailsApp
+from .controller import MissingParamError
+from .inflect import (
+    camelize, foreign_key, pluralize, singularize, tableize, underscore,
+)
+from .reloader import AppVersion, MethodVersion, ReloadReport, Reloader
+from .router import Route, Router, RoutingError
+
+__all__ = [
+    "AppVersion", "MethodVersion", "MissingParamError", "RailsApp",
+    "ReloadReport", "Reloader", "Route", "Router", "RoutingError",
+    "camelize", "foreign_key", "pluralize", "singularize", "tableize",
+    "underscore",
+]

@@ -1,0 +1,231 @@
+"""The ActiveRecord analog: models driven by schema metaprogramming.
+
+When a model class is defined, the framework — at run time, exactly like
+Rails — looks up the conventionally-named table (``Talk`` → ``talks``),
+makes attribute readers/writers and ``find_by_*`` finders available, and
+*generates their type signatures* through :mod:`repro.rails.typegen`.
+``belongs_to``/``has_many`` may be called at any later point (the paper
+stresses Rails permits this), generating both the association methods and
+their types when they run.
+
+Attribute and association reads go through ``__getattr__`` and writes
+through ``__setattr__`` — dynamically dispatched framework code, which the
+paper's Hummingbird trusts and does not intercept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..rtypes import Sym
+from .inflect import camelize, foreign_key, singularize, tableize
+from . import typegen
+
+
+class ModelError(AttributeError):
+    """Unknown attribute/association/finder on a model."""
+
+
+class ModelMeta(type):
+    """Metaclass providing dynamic class-level finders (Rails's
+    ``method_missing`` on the class object)."""
+
+    def __getattr__(cls, name: str):
+        app = cls.__dict__.get("_app") or getattr(cls, "_app", None)
+        if app is None or name.startswith("_"):
+            raise AttributeError(name)
+        if name.startswith("find_all_by_"):
+            column = name[len("find_all_by_"):]
+            return lambda value: cls._find_all_by(column, value)
+        if name.startswith("find_by_"):
+            column = name[len("find_by_"):]
+            return lambda value: cls._find_one_by(column, value)
+        raise AttributeError(name)
+
+
+def make_model_base(app) -> type:
+    """Create the app-bound ``Model`` base class."""
+
+    class Model(metaclass=ModelMeta):
+        """Base class for this application's models."""
+
+        _app = app
+        _table = None
+        _associations: Dict[str, dict] = {}
+
+        def __init_subclass__(cls, **kwargs):
+            super().__init_subclass__(**kwargs)
+            cls._associations = {}
+            app.engine.register_class(cls)
+            table_name = tableize(cls.__name__)
+            if app.db.has_table(table_name):
+                cls._table = app.db.table(table_name)
+                # Metaprogramming at load time: attribute methods and
+                # finders spring into existence with generated types.
+                typegen.generate_attribute_types(app, cls, cls._table.schema)
+                typegen.generate_finder_types(app, cls, cls._table.schema)
+
+        def __init__(self, row: dict):
+            object.__setattr__(self, "_row", dict(row))
+
+        # -- dynamic attribute dispatch (framework, trusted) --------------
+
+        def __getattr__(self, name: str):
+            row = object.__getattribute__(self, "_row")
+            if name in row:
+                return row[name]
+            assoc = type(self)._associations.get(name)
+            if assoc is not None:
+                return self._resolve_association(assoc)
+            raise ModelError(
+                f"undefined attribute {name!r} for {type(self).__name__}")
+
+        def __setattr__(self, name: str, value) -> None:
+            if name.startswith("_"):
+                object.__setattr__(self, name, value)
+                return
+            row = object.__getattribute__(self, "_row")
+            assoc = type(self)._associations.get(name)
+            if assoc is not None and assoc["kind"] == "belongs_to":
+                row[assoc["fk"]] = value.id if value is not None else None
+                return
+            if name in row:
+                row[name] = value
+                return
+            object.__setattr__(self, name, value)
+
+        def _resolve_association(self, assoc: dict):
+            app_ = type(self)._app
+            target = app_.model_class(assoc["target"])
+            if assoc["kind"] == "belongs_to":
+                fk_value = self._row.get(assoc["fk"])
+                return target.find(fk_value) if fk_value is not None else None
+            rows = target._table.where(**{assoc["fk"]: self.id})
+            return [target(r) for r in rows]
+
+        # -- associations (run-time metaprogramming, Fig. 1) ----------------
+
+        @classmethod
+        def belongs_to(cls, name: str, class_name: Optional[str] = None):
+            """Define the association *and* its types, like Fig. 1's
+            instrumented belongs_to."""
+            cls._associations[name] = {
+                "kind": "belongs_to", "fk": foreign_key(name),
+                "target": class_name or camelize(singularize(name)),
+            }
+            typegen.generate_belongs_to_types(app, cls, name, class_name)
+
+        @classmethod
+        def has_many(cls, name: str, class_name: Optional[str] = None,
+                     fk: Optional[str] = None):
+            target = class_name or camelize(singularize(name))
+            cls._associations[name] = {
+                "kind": "has_many",
+                "fk": fk or foreign_key(cls.__name__),
+                "target": target,
+            }
+            typegen.generate_has_many_types(app, cls, name, class_name)
+
+        # -- persistence (framework, trusted annotations) ---------------------
+
+        @classmethod
+        def create(cls, attrs: Optional[dict] = None, **kwargs):
+            values = dict(_dekey(attrs or {}))
+            values.update(kwargs)
+            assoc_values = {}
+            for name in list(values):
+                assoc = cls._associations.get(name)
+                if assoc is not None and assoc["kind"] == "belongs_to":
+                    assoc_values[assoc["fk"]] = values.pop(name).id
+            values.update(assoc_values)
+            row = cls._table.insert(**values)
+            return cls(row)
+
+        @classmethod
+        def find(cls, row_id):
+            row = cls._table.find(row_id)
+            return cls(row) if row is not None else None
+
+        @classmethod
+        def all(cls) -> list:
+            return [cls(r) for r in cls._table.all_rows()]
+
+        @classmethod
+        def first(cls):
+            rows = cls._table.all_rows()
+            return cls(rows[0]) if rows else None
+
+        @classmethod
+        def last(cls):
+            rows = cls._table.all_rows()
+            return cls(rows[-1]) if rows else None
+
+        @classmethod
+        def count(cls) -> int:
+            return len(cls._table)
+
+        @classmethod
+        def where(cls, conditions: Optional[dict] = None, **kwargs) -> list:
+            cond = dict(_dekey(conditions or {}))
+            cond.update(kwargs)
+            return [cls(r) for r in cls._table.where(**cond)]
+
+        @classmethod
+        def destroy_all(cls) -> None:
+            cls._table.clear()
+
+        @classmethod
+        def _find_one_by(cls, column: str, value):
+            row = cls._table.first_where(**{column: value})
+            return cls(row) if row is not None else None
+
+        @classmethod
+        def _find_all_by(cls, column: str, value) -> list:
+            return [cls(r) for r in cls._table.where(**{column: value})]
+
+        def save(self) -> bool:
+            row = dict(self._row)
+            row_id = row.pop("id", None)
+            if row_id is None:
+                self._row = self._table.insert(**row)
+            else:
+                self._table.update(row_id, **row)
+            return True
+
+        def update(self, attrs: Optional[dict] = None, **kwargs) -> bool:
+            values = dict(_dekey(attrs or {}))
+            values.update(kwargs)
+            for name, value in values.items():
+                setattr(self, name, value)
+            return self.save()
+
+        def destroy(self) -> bool:
+            return self._table.delete(self.id)
+
+        def reload(self):
+            fresh = self._table.find(self.id)
+            if fresh is not None:
+                self._row = fresh
+            return self
+
+        def new_record_p(self) -> bool:
+            return self._row.get("id") is None
+
+        def __eq__(self, other) -> bool:
+            return (type(self) is type(other)
+                    and self._row.get("id") == other._row.get("id"))
+
+        def __hash__(self) -> int:
+            return hash((type(self).__name__, self._row.get("id")))
+
+        def __repr__(self) -> str:
+            return f"<{type(self).__name__} id={self._row.get('id')}>"
+
+    typegen.install_model_framework_types(app, Model)
+    return Model
+
+
+def _dekey(mapping: dict) -> dict:
+    """Accept both ``Sym`` and string keys in attribute hashes."""
+    return {(k.name if isinstance(k, Sym) else k): v
+            for k, v in mapping.items()}

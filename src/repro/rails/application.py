@@ -1,0 +1,73 @@
+"""The Rails application object: engine + database + bases + router.
+
+Each :class:`RailsApp` owns one Hummingbird engine, one database, and the
+app-bound ``Model``/``Controller`` base classes.  Benchmarks construct a
+fresh app per measurement mode, which is how the paper measures "Orig",
+"No$", and "Hum" on the same workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import Engine, EngineConfig
+from ..rtypes import Sym
+from ..sqldb import Database
+from .activerecord import make_model_base
+from .controller import make_controller_base
+from .router import Router
+
+
+class RailsApp:
+    """One application instance under one engine."""
+
+    def __init__(self, engine: Optional[Engine] = None, *,
+                 db: Optional[Database] = None, view_cost: int = 150):
+        self.engine = engine or Engine()
+        self.hb = self.engine.api()
+        self.db = db or Database()
+        #: lines of layout chrome render() emits — the framework-side work
+        #: that dominates Rails app run time in the paper's measurements.
+        self.view_cost = view_cost
+        self.router = Router()
+        self._models: Dict[str, type] = {}
+        self.Model = make_model_base(self)
+        self.Controller = make_controller_base(self)
+
+    # -- model registry -----------------------------------------------------
+
+    def register_model(self, cls: type) -> type:
+        self._models[cls.__name__] = cls
+        return cls
+
+    def model_class(self, name: str) -> type:
+        if name not in self._models:
+            raise LookupError(f"no model named {name}")
+        return self._models[name]
+
+    # -- request dispatch ---------------------------------------------------------
+
+    def get(self, path: str, controller: type, action: str) -> None:
+        self.router.add("GET", path, controller, action)
+
+    def post(self, path: str, controller: type, action: str) -> None:
+        self.router.add("POST", path, controller, action)
+
+    def request(self, method: str, path: str,
+                params: Optional[Dict] = None) -> str:
+        """Simulate one HTTP request (what the paper's curl scripts do)."""
+        route, captures = self.router.resolve(method, path)
+        merged = dict(params or {})
+        merged.update(captures)
+        merged = {Sym(k) if isinstance(k, str) else k: v
+                  for k, v in merged.items()}
+        # Paper section 4: params come from the browser and are untrusted,
+        # so Hummingbird always dynamically checks them.
+        if self.engine.config.intercept:
+            self.engine.validate_untrusted_hash(merged,
+                                                "Hash<Symbol, String>")
+        controller = route.controller(merged)
+        action = getattr(controller, route.action)
+        result = action()
+        return result if isinstance(result, str) else (
+            controller.response or "")

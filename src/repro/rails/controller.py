@@ -1,0 +1,91 @@
+"""Controllers and the simulated view layer.
+
+Controller actions are app code: they get real type annotations and are
+statically checked just in time.  ``params`` values come from the client,
+so — following section 4 — they are *always* dynamically checked at the
+dispatch boundary, even though calls between checked methods skip dynamic
+checks.
+
+``render`` simulates template work with genuine string building; Rails
+apps spend most of their time in framework code like this, which is why
+the paper's Rails overheads are smaller than its library overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..rtypes import Sym
+from . import typegen
+
+
+class MissingParamError(KeyError):
+    """A controller asked for a parameter the request did not carry."""
+
+
+def make_controller_base(app) -> type:
+    class Controller:
+        """Base class for this application's controllers."""
+
+        _app = app
+
+        def __init__(self, params: Optional[Dict] = None):
+            self.params = params or {}
+            self.response: Optional[str] = None
+
+        def __init_subclass__(cls, **kwargs):
+            super().__init_subclass__(**kwargs)
+            app.engine.register_class(cls)
+
+        # -- params (untrusted input) --------------------------------------
+
+        def param(self, key: Sym) -> str:
+            if key not in self.params:
+                raise MissingParamError(str(key))
+            return self.params[key]
+
+        def param_or(self, key: Sym, default: str) -> str:
+            return self.params.get(key, default)
+
+        def has_param(self, key: Sym) -> bool:
+            return key in self.params
+
+        def now(self):
+            import datetime
+            return datetime.datetime(2016, 4, 13, 12, 0, 0)
+
+        # -- rendering (simulated template engine) ----------------------------
+
+        def render(self, template: str, assigns: Optional[Dict] = None) -> str:
+            lines = [f"<!-- {template} -->"]
+            data = assigns or {}
+            for key in sorted(data, key=str):
+                value = data[key]
+                if isinstance(value, list):
+                    for item in value:
+                        lines.append(f"  <li>{_cell(item)}</li>")
+                else:
+                    lines.append(f"  <p>{key}: {_cell(value)}</p>")
+            # Layout chrome: fixed per-page work, like a real template.
+            for i in range(app.view_cost):
+                lines.append(f"  <div class='row-{i % 7}'>{i * 31 % 101}"
+                             f"</div>")
+            self.response = "\n".join(lines)
+            return self.response
+
+        def redirect_to(self, path: str) -> str:
+            self.response = f"<redirect to='{path}'/>"
+            return self.response
+
+        def head(self, status: int) -> str:
+            self.response = f"<head status='{status}'/>"
+            return self.response
+
+    typegen.install_controller_framework_types(app, Controller)
+    return Controller
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    return str(value)

@@ -1,0 +1,70 @@
+"""String inflections (the ActiveSupport fragment the framework needs).
+
+Fig. 1's type-generation hook computes ``hm.singularize.camelize`` to turn
+an association name into a class name; the ORM turns class names into
+table names the other way.  Rules are the common English ones — enough for
+the vocabulary of the six subject apps.
+"""
+
+from __future__ import annotations
+
+import re
+
+_IRREGULAR = {
+    "person": "people",
+    "child": "children",
+    "datum": "data",
+}
+_IRREGULAR_REV = {v: k for k, v in _IRREGULAR.items()}
+
+
+def pluralize(word: str) -> str:
+    """``talk`` -> ``talks``, ``country`` -> ``countries``."""
+    if not word:
+        return word
+    lower = word.lower()
+    if lower in _IRREGULAR:
+        return _IRREGULAR[lower]
+    if re.search(r"[^aeiou]y$", word):
+        return word[:-1] + "ies"
+    if re.search(r"(s|x|z|ch|sh)$", word):
+        return word + "es"
+    return word + "s"
+
+
+def singularize(word: str) -> str:
+    """``talks`` -> ``talk``, ``countries`` -> ``country``."""
+    if not word:
+        return word
+    lower = word.lower()
+    if lower in _IRREGULAR_REV:
+        return _IRREGULAR_REV[lower]
+    if word.endswith("ies"):
+        return word[:-3] + "y"
+    if re.search(r"(ses|xes|zes|ches|shes)$", word):
+        return word[:-2]
+    if word.endswith("s") and not word.endswith("ss"):
+        return word[:-1]
+    return word
+
+
+def camelize(word: str) -> str:
+    """``file_share`` -> ``FileShare``."""
+    return "".join(part.capitalize() or "_" for part in word.split("_"))
+
+
+def underscore(word: str) -> str:
+    """``FileShare`` -> ``file_share``."""
+    out = re.sub(r"(.)([A-Z][a-z]+)", r"\1_\2", word)
+    out = re.sub(r"([a-z0-9])([A-Z])", r"\1_\2", out)
+    return out.lower()
+
+
+def tableize(class_name: str) -> str:
+    """``Talk`` -> ``talks`` (Rails convention over configuration)."""
+    return pluralize(underscore(class_name))
+
+
+def foreign_key(name: str) -> str:
+    """``owner`` -> ``owner_id``."""
+    return f"{underscore(name)}_id"

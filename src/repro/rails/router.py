@@ -1,0 +1,60 @@
+"""Routing and request dispatch — the "curl script" entry point.
+
+Routes map ``(method, path pattern)`` to a controller action.  Dispatch
+builds the controller, runs the *always-on* dynamic params check (the
+untrusted-input rule of section 4), and invokes the action — which, being
+an annotated app method, goes through the JIT-checking wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rtypes import Sym
+
+
+class RoutingError(LookupError):
+    """No route matches the request."""
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    segments: Tuple[str, ...]
+    controller: type
+    action: str
+
+    def match(self, method: str, path_segments: Tuple[str, ...]
+              ) -> Optional[Dict]:
+        if method != self.method or len(path_segments) != len(self.segments):
+            return None
+        captures: Dict = {}
+        for pattern, actual in zip(self.segments, path_segments):
+            if pattern.startswith(":"):
+                captures[Sym(pattern[1:])] = actual
+            elif pattern != actual:
+                return None
+        return captures
+
+
+class Router:
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, path: str, controller: type,
+            action: str) -> None:
+        segments = tuple(s for s in path.strip("/").split("/") if s)
+        self._routes.append(Route(method.upper(), segments, controller,
+                                  action))
+
+    def resolve(self, method: str, path: str) -> Tuple[Route, Dict]:
+        segments = tuple(s for s in path.strip("/").split("/") if s)
+        for route in self._routes:
+            captures = route.match(method.upper(), segments)
+            if captures is not None:
+                return route, captures
+        raise RoutingError(f"no route for {method} {path}")
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)

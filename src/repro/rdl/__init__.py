@@ -1,0 +1,17 @@
+"""``repro.rdl`` — the contract-system substrate (RDL analog).
+
+Stores method type signatures at run time (:mod:`~repro.rdl.registry`),
+wraps methods to intercept calls, and provides ``pre``/``post`` contracts
+(:mod:`~repro.rdl.wrap`) — the machinery Hummingbird builds on.
+"""
+
+from .registry import CLASS, INSTANCE, MethodSig, TypeRegistry
+from .wrap import (
+    ContractViolation, add_post, add_pre, is_wrapped, unwrap_method,
+    wrap_method,
+)
+
+__all__ = [
+    "CLASS", "ContractViolation", "INSTANCE", "MethodSig", "TypeRegistry",
+    "add_post", "add_pre", "is_wrapped", "unwrap_method", "wrap_method",
+]

@@ -1,0 +1,134 @@
+"""The run-time type table (RDL analog).
+
+"Hummingbird's type annotation stores type information in a map and wraps
+the associated method to intercept calls to it" (paper, section 4).  This
+module is the map: signatures keyed by (owner class/module, method name,
+instance/class kind), where repeated ``type`` calls on the same method
+accumulate *intersection arms* (the paper's ``Array#[]`` example), plus
+instance/class field types (Hummingbird's addition to RDL).
+
+Mutations bump a version counter and notify listeners; the engine listens
+to drive cache invalidation (the formalism's (EType) rule) and phase
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..rtypes import MethodType, Type, parse_method_type, parse_type
+
+INSTANCE = "instance"
+CLASS = "class"
+
+Key = Tuple[str, str, str]  # (owner, name, kind)
+
+
+@dataclass
+class MethodSig:
+    """All typing information recorded for one method."""
+
+    owner: str
+    name: str
+    kind: str  # INSTANCE or CLASS
+    arms: List[MethodType] = field(default_factory=list)
+    #: statically check the body at calls (app methods); library and
+    #: framework annotations are trusted (paper: "we trusted the
+    #: annotations for all these libraries").
+    check: bool = False
+    #: created at run time by metaprogramming hooks (Table 1 "Gen'd").
+    generated: bool = False
+
+    def intersection(self) -> List[MethodType]:
+        return list(self.arms)
+
+
+class TypeRegistry:
+    """Signatures + field types, with change notification."""
+
+    def __init__(self) -> None:
+        self._sigs: Dict[Key, MethodSig] = {}
+        self._fields: Dict[Tuple[str, str], Type] = {}
+        self.version = 0
+        self._listeners: List[Callable[[str, str, str], None]] = []
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, owner: str, name: str, sig: "MethodType | str", *,
+            kind: str = INSTANCE, check: bool = False,
+            generated: bool = False) -> MethodSig:
+        """Record a signature; repeated calls add intersection arms.
+
+        Matching the paper, "adding the same type again is harmless":
+        a duplicate arm is ignored (and does not invalidate anything).
+        """
+        mt = parse_method_type(sig) if isinstance(sig, str) else sig
+        if not isinstance(mt, MethodType):
+            raise TypeError(f"not a method type: {sig!r}")
+        key = (owner, name, kind)
+        entry = self._sigs.get(key)
+        if entry is None:
+            entry = MethodSig(owner, name, kind, check=check,
+                              generated=generated)
+            self._sigs[key] = entry
+        if mt in entry.arms:
+            entry.check = entry.check or check
+            return entry
+        entry.arms.append(mt)
+        entry.check = entry.check or check
+        entry.generated = entry.generated or generated
+        self.version += 1
+        self._notify(owner, name, kind)
+        return entry
+
+    def replace(self, owner: str, name: str, sig: "MethodType | str", *,
+                kind: str = INSTANCE, check: bool = False,
+                generated: bool = False) -> MethodSig:
+        """Drop previous arms and install a single new signature.
+
+        The paper notes full invalidation support "will likely require an
+        explicit mechanism for replacing earlier type definitions" — this
+        is that mechanism.
+        """
+        key = (owner, name, kind)
+        self._sigs.pop(key, None)
+        return self.add(owner, name, sig, kind=kind, check=check,
+                        generated=generated)
+
+    def add_field(self, owner: str, field_name: str,
+                  t: "Type | str") -> None:
+        """Record an instance/class field type (paper Fig. 3's
+        ``field_type :@transactions, "Array<Transaction>"``)."""
+        ty = parse_type(t) if isinstance(t, str) else t
+        self._fields[(owner, field_name)] = ty
+        self.version += 1
+        self._notify(owner, field_name, "field")
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, owner: str, name: str,
+               kind: str = INSTANCE) -> Optional[MethodSig]:
+        return self._sigs.get((owner, name, kind))
+
+    def lookup_field(self, owner: str, field_name: str) -> Optional[Type]:
+        return self._fields.get((owner, field_name))
+
+    def sigs(self) -> Iterable[MethodSig]:
+        return self._sigs.values()
+
+    def sig_count(self) -> int:
+        return len(self._sigs)
+
+    def methods_of(self, owner: str) -> List[MethodSig]:
+        return [s for s in self._sigs.values() if s.owner == owner]
+
+    # -- notification ----------------------------------------------------------
+
+    def on_change(self, listener: Callable[[str, str, str], None]) -> None:
+        """Register a callback fired as (owner, name, kind) on mutation."""
+        self._listeners.append(listener)
+
+    def _notify(self, owner: str, name: str, kind: str) -> None:
+        for listener in self._listeners:
+            listener(owner, name, kind)

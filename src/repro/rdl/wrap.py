@@ -1,0 +1,139 @@
+"""Method wrapping — the interception machinery RDL provides Hummingbird.
+
+"Hummingbird's type annotation stores type information in a map and wraps
+the associated method to intercept calls to it" (section 4).  This module
+does the wrapping on host classes: the wrapper forwards every call through
+:meth:`repro.core.engine.Engine.invoke`, which runs the JIT protocol, then
+calls the original.
+
+Wrapping happens once per *defining* class; the engine keys checking and
+caching by the *receiver's* class, so mixin methods are checked per
+including class (the paper's module-handling strategy).
+
+``pre``/``post`` contracts (the RDL feature Figs. 1 and 2 use to generate
+types when metaprogramming runs) are implemented here too: contracts run
+inside the wrapper, before and after the original body.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List, Tuple
+
+from ..rdl.registry import CLASS, INSTANCE
+
+
+class ContractViolation(Exception):
+    """A ``pre`` or ``post`` contract returned a falsy value."""
+
+
+# Contracts keyed by (class name, method name); run by the wrapper.
+_PRE_KEY = "__hb_pres__"
+_POST_KEY = "__hb_posts__"
+
+
+def wrap_method(engine, pycls: type, name: str, *, kind: str = INSTANCE,
+                fn=None) -> None:
+    """Install (or refresh) the interception wrapper for ``pycls.name``."""
+    def_cls = _defining_class(pycls, name)
+    if def_cls is None:
+        def_cls = pycls
+    raw = def_cls.__dict__.get(name)
+    was_classmethod = isinstance(raw, classmethod)
+    if fn is None:
+        fn = raw.__func__ if isinstance(raw, (classmethod, staticmethod)) \
+            else raw
+    original = getattr(fn, "__hb_original__", fn)
+    def_owner = def_cls.__name__
+
+    @functools.wraps(original)
+    def wrapper(recv, *args, **kwargs):
+        _run_contracts(engine, recv, def_owner, name, _PRE_KEY, args, kwargs)
+        result = engine.invoke(def_owner, name, kind, original, recv, args,
+                               kwargs)
+        _run_contracts(engine, recv, def_owner, name, _POST_KEY, args,
+                       kwargs, result=result)
+        return result
+
+    wrapper.__hb_original__ = original
+    wrapper.__hb_engine__ = engine
+    installed = classmethod(wrapper) if (kind == CLASS or was_classmethod) \
+        else wrapper
+    setattr(def_cls, name, installed)
+
+
+def unwrap_method(pycls: type, name: str) -> None:
+    """Restore the original method (used by engine teardown in tests)."""
+    def_cls = _defining_class(pycls, name)
+    if def_cls is None:
+        return
+    raw = def_cls.__dict__.get(name)
+    fn = raw.__func__ if isinstance(raw, (classmethod, staticmethod)) else raw
+    original = getattr(fn, "__hb_original__", None)
+    if original is not None:
+        setattr(def_cls, name, original)
+
+
+def is_wrapped(pycls: type, name: str) -> bool:
+    def_cls = _defining_class(pycls, name)
+    if def_cls is None:
+        return False
+    raw = def_cls.__dict__.get(name)
+    fn = raw.__func__ if isinstance(raw, (classmethod, staticmethod)) else raw
+    return getattr(fn, "__hb_original__", None) is not None
+
+
+def add_pre(engine, pycls: type, name: str, contract: Callable) -> None:
+    """Attach a precondition — runs with the call's arguments before the
+    method body.  Figs. 1 and 2 use exactly this to generate types as
+    metaprogramming executes."""
+    _contracts_on(engine, pycls, name).setdefault(_PRE_KEY, []).append(
+        contract)
+
+
+def add_post(engine, pycls: type, name: str, contract: Callable) -> None:
+    """Attach a postcondition — runs with (result, *args) after the body."""
+    _contracts_on(engine, pycls, name).setdefault(_POST_KEY, []).append(
+        contract)
+
+
+def _contracts_on(engine, pycls: type, name: str) -> Dict[str, List]:
+    store = engine.__dict__.setdefault("_contracts", {})
+    key = (pycls.__name__, name)
+    if key not in store:
+        store[key] = {}
+        # Contracts are Hummingbird instrumentation: in "Orig" mode
+        # (intercept=False) nothing is wrapped and no hooks run.
+        if engine.config.intercept and not is_wrapped(pycls, name):
+            wrap_method(engine, pycls, name)
+    return store[key]
+
+
+def _run_contracts(engine, recv, owner: str, name: str, which: str,
+                   args, kwargs, result=None) -> None:
+    store = engine.__dict__.get("_contracts", {})
+    entry = store.get((owner, name))
+    if not entry:
+        cls = type(recv) if not isinstance(recv, type) else recv
+        for klass in getattr(cls, "__mro__", ()):
+            entry = store.get((klass.__name__, name))
+            if entry:
+                break
+    if not entry:
+        return
+    for contract in entry.get(which, ()):  # pragma: no branch
+        if which == _PRE_KEY:
+            ok = contract(recv, *args, **kwargs)
+        else:
+            ok = contract(recv, result, *args, **kwargs)
+        if not ok:
+            kind = "pre" if which == _PRE_KEY else "post"
+            raise ContractViolation(
+                f"{kind}-condition on {owner}#{name} failed")
+
+
+def _defining_class(pycls: type, name: str):
+    for klass in getattr(pycls, "__mro__", (pycls,)):
+        if name in klass.__dict__:
+            return klass
+    return None

@@ -1,0 +1,57 @@
+"""Structural IR diffing for development-mode reloading.
+
+Paper section 4 ("Cache Invalidation"): when Rails development mode reloads
+a file, Hummingbird compares each method's new body against the old one
+using the RIL CFGs, invalidating only methods whose bodies actually
+changed, plus their dependents, plus dependents of removed methods.  These
+helpers compute exactly those three sets from two registry snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from .registry import CFGRegistry, MethodIR
+
+Key = Tuple[str, str]
+
+
+def bodies_differ(old: MethodIR, new: MethodIR) -> bool:
+    """True when the two bodies differ structurally (positions ignored)."""
+    return (old.fingerprint != new.fingerprint
+            or old.params != new.params)
+
+
+def snapshot_fingerprints(reg: CFGRegistry) -> Dict[Key, str]:
+    """Capture the registry's current body fingerprints."""
+    return {key: reg.lookup(*key).fingerprint for key in reg.keys()}
+
+
+def diff_registries(old: Dict[Key, str], reg: CFGRegistry) -> "RegistryDiff":
+    """Compare a fingerprint snapshot against the registry's current state."""
+    current = snapshot_fingerprints(reg)
+    changed = {k for k, fp in current.items()
+               if k in old and old[k] != fp}
+    added = {k for k in current if k not in old}
+    removed = {k for k in old if k not in current}
+    return RegistryDiff(changed=changed, added=added, removed=removed)
+
+
+class RegistryDiff:
+    """The three change sets dev-mode invalidation needs."""
+
+    def __init__(self, changed: Set[Key], added: Set[Key],
+                 removed: Set[Key]):
+        self.changed = changed
+        self.added = added
+        self.removed = removed
+
+    def invalidation_roots(self) -> Set[Key]:
+        """Methods whose cached checks (and dependents) must be dropped:
+        changed bodies and removed methods.  Added methods are *not* roots —
+        they are simply checked on first call (paper, Table 2 'Added')."""
+        return self.changed | self.removed
+
+    def __repr__(self) -> str:
+        return (f"RegistryDiff(changed={sorted(self.changed)}, "
+                f"added={sorted(self.added)}, removed={sorted(self.removed)})")

@@ -1,0 +1,337 @@
+"""The simplified method-body IR (our analog of the Ruby Intermediate
+Language).
+
+RIL "simplifies away many of the tedious features of Ruby" (paper,
+section 4); this IR does the same for Python:
+
+* every operator becomes a method call (``a + b`` is ``a.+(b)``, ``a[i]`` is
+  ``a.[](i)``), so the checker has exactly one call rule;
+* ``self.x`` reads/writes become instance-variable nodes, resolved by the
+  checker against field types or getter/setter methods;
+* lambdas and comprehension bodies become :class:`BlockFn` nodes — the code
+  blocks of the paper;
+* ``is None`` tests become :class:`IsNil` so the checker's narrowing
+  extension can see them.
+
+Every node carries a source position for error reporting.  The tree is
+plain data: JSON serialization lives in :mod:`repro.ril.json_io` and
+structural comparison in :mod:`repro.ril.diff`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Pos:
+    """A source position (1-based line, 0-based column)."""
+
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"line {self.line}"
+
+
+NOWHERE = Pos()
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for IR nodes.  ``pos`` is always the last field."""
+
+
+# -- literals ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NilLit(Node):
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    value: bool
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class IntLit(Node):
+    value: int
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class FloatLit(Node):
+    value: float
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class StrLit(Node):
+    value: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class SymLit(Node):
+    """A symbol literal — ``Sym("owner")`` in host code, ``:owner`` in Ruby."""
+
+    name: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class ArrayLit(Node):
+    elems: Tuple[Node, ...]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class HashLit(Node):
+    pairs: Tuple[Tuple[Node, Node], ...]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class RangeLit(Node):
+    lo: Node
+    hi: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class StrFormat(Node):
+    """An interpolated string: literal text parts and expression parts.
+
+    Ruby's ``"#{e}"`` / Python's f-string.  Every expression part is
+    implicitly converted with ``to_s``, so any type is accepted.
+    """
+
+    parts: Tuple[object, ...]  # str | Node
+    pos: Pos = NOWHERE
+
+
+# -- names ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelfRef(Node):
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class VarRead(Node):
+    name: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class ConstRead(Node):
+    """A capitalized name: a class reference (``User``) or constant."""
+
+    name: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class IVarRead(Node):
+    """``self.name`` in read position — an instance variable or a getter."""
+
+    name: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class VarWrite(Node):
+    name: str
+    value: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class IVarWrite(Node):
+    """``self.name = e`` — an instance variable write or a setter call."""
+
+    name: str
+    value: Node
+    pos: Pos = NOWHERE
+
+
+# -- control flow -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Seq(Node):
+    stmts: Tuple[Node, ...]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class If(Node):
+    test: Node
+    then: Node
+    orelse: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class While(Node):
+    test: Node
+    body: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class ForEach(Node):
+    """``for var in iterable: body`` — iteration over an ``Array<T>``."""
+
+    var: str
+    iterable: Node
+    body: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Optional[Node]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Break(Node):
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Next(Node):
+    """``continue`` (Ruby ``next``)."""
+
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Raise(Node):
+    value: Optional[Node]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Handler(Node):
+    """One ``rescue``/``except`` clause."""
+
+    class_name: Optional[str]
+    var: Optional[str]
+    body: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Try(Node):
+    body: Node
+    handlers: Tuple[Handler, ...]
+    orelse: Optional[Node]
+    final: Optional[Node]
+    pos: Pos = NOWHERE
+
+
+# -- operations -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoolOp(Node):
+    """Short-circuit ``and`` / ``or`` over two or more parts."""
+
+    op: str  # "and" | "or"
+    parts: Tuple[Node, ...]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    value: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class IsNil(Node):
+    """``e is None`` — kept distinct so narrowing can use it."""
+
+    value: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class IsA(Node):
+    """``isinstance(e, C)`` — kept distinct so narrowing can use it."""
+
+    value: Node
+    class_name: str
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class BlockFn(Node):
+    """A code block (lambda / comprehension body) passed to a method."""
+
+    params: Tuple[str, ...]
+    body: Node
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """A method call ``recv.name(args) { block }``.
+
+    ``recv is None`` means a bare call — resolved by the checker first as a
+    call to a local variable holding a Proc, then as a method on ``self``
+    (Ruby's implicit-self semantics, which is also how the paper's Talks
+    app treats undefined variables as no-argument methods).
+    """
+
+    recv: Optional[Node]
+    name: str
+    args: Tuple[Node, ...]
+    block: Optional[BlockFn]
+    pos: Pos = NOWHERE
+
+
+@dataclass(frozen=True)
+class Cast(Node):
+    """``hb.cast(e, "T")`` — the paper's ``rdl_cast``.  Statically the
+    expression has type ``T``; dynamically the engine checks conformance."""
+
+    value: Node
+    type_text: str
+    pos: Pos = NOWHERE
+
+
+def seq(*stmts: Node) -> Node:
+    """Collapse a statement list into a single node."""
+    flat = [s for s in stmts if s is not None]
+    if not flat:
+        return NilLit()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat), flat[0].pos if hasattr(flat[0], "pos") else NOWHERE)
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants, pre-order."""
+    yield node
+    for name in getattr(node, "__dataclass_fields__", ()):
+        if name == "pos":
+            continue
+        value = getattr(node, name)
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)
+                elif (isinstance(item, tuple) and len(item) == 2
+                        and all(isinstance(x, Node) for x in item)):
+                    yield from walk(item[0])
+                    yield from walk(item[1])

@@ -1,0 +1,89 @@
+"""IR ⇄ JSON serialization.
+
+The paper modified DRuby to emit each file's RIL CFG as JSON, loaded at run
+time by the Ruby side.  We mirror that pipeline: any IR tree serializes to
+plain JSON-compatible data and back.  Fingerprints for the dev-mode diff are
+computed over the *position-free* serialization, so shifting a method down a
+file does not count as changing its body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from typing import Any, Dict
+
+from . import ir
+from .ir import Node, Pos
+
+_NODE_CLASSES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in vars(ir).values()
+    if isinstance(cls, type) and issubclass(cls, Node) and cls is not Node
+}
+
+
+def to_json(node: Node, *, include_pos: bool = True) -> dict:
+    """Serialize an IR node to JSON-compatible data."""
+    out: Dict[str, Any] = {"kind": type(node).__name__}
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if f.name == "pos":
+            if include_pos:
+                out["pos"] = [value.line, value.col]
+            continue
+        out[f.name] = _encode(value, include_pos)
+    return out
+
+
+def _encode(value: Any, include_pos: bool) -> Any:
+    if isinstance(value, Node):
+        return to_json(value, include_pos=include_pos)
+    if isinstance(value, tuple):
+        return [_encode(v, include_pos) for v in value]
+    return value
+
+
+def from_json(data: dict) -> Node:
+    """Deserialize JSON data produced by :func:`to_json`."""
+    kind = data["kind"]
+    cls = _NODE_CLASSES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown IR node kind {kind!r}")
+    kwargs: Dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name == "pos":
+            raw = data.get("pos")
+            kwargs["pos"] = Pos(*raw) if raw else ir.NOWHERE
+            continue
+        kwargs[f.name] = _decode(data.get(f.name))
+    return cls(**kwargs)
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict) and "kind" in value:
+        return from_json(value)
+    if isinstance(value, list):
+        return tuple(_decode(v) for v in value)
+    return value
+
+
+def dumps(node: Node, *, include_pos: bool = True) -> str:
+    """Serialize to a JSON string (stable key order for fingerprints)."""
+    return json.dumps(to_json(node, include_pos=include_pos), sort_keys=True)
+
+
+def loads(text: str) -> Node:
+    return from_json(json.loads(text))
+
+
+def fingerprint(node: Node) -> str:
+    """A stable digest of the node's position-free structure.
+
+    Dev-mode reloading compares old and new method bodies with this (paper
+    section 4: "if there is a difference between its new and old method
+    body (which we check using the RIL CFGs), we invalidate the method").
+    """
+    payload = dumps(node, include_pos=False)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -1,0 +1,479 @@
+"""Lower Python ``ast`` to the simplified method-body IR.
+
+This is our analog of the DRuby front end: it "simplifies away many of the
+tedious features" of the host language so the checker sees a small core:
+
+* all operators, subscripts, and non-self attribute accesses become method
+  calls with Ruby-flavored selectors (``+``, ``[]``, ``[]=``, ``name``,
+  ``name=``);
+* ``ClassName(...)`` construction becomes ``ClassName.new(...)``;
+* lambdas and single-generator comprehensions become code blocks
+  (``xs.map { ... }`` / ``xs.select { ... }``);
+* ``x: "T" = e`` annotated assignments and ``cast(e, "T")`` calls become
+  :class:`~repro.ril.ir.Cast` nodes (the paper's ``rdl_cast``);
+* ``len``/``str``/``int``/``float``/``print`` map to ``length``/``to_s``/
+  ``to_i``/``to_f``/``puts``.
+
+Constructs outside the supported subset raise :class:`LoweringError` with a
+source position.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence
+
+from . import ir
+from .ir import NOWHERE, Node, Pos
+
+
+class LoweringError(ValueError):
+    """Raised when a method body uses a construct the IR cannot express."""
+
+    def __init__(self, message: str, pos: Pos = NOWHERE):
+        super().__init__(f"{message} ({pos})")
+        self.pos = pos
+
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "/", ast.Mod: "%", ast.Pow: "**",
+    ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+    ast.LShift: "<<", ast.RShift: ">>",
+}
+
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+_BUILTIN_CALLS = {
+    "len": "length", "str": "to_s", "int": "to_i", "float": "to_f",
+    "abs": "abs",
+}
+
+
+def _pos(node: ast.AST) -> Pos:
+    return Pos(getattr(node, "lineno", 0), getattr(node, "col_offset", 0))
+
+
+def lower_body(stmts: Sequence[ast.stmt]) -> Node:
+    """Lower a statement list, dropping a leading docstring."""
+    items = list(stmts)
+    if (items and isinstance(items[0], ast.Expr)
+            and isinstance(items[0].value, ast.Constant)
+            and isinstance(items[0].value.value, str)):
+        items = items[1:]
+    return ir.seq(*[lower_stmt(s) for s in items])
+
+
+def lower_function(fn: ast.FunctionDef) -> Node:
+    """Lower a function definition's body."""
+    return lower_body(fn.body)
+
+
+# -- statements --------------------------------------------------------------
+
+
+def lower_stmt(stmt: ast.stmt) -> Node:
+    pos = _pos(stmt)
+    if isinstance(stmt, ast.Expr):
+        return lower_expr(stmt.value)
+    if isinstance(stmt, ast.Return):
+        value = lower_expr(stmt.value) if stmt.value is not None else None
+        return ir.Return(value, pos)
+    if isinstance(stmt, ast.Pass):
+        return ir.NilLit(pos)
+    if isinstance(stmt, ast.Break):
+        return ir.Break(pos)
+    if isinstance(stmt, ast.Continue):
+        return ir.Next(pos)
+    if isinstance(stmt, ast.Assign):
+        return _lower_assign(stmt, pos)
+    if isinstance(stmt, ast.AnnAssign):
+        return _lower_ann_assign(stmt, pos)
+    if isinstance(stmt, ast.AugAssign):
+        return _lower_aug_assign(stmt, pos)
+    if isinstance(stmt, ast.If):
+        return ir.If(lower_expr(stmt.test), lower_body(stmt.body),
+                     lower_body(stmt.orelse), pos)
+    if isinstance(stmt, ast.While):
+        if stmt.orelse:
+            raise LoweringError("while/else is not supported", pos)
+        return ir.While(lower_expr(stmt.test), lower_body(stmt.body), pos)
+    if isinstance(stmt, ast.For):
+        return _lower_for(stmt, pos)
+    if isinstance(stmt, ast.Raise):
+        value = lower_expr(stmt.exc) if stmt.exc is not None else None
+        return ir.Raise(value, pos)
+    if isinstance(stmt, ast.Try):
+        return _lower_try(stmt, pos)
+    if isinstance(stmt, ast.Assert):
+        # An assertion evaluates its test; typing-wise that is all we need.
+        return lower_expr(stmt.test)
+    if isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Global,
+                         ast.Nonlocal)):
+        return ir.NilLit(pos)
+    raise LoweringError(
+        f"unsupported statement {type(stmt).__name__}", pos)
+
+
+def _lower_assign(stmt: ast.Assign, pos: Pos) -> Node:
+    if len(stmt.targets) != 1:
+        raise LoweringError("chained assignment is not supported", pos)
+    value = lower_expr(stmt.value)
+    return _assign_to(stmt.targets[0], value, pos)
+
+
+def _assign_to(target: ast.expr, value: Node, pos: Pos) -> Node:
+    if isinstance(target, ast.Name):
+        return ir.VarWrite(target.id, value, pos)
+    if isinstance(target, ast.Attribute):
+        if _is_self(target.value):
+            return ir.IVarWrite(target.attr, value, pos)
+        return ir.Call(lower_expr(target.value), f"{target.attr}=",
+                       (value,), None, pos)
+    if isinstance(target, ast.Subscript):
+        recv = lower_expr(target.value)
+        index = lower_expr(target.slice)
+        return ir.Call(recv, "[]=", (index, value), None, pos)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for elt in target.elts:
+            if not isinstance(elt, ast.Name):
+                raise LoweringError(
+                    "destructuring targets must be plain names", pos)
+            names.append(elt.id)
+        tmp = "$destructure"
+        writes: List[Node] = [ir.VarWrite(tmp, value, pos)]
+        for i, name in enumerate(names):
+            writes.append(ir.VarWrite(
+                name,
+                ir.Call(ir.VarRead(tmp, pos), "[]", (ir.IntLit(i, pos),),
+                        None, pos),
+                pos))
+        return ir.seq(*writes)
+    raise LoweringError(
+        f"unsupported assignment target {type(target).__name__}", pos)
+
+
+def _lower_ann_assign(stmt: ast.AnnAssign, pos: Pos) -> Node:
+    """``x: "Array<Integer>" = e`` declares a local's type via a cast."""
+    if stmt.value is None:
+        raise LoweringError("annotated declaration requires a value", pos)
+    value = lower_expr(stmt.value)
+    ann = stmt.annotation
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        value = ir.Cast(value, ann.value, pos)
+    return _assign_to(stmt.target, value, pos)
+
+
+def _lower_aug_assign(stmt: ast.AugAssign, pos: Pos) -> Node:
+    op = _BINOPS.get(type(stmt.op))
+    if op is None:
+        raise LoweringError("unsupported augmented assignment operator", pos)
+    target = stmt.target
+    rhs = lower_expr(stmt.value)
+    if isinstance(target, ast.Name):
+        combined = ir.Call(ir.VarRead(target.id, pos), op, (rhs,), None, pos)
+        return ir.VarWrite(target.id, combined, pos)
+    if isinstance(target, ast.Attribute) and _is_self(target.value):
+        combined = ir.Call(ir.IVarRead(target.attr, pos), op, (rhs,), None,
+                           pos)
+        return ir.IVarWrite(target.attr, combined, pos)
+    if isinstance(target, ast.Subscript):
+        recv = lower_expr(target.value)
+        index = lower_expr(target.slice)
+        current = ir.Call(recv, "[]", (index,), None, pos)
+        combined = ir.Call(current, op, (rhs,), None, pos)
+        return ir.Call(recv, "[]=", (index, combined), None, pos)
+    raise LoweringError("unsupported augmented assignment target", pos)
+
+
+def _lower_for(stmt: ast.For, pos: Pos) -> Node:
+    if stmt.orelse:
+        raise LoweringError("for/else is not supported", pos)
+    iterable = lower_expr(stmt.iter)
+    body = lower_body(stmt.body)
+    target = stmt.target
+    if isinstance(target, ast.Name):
+        return ir.ForEach(target.id, iterable, body, pos)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names = []
+        for elt in target.elts:
+            if not isinstance(elt, ast.Name):
+                raise LoweringError("loop targets must be plain names", pos)
+            names.append(elt.id)
+        tmp = "$each"
+        unpack: List[Node] = []
+        for i, name in enumerate(names):
+            unpack.append(ir.VarWrite(
+                name,
+                ir.Call(ir.VarRead(tmp, pos), "[]", (ir.IntLit(i, pos),),
+                        None, pos),
+                pos))
+        return ir.ForEach(tmp, iterable, ir.seq(*unpack, body), pos)
+    raise LoweringError("unsupported loop target", pos)
+
+
+def _lower_try(stmt: ast.Try, pos: Pos) -> Node:
+    handlers = []
+    for h in stmt.handlers:
+        class_name = None
+        if h.type is not None:
+            if not isinstance(h.type, ast.Name):
+                raise LoweringError("handler class must be a plain name",
+                                    _pos(h))
+            class_name = h.type.id
+        handlers.append(ir.Handler(class_name, h.name, lower_body(h.body),
+                                   _pos(h)))
+    orelse = lower_body(stmt.orelse) if stmt.orelse else None
+    final = lower_body(stmt.finalbody) if stmt.finalbody else None
+    return ir.Try(lower_body(stmt.body), tuple(handlers), orelse, final, pos)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+def lower_expr(expr: ast.expr) -> Node:
+    pos = _pos(expr)
+    if isinstance(expr, ast.Constant):
+        return _lower_constant(expr.value, pos)
+    if isinstance(expr, ast.Name):
+        if expr.id == "self":
+            return ir.SelfRef(pos)
+        if expr.id[0].isupper():
+            return ir.ConstRead(expr.id, pos)
+        return ir.VarRead(expr.id, pos)
+    if isinstance(expr, ast.Attribute):
+        if _is_self(expr.value):
+            return ir.IVarRead(expr.attr, pos)
+        return ir.Call(lower_expr(expr.value), expr.attr, (), None, pos)
+    if isinstance(expr, ast.Call):
+        return _lower_call(expr, pos)
+    if isinstance(expr, ast.BinOp):
+        op = _BINOPS.get(type(expr.op))
+        if op is None:
+            raise LoweringError("unsupported binary operator", pos)
+        return ir.Call(lower_expr(expr.left), op,
+                       (lower_expr(expr.right),), None, pos)
+    if isinstance(expr, ast.UnaryOp):
+        return _lower_unary(expr, pos)
+    if isinstance(expr, ast.BoolOp):
+        op = "and" if isinstance(expr.op, ast.And) else "or"
+        return ir.BoolOp(op, tuple(lower_expr(v) for v in expr.values), pos)
+    if isinstance(expr, ast.Compare):
+        return _lower_compare(expr, pos)
+    if isinstance(expr, ast.IfExp):
+        return ir.If(lower_expr(expr.test), lower_expr(expr.body),
+                     lower_expr(expr.orelse), pos)
+    if isinstance(expr, (ast.List, ast.Tuple)):
+        return ir.ArrayLit(tuple(lower_expr(e) for e in expr.elts), pos)
+    if isinstance(expr, ast.Dict):
+        pairs = []
+        for k, v in zip(expr.keys, expr.values):
+            if k is None:
+                raise LoweringError("dict unpacking is not supported", pos)
+            pairs.append((lower_expr(k), lower_expr(v)))
+        return ir.HashLit(tuple(pairs), pos)
+    if isinstance(expr, ast.Subscript):
+        return ir.Call(lower_expr(expr.value), "[]",
+                       (lower_expr(expr.slice),), None, pos)
+    if isinstance(expr, ast.JoinedStr):
+        return _lower_fstring(expr, pos)
+    if isinstance(expr, ast.Lambda):
+        return _lower_block(expr.args, lower_expr(expr.body), pos)
+    if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+        return _lower_comprehension(expr, pos)
+    raise LoweringError(
+        f"unsupported expression {type(expr).__name__}", pos)
+
+
+def _lower_constant(value: object, pos: Pos) -> Node:
+    if value is None:
+        return ir.NilLit(pos)
+    if isinstance(value, bool):
+        return ir.BoolLit(value, pos)
+    if isinstance(value, int):
+        return ir.IntLit(value, pos)
+    if isinstance(value, float):
+        return ir.FloatLit(value, pos)
+    if isinstance(value, str):
+        return ir.StrLit(value, pos)
+    raise LoweringError(f"unsupported constant {value!r}", pos)
+
+
+def _lower_unary(expr: ast.UnaryOp, pos: Pos) -> Node:
+    if isinstance(expr.op, ast.Not):
+        return ir.Not(lower_expr(expr.operand), pos)
+    if isinstance(expr.op, ast.USub):
+        if isinstance(expr.operand, ast.Constant) and isinstance(
+                expr.operand.value, (int, float)) and not isinstance(
+                expr.operand.value, bool):
+            return _lower_constant(-expr.operand.value, pos)
+        return ir.Call(lower_expr(expr.operand), "-@", (), None, pos)
+    if isinstance(expr.op, ast.UAdd):
+        return lower_expr(expr.operand)
+    raise LoweringError("unsupported unary operator", pos)
+
+
+def _lower_compare(expr: ast.Compare, pos: Pos) -> Node:
+    parts: List[Node] = []
+    left = expr.left
+    for op, right in zip(expr.ops, expr.comparators):
+        parts.append(_lower_one_compare(left, op, right, pos))
+        left = right
+    if len(parts) == 1:
+        return parts[0]
+    return ir.BoolOp("and", tuple(parts), pos)
+
+
+def _lower_one_compare(left: ast.expr, op: ast.cmpop, right: ast.expr,
+                       pos: Pos) -> Node:
+    if isinstance(op, (ast.Is, ast.IsNot)):
+        if isinstance(right, ast.Constant) and right.value is None:
+            test = ir.IsNil(lower_expr(left), pos)
+        elif isinstance(left, ast.Constant) and left.value is None:
+            test = ir.IsNil(lower_expr(right), pos)
+        else:
+            test = ir.Call(lower_expr(left), "equal?",
+                           (lower_expr(right),), None, pos)
+        return ir.Not(test, pos) if isinstance(op, ast.IsNot) else test
+    if isinstance(op, ast.In):
+        return ir.Call(lower_expr(right), "include?",
+                       (lower_expr(left),), None, pos)
+    if isinstance(op, ast.NotIn):
+        return ir.Not(ir.Call(lower_expr(right), "include?",
+                              (lower_expr(left),), None, pos), pos)
+    name = _CMPOPS.get(type(op))
+    if name is None:
+        raise LoweringError("unsupported comparison operator", pos)
+    return ir.Call(lower_expr(left), name, (lower_expr(right),), None, pos)
+
+
+def _lower_fstring(expr: ast.JoinedStr, pos: Pos) -> Node:
+    parts: List[object] = []
+    for value in expr.values:
+        if isinstance(value, ast.Constant):
+            parts.append(value.value)
+        elif isinstance(value, ast.FormattedValue):
+            parts.append(lower_expr(value.value))
+        else:
+            raise LoweringError("unsupported f-string component", pos)
+    return ir.StrFormat(tuple(parts), pos)
+
+
+def _lower_block(args: ast.arguments, body: Node, pos: Pos) -> ir.BlockFn:
+    if args.kwonlyargs or args.vararg or args.kwarg or args.defaults:
+        raise LoweringError("code blocks take plain positional params", pos)
+    return ir.BlockFn(tuple(a.arg for a in args.args), body, pos)
+
+
+def _lower_comprehension(expr, pos: Pos) -> Node:
+    """``[f(x) for x in xs]`` becomes ``xs.map { |x| f(x) }``; a single
+    ``if`` becomes a ``select`` before the ``map``."""
+    if len(expr.generators) != 1:
+        raise LoweringError("only single-generator comprehensions", pos)
+    gen = expr.generators[0]
+    if gen.is_async:
+        raise LoweringError("async comprehensions are not supported", pos)
+    if not isinstance(gen.target, ast.Name):
+        raise LoweringError("comprehension target must be a plain name", pos)
+    var = gen.target.id
+    source = lower_expr(gen.iter)
+    for cond in gen.ifs:
+        source = ir.Call(source, "select", (),
+                         ir.BlockFn((var,), lower_expr(cond), pos), pos)
+    return ir.Call(source, "map", (),
+                   ir.BlockFn((var,), lower_expr(expr.elt), pos), pos)
+
+
+def _is_self(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id == "self"
+
+
+def _lower_call(expr: ast.Call, pos: Pos) -> Node:
+    func = expr.func
+    # cast(e, "T") / hb.cast(e, "T") / e.rdl_cast("T")
+    cast_call = _match_cast(expr, pos)
+    if cast_call is not None:
+        return cast_call
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name == "Sym" and len(expr.args) == 1 and isinstance(
+                expr.args[0], ast.Constant) and isinstance(
+                expr.args[0].value, str):
+            return ir.SymLit(expr.args[0].value, pos)
+        if name == "isinstance" and len(expr.args) == 2 and isinstance(
+                expr.args[1], ast.Name):
+            return ir.IsA(lower_expr(expr.args[0]), expr.args[1].id, pos)
+        if name == "range":
+            args = [lower_expr(a) for a in expr.args]
+            if len(args) == 1:
+                return ir.RangeLit(ir.IntLit(0, pos), args[0], pos)
+            if len(args) == 2:
+                return ir.RangeLit(args[0], args[1], pos)
+            raise LoweringError("range() takes one or two arguments", pos)
+        if name == "print":
+            args, block = _lower_args(expr, pos)
+            return ir.Call(None, "puts", args, block, pos)
+        if name in _BUILTIN_CALLS and len(expr.args) == 1 and not \
+                expr.keywords:
+            return ir.Call(lower_expr(expr.args[0]), _BUILTIN_CALLS[name],
+                           (), None, pos)
+        if name[0].isupper():
+            args, block = _lower_args(expr, pos)
+            return ir.Call(ir.ConstRead(name, pos), "new", args, block, pos)
+        args, block = _lower_args(expr, pos)
+        return ir.Call(None, name, args, block, pos)
+    if isinstance(func, ast.Attribute):
+        recv = ir.SelfRef(_pos(func)) if _is_self(func.value) \
+            else lower_expr(func.value)
+        args, block = _lower_args(expr, pos)
+        return ir.Call(recv, func.attr, args, block, pos)
+    raise LoweringError("unsupported call target", pos)
+
+
+def _match_cast(expr: ast.Call, pos: Pos) -> Optional[Node]:
+    func = expr.func
+    is_cast_name = (isinstance(func, ast.Name)
+                    and func.id in ("cast", "rdl_cast"))
+    is_hb_cast = (isinstance(func, ast.Attribute) and func.attr == "cast"
+                  and isinstance(func.value, ast.Name)
+                  and func.value.id in ("hb", "repro", "rdl"))
+    if is_cast_name or is_hb_cast:
+        if len(expr.args) != 2 or not isinstance(expr.args[1], ast.Constant):
+            raise LoweringError(
+                "cast requires a value and a literal type string", pos)
+        return ir.Cast(lower_expr(expr.args[0]), expr.args[1].value, pos)
+    if (isinstance(func, ast.Attribute) and func.attr == "rdl_cast"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], ast.Constant)):
+        return ir.Cast(lower_expr(func.value), expr.args[0].value, pos)
+    return None
+
+
+def _lower_args(expr: ast.Call, pos: Pos):
+    """Positional args lower directly; keyword args become a trailing
+    hash argument (Ruby options-hash convention); a trailing lambda becomes
+    the code block."""
+    args: List[Node] = []
+    block: Optional[ir.BlockFn] = None
+    for a in expr.args:
+        if isinstance(a, ast.Starred):
+            raise LoweringError("argument splat is not supported", pos)
+        args.append(lower_expr(a))
+    if args and isinstance(args[-1], ir.BlockFn):
+        block = args.pop()  # trailing lambda is the code block
+    kw_pairs = []
+    for kw in expr.keywords:
+        if kw.arg is None:
+            raise LoweringError("keyword splat is not supported", pos)
+        if kw.arg == "block" and isinstance(expr_kw := lower_expr(kw.value),
+                                            ir.BlockFn):
+            block = expr_kw
+            continue
+        kw_pairs.append((ir.SymLit(kw.arg, pos), lower_expr(kw.value)))
+    if kw_pairs:
+        args.append(ir.HashLit(tuple(kw_pairs), pos))
+    return tuple(args), block

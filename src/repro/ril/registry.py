@@ -1,0 +1,204 @@
+"""The method-IR registry: (class name, method name) -> lowered body.
+
+The paper's pipeline parses each application file with DRuby, emits JSON
+CFGs, and at run time keeps "a mapping from class and method names and
+positions to the JSON CFG", consulted whenever a wrapped method must be
+statically checked.  This module is that mapping for the Python host:
+
+* :meth:`CFGRegistry.register_function` lowers a live function object by
+  reading its source (``inspect``), or an explicit ``__hb_source__``
+  attribute for methods created from strings (the dev-mode reloader and
+  metaprogramming substrates attach one);
+* closure-captured variables are typed from the closure cells at
+  registration time — run-time information feeding the static check, in
+  the spirit of the whole system;
+* :meth:`CFGRegistry.lookup` walks nothing: module methods mixed into many
+  classes are registered per *including* class by the engine, matching the
+  paper's per-mixin caching strategy.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from .ir import Node
+from .json_io import fingerprint
+from .lower import LoweringError, lower_function
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """A formal parameter of a registered method."""
+
+    name: str
+    optional: bool = False  # has a default value
+    vararg: bool = False    # *args
+
+
+@dataclass(frozen=True)
+class MethodIR:
+    """A lowered method body plus everything the checker needs."""
+
+    owner: str
+    name: str
+    params: Tuple[ParamSpec, ...]
+    body: Node
+    source_file: str = "<unknown>"
+    source_line: int = 0
+    captures: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.body)
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+
+class RegistrationError(ValueError):
+    """Raised when a function's source cannot be found or lowered."""
+
+
+class CFGRegistry:
+    """Maps (class, method) to :class:`MethodIR`."""
+
+    def __init__(self) -> None:
+        self._methods: Dict[Tuple[str, str], MethodIR] = {}
+
+    def register_function(self, owner: str, name: str, fn,
+                          captures: Optional[Mapping[str, object]] = None
+                          ) -> MethodIR:
+        """Lower ``fn`` and register it under ``owner#name``.
+
+        ``fn`` may be a plain function, a closure produced by
+        metaprogramming (free variables are typed from the closure cells),
+        or a function with an ``__hb_source__`` attribute carrying its
+        source text (for methods created via ``exec``).
+        """
+        fn = inspect.unwrap(getattr(fn, "__func__", fn))
+        source = getattr(fn, "__hb_source__", None)
+        if source is None:
+            try:
+                source = inspect.getsource(fn)
+            except (OSError, TypeError) as exc:
+                raise RegistrationError(
+                    f"no source available for {owner}#{name}: {exc}"
+                ) from None
+        mir = self._lower_source(owner, name, source,
+                                 source_file=_source_file(fn),
+                                 source_line=_source_line(fn),
+                                 captures=captures or _closure_captures(fn))
+        self._methods[(owner, name)] = mir
+        return mir
+
+    def register_source(self, owner: str, name: str, source: str,
+                        captures: Optional[Mapping[str, object]] = None,
+                        source_file: str = "<string>") -> MethodIR:
+        """Lower and register a method from raw source text."""
+        mir = self._lower_source(owner, name, source,
+                                 source_file=source_file, source_line=0,
+                                 captures=captures or {})
+        self._methods[(owner, name)] = mir
+        return mir
+
+    def register_ir(self, mir: MethodIR) -> MethodIR:
+        """Register an already-lowered method (e.g. loaded from JSON)."""
+        self._methods[(mir.owner, mir.name)] = mir
+        return mir
+
+    def _lower_source(self, owner: str, name: str, source: str, *,
+                      source_file: str, source_line: int,
+                      captures: Mapping[str, object]) -> MethodIR:
+        tree = _parse_def(source)
+        try:
+            body = lower_function(tree)
+        except LoweringError as exc:
+            raise RegistrationError(
+                f"cannot lower {owner}#{name}: {exc}") from exc
+        return MethodIR(owner=owner, name=name, params=_params_of(tree),
+                        body=body, source_file=source_file,
+                        source_line=source_line, captures=dict(captures))
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, owner: str, name: str) -> Optional[MethodIR]:
+        return self._methods.get((owner, name))
+
+    def forget(self, owner: str, name: str) -> None:
+        self._methods.pop((owner, name), None)
+
+    def methods_of(self, owner: str) -> Tuple[MethodIR, ...]:
+        return tuple(m for (o, _), m in self._methods.items() if o == owner)
+
+    def keys(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple(self._methods)
+
+    def __len__(self) -> int:
+        return len(self._methods)
+
+
+def _parse_def(source: str) -> ast.FunctionDef:
+    """Parse source text and return its first function definition."""
+    text = textwrap.dedent(source)
+    try:
+        module = ast.parse(text)
+    except SyntaxError as exc:
+        raise RegistrationError(f"cannot parse method source: {exc}") from exc
+    for node in ast.walk(module):
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise RegistrationError("source contains no function definition")
+
+
+def _params_of(fn: ast.FunctionDef) -> Tuple[ParamSpec, ...]:
+    args = fn.args
+    specs = []
+    positional = list(args.posonlyargs) + list(args.args)
+    n_defaults = len(args.defaults)
+    for i, a in enumerate(positional):
+        if i == 0 and a.arg in ("self", "cls"):
+            continue
+        optional = i >= len(positional) - n_defaults
+        specs.append(ParamSpec(a.arg, optional=optional))
+    if args.vararg is not None:
+        specs.append(ParamSpec(args.vararg.arg, vararg=True))
+    return tuple(specs)
+
+
+def _closure_captures(fn) -> Dict[str, object]:
+    """Type the function's closure cells at registration time.
+
+    When metaprogramming generates a method as a closure (Fig. 2's
+    ``define_dynamic_method``), its free variables (``role_name``) are bound
+    by the factory; we record their run-time types so the static check of
+    the body has types for them.
+    """
+    from ..rtypes import type_of
+
+    freevars = getattr(fn.__code__, "co_freevars", ())
+    cells = getattr(fn, "__closure__", None) or ()
+    out: Dict[str, object] = {}
+    for name, cell in zip(freevars, cells):
+        try:
+            out[name] = type_of(cell.cell_contents)
+        except ValueError:  # empty cell
+            continue
+    return out
+
+
+def _source_file(fn) -> str:
+    try:
+        return inspect.getfile(fn)
+    except TypeError:
+        return "<unknown>"
+
+
+def _source_line(fn) -> int:
+    try:
+        return fn.__code__.co_firstlineno
+    except AttributeError:
+        return 0

@@ -1,0 +1,13 @@
+"""``repro.rolify`` — the role-management library of Fig. 2.
+
+``define_dynamic_method(role_name, resource)`` creates ``is_<role>``
+query methods *in user code* at run time; an RDL ``pre`` contract on it
+generates their type signatures at the same moment.  Because the generated
+methods are user code with annotations, Hummingbird statically checks
+their (closure) bodies when they are first called — the second
+metaprogramming style of section 2.
+"""
+
+from .dynamic import build_rolify
+
+__all__ = ["build_rolify"]

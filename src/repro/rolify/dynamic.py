@@ -1,0 +1,101 @@
+"""Fig. 2, transliterated: dynamic method definition with a pre-contract
+that generates the method's type.
+
+The Ruby original::
+
+    module Rolify::Dynamic
+      def define_dynamic_method(role_name, resource)
+        class_eval do
+          define_method("is_#{role_name}?") do
+            has_role?("#{role_name}")
+          end if !method_defined?("is_#{role_name}?")
+        end
+      end
+
+      pre :define_dynamic_method do |role_name, resource|
+        type "is_#{role_name}?", "() -> %bool"
+        true
+      end
+    end
+
+Host method names cannot contain ``?``, so ``is_professor?`` becomes
+``is_professor``.  The generated method is a *closure* over ``role_name``;
+its IR registration types the capture from the closure cell, so the static
+check of its body has a type for the free variable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def build_rolify(engine):
+    """Create the engine-bound ``RolifyDynamic`` mixin module."""
+    hb = engine.api()
+
+    class RolifyDynamic:
+        """Mixin granting dynamic role-query methods (a Ruby module)."""
+
+        __hb_module__ = True
+
+        def add_role(self, role_name):
+            roles = self.__dict__.setdefault("_roles", set())
+            roles.add(role_name)
+            return role_name
+
+        def remove_role(self, role_name):
+            self.__dict__.setdefault("_roles", set()).discard(role_name)
+            return role_name
+
+        def has_role(self, role_name):
+            return role_name in self.__dict__.get("_roles", set())
+
+        def roles_list(self):
+            return sorted(self.__dict__.get("_roles", set()))
+
+        def define_dynamic_method(self, role_name, resource=None):
+            """Create ``is_<role>`` (and ``is_<role>_of``) on the
+            receiver's class, unless already defined."""
+            cls = type(self)
+            meth = f"is_{role_name}"
+            if meth not in cls.__dict__:
+                def dynamic(self):
+                    return self.has_role(role_name)
+
+                engine.define_method(cls, meth, dynamic)
+            of_meth = f"is_{role_name}_of"
+            if of_meth not in cls.__dict__:
+                def dynamic_of(self, other):
+                    return self.has_role(role_name)
+
+                engine.define_method(cls, of_meth, dynamic_of)
+            return None
+
+    engine.register_class(RolifyDynamic, module=True)
+    # The module's own query surface is a trusted library annotation.
+    hb.annotate(RolifyDynamic, "has_role", "(String) -> %bool",
+                app_level=False)
+    hb.annotate(RolifyDynamic, "add_role", "(String) -> String",
+                app_level=False)
+    hb.annotate(RolifyDynamic, "remove_role", "(String) -> String",
+                app_level=False)
+    hb.annotate(RolifyDynamic, "roles_list", "() -> Array<String>",
+                app_level=False)
+    hb.annotate(RolifyDynamic, "define_dynamic_method",
+                "(String, ?%any) -> nil", app_level=False, wrap=False)
+
+    def typegen_pre(recv, role_name, resource=None):
+        """The paper's pre-block: generate the dynamic methods' types.
+
+        "We do not check for a previous type definition since adding the
+        same type again is harmless."
+        """
+        cls = type(recv)
+        hb.annotate(cls, f"is_{role_name}", "() -> %bool", check=True,
+                    generated=True)
+        hb.annotate(cls, f"is_{role_name}_of", "(%any) -> %bool",
+                    check=True, generated=True)
+        return True
+
+    hb.pre(RolifyDynamic, "define_dynamic_method", typegen_pre)
+    return RolifyDynamic

@@ -1,0 +1,12 @@
+"""``repro.rstruct`` — Ruby's ``Struct`` with user-written type generation.
+
+Fig. 3: ``Struct.new(:type, :account_name, :amount)`` creates a class with
+getters and setters, and the user-written ``add_types`` classmethod zips
+member names with type strings to generate getter/setter signatures —
+"because Hummingbird lets programmers write arbitrary Ruby programs to
+generate types, we were able to develop this much more elegant solution."
+"""
+
+from .struct import struct_new
+
+__all__ = ["struct_new"]

@@ -1,0 +1,86 @@
+"""The ``Struct.new`` analog with Fig. 3's ``add_types``."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class StructError(TypeError):
+    """Wrong member count or unknown member."""
+
+
+def struct_new(engine, class_name: str, *members: str) -> type:
+    """Create a Struct class: positional constructor, per-member
+    getters/setters, ``members()``, and the ``add_types`` hook.
+
+    A "struct field can hold any type by default" — it is ``add_types``
+    that turns the accessors into typed methods (generated annotations,
+    since user code creates them at run time).
+    """
+    member_tuple: Tuple[str, ...] = tuple(members)
+
+    def __init__(self, *values):
+        if len(values) != len(member_tuple):
+            raise StructError(
+                f"{class_name} takes {len(member_tuple)} values, "
+                f"got {len(values)}")
+        for name, value in zip(member_tuple, values):
+            object.__setattr__(self, f"_{name}", value)
+
+    def __getattr__(self, name):
+        if name in member_tuple:
+            return object.__getattribute__(self, f"_{name}")
+        raise AttributeError(name)
+
+    def __setattr__(self, name, value):
+        if name in member_tuple:
+            object.__setattr__(self, f"_{name}", value)
+            return
+        object.__setattr__(self, name, value)
+
+    def __eq__(self, other):
+        return (type(self) is type(other)
+                and all(getattr(self, m) == getattr(other, m)
+                        for m in member_tuple))
+
+    def __repr__(self):
+        inner = ", ".join(f"{m}={getattr(self, m)!r}" for m in member_tuple)
+        return f"{class_name}({inner})"
+
+    @classmethod
+    def members_of(cls) -> list:
+        return list(member_tuple)
+
+    @classmethod
+    def add_types(cls, *types: str) -> None:
+        """Fig. 3's user-written type generator::
+
+            members.zip(types).each { |name, t|
+              type name,        "() -> #{t}"
+              type "#{name}=",  "(#{t}) -> #{t}"
+            }
+        """
+        if len(types) != len(member_tuple):
+            raise StructError(
+                f"add_types needs {len(member_tuple)} types, "
+                f"got {len(types)}")
+        hb = engine.api()
+        for name, t in zip(member_tuple, types):
+            hb.annotate(cls, name, f"() -> {t}", generated=True)
+            hb.annotate(cls, f"{name}=", f"({t}) -> {t}", generated=True)
+
+    cls = type(class_name, (), {
+        "__init__": __init__,
+        "__getattr__": __getattr__,
+        "__setattr__": __setattr__,
+        "__eq__": __eq__,
+        "__hash__": None,
+        "__repr__": __repr__,
+        "members_of": members_of,
+        "add_types": add_types,
+        "_members": member_tuple,
+    })
+    engine.register_class(cls)
+    engine.hier.add_class(class_name) if not engine.hier.is_known(
+        class_name) else None
+    return cls

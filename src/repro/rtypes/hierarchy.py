@@ -1,0 +1,165 @@
+"""Class hierarchy: superclass edges, module mixins, and generic arity.
+
+The formalism omits inheritance for simplicity, but the paper's
+implementation handles it (section 3), so we do too.  A
+:class:`ClassHierarchy` records, per class name:
+
+* its superclass (every class except ``Object`` has one),
+* the modules mixed into it, in inclusion order (paper section 4 "Modules":
+  module methods are tracked per *including* class, which is why the
+  hierarchy needs mixin edges for method lookup), and
+* its generic arity and the names of its type variables
+  (``Array`` has one, ``Hash`` two).
+
+``BasicObject``-style roots are not modelled; ``Object`` is the root.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class UnknownClassError(KeyError):
+    """Raised when a class name is not registered in the hierarchy."""
+
+
+class ClassHierarchy:
+    """A registry of class names with superclass, mixin, and generic info."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[str, Optional[str]] = {"Object": None}
+        self._mixins: Dict[str, List[str]] = {"Object": []}
+        self._modules: set = set()
+        self._typevars: Dict[str, Tuple[str, ...]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def add_class(self, name: str, superclass: str = "Object",
+                  typevars: Sequence[str] = ()) -> None:
+        """Register ``name`` with the given superclass and type variables.
+
+        Re-registering with the same superclass is harmless (mirrors Ruby's
+        re-opening of classes); changing the superclass is an error.
+        """
+        if name in self._parent:
+            existing = self._parent[name]
+            if existing != superclass and name != "Object":
+                raise ValueError(
+                    f"class {name} already registered with superclass "
+                    f"{existing}, cannot change to {superclass}")
+            return
+        if superclass not in self._parent:
+            # Auto-register unknown superclasses under Object so load order
+            # does not matter (Ruby-style open-world loading).
+            self.add_class(superclass)
+        self._parent[name] = superclass
+        self._mixins.setdefault(name, [])
+        if typevars:
+            self._typevars[name] = tuple(typevars)
+
+    def add_module(self, name: str) -> None:
+        """Register a module (mixin); modules have no superclass."""
+        self._modules.add(name)
+        self._mixins.setdefault(name, [])
+        self._parent.setdefault(name, None)
+
+    def include_module(self, cls: str, module: str) -> None:
+        """Mix ``module`` into ``cls`` (Ruby ``include``)."""
+        if cls not in self._parent:
+            self.add_class(cls)
+        if module not in self._modules:
+            self.add_module(module)
+        mixins = self._mixins.setdefault(cls, [])
+        if module not in mixins:
+            mixins.insert(0, module)  # later includes take precedence
+
+    # -- queries -----------------------------------------------------------
+
+    def is_known(self, name: str) -> bool:
+        return name in self._parent
+
+    def is_module(self, name: str) -> bool:
+        return name in self._modules
+
+    def superclass(self, name: str) -> Optional[str]:
+        if name not in self._parent:
+            raise UnknownClassError(name)
+        return self._parent[name]
+
+    def mixins(self, name: str) -> Tuple[str, ...]:
+        return tuple(self._mixins.get(name, ()))
+
+    def ancestors(self, name: str) -> Iterator[str]:
+        """Linearized lookup order: the class, its mixins, then the
+        superclass chain (each with its own mixins) — an MRO-lite."""
+        if name not in self._parent:
+            raise UnknownClassError(name)
+        current: Optional[str] = name
+        while current is not None:
+            yield current
+            for mod in self._mixins.get(current, ()):
+                yield mod
+            current = self._parent.get(current)
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        """True when ``sup`` appears in ``sub``'s ancestor linearization."""
+        if sub == sup:
+            return True
+        if sub not in self._parent:
+            return False
+        return any(a == sup for a in self.ancestors(sub))
+
+    def typevars(self, name: str) -> Tuple[str, ...]:
+        return self._typevars.get(name, ())
+
+    def generic_arity(self, name: str) -> int:
+        return len(self._typevars.get(name, ()))
+
+    def class_names(self) -> Tuple[str, ...]:
+        return tuple(self._parent)
+
+    def snapshot(self) -> "ClassHierarchy":
+        """A deep copy, used by engines that must not mutate the default."""
+        out = ClassHierarchy()
+        out._parent = dict(self._parent)
+        out._mixins = {k: list(v) for k, v in self._mixins.items()}
+        out._modules = set(self._modules)
+        out._typevars = dict(self._typevars)
+        return out
+
+
+def default_hierarchy() -> ClassHierarchy:
+    """The built-in classes every engine starts from.
+
+    Mirrors the Ruby core classes the paper's annotations cover, mapped onto
+    Python host values: ``int`` is ``Integer``, ``float`` is ``Float``,
+    ``str`` is ``String``, ``list`` is ``Array``, ``dict`` is ``Hash``.
+    The numeric tower is ``Integer <= Numeric`` and ``Float <= Numeric``
+    (the Bignum overflow case is omitted, exactly as in paper section 4).
+    """
+    h = ClassHierarchy()
+    h.add_class("Comparable")
+    h.add_class("Numeric", "Comparable")
+    h.add_class("Integer", "Numeric")
+    h.add_class("Float", "Numeric")
+    h.add_class("String", "Comparable")
+    h.add_class("Symbol")
+    h.add_class("Boolean")
+    h.add_class("NilClass")
+    h.add_class("Array", typevars=("t",))
+    h.add_class("Hash", typevars=("k", "v"))
+    h.add_class("Range", typevars=("t",))
+    h.add_class("Set", typevars=("t",))
+    h.add_class("Proc")
+    h.add_class("Time", "Comparable")
+    h.add_class("Date", "Comparable")
+    h.add_class("Regexp")
+    h.add_class("IO")
+    h.add_class("File", "IO")
+    h.add_class("Exception")
+    h.add_class("StandardError", "Exception")
+    h.add_class("ArgumentError", "StandardError")
+    h.add_class("TypeError", "StandardError")
+    h.add_class("Struct")
+    h.add_class("Kernel")
+    return h

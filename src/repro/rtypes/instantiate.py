@@ -1,0 +1,174 @@
+"""Type-variable substitution and receiver-side instantiation.
+
+When the checker looks up ``push`` on a receiver of type ``Array<Integer>``,
+the stored signature ``(t) -> Array<t>`` must be instantiated with
+``t := Integer``; on a *raw* ``Array`` receiver the paper's rule applies —
+raw generics behave as if instantiated at ``%any`` until a cast adds
+parameters.  ``self`` types are resolved to the receiver type at the same
+moment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from .hierarchy import ClassHierarchy
+from .types import (
+    ANY,
+    BlockType, FiniteHashType, GenericType, IntersectionType, MethodType,
+    NominalType, OptionalParam, Param, RequiredParam, SelfType,
+    StructuralType, TupleType, Type, UnionType, VarType, VarargParam,
+    intersection_of, union_of,
+)
+
+
+def free_vars(t: Type) -> Set[str]:
+    """The names of type variables occurring in ``t``."""
+    out: Set[str] = set()
+    _collect(t, out)
+    return out
+
+
+def _collect(t: Type, out: Set[str]) -> None:
+    if isinstance(t, VarType):
+        out.add(t.name)
+    elif isinstance(t, GenericType):
+        for a in t.args:
+            _collect(a, out)
+    elif isinstance(t, TupleType):
+        for e in t.elems:
+            _collect(e, out)
+    elif isinstance(t, FiniteHashType):
+        for _, v in t.fields:
+            _collect(v, out)
+    elif isinstance(t, (UnionType, IntersectionType)):
+        for a in t.arms:
+            _collect(a, out)
+    elif isinstance(t, MethodType):
+        for p in t.params:
+            _collect(p.ty, out)
+        if t.block is not None:
+            _collect(t.block.sig, out)
+        _collect(t.ret, out)
+    elif isinstance(t, StructuralType):
+        for _, sig in t.methods:
+            _collect(sig, out)
+
+
+def substitute(t: Type, mapping: Dict[str, Type]) -> Type:
+    """Replace type variables in ``t`` according to ``mapping``.
+
+    Unmapped variables are left untouched, so partial instantiation works.
+    """
+    if not mapping:
+        return t
+    return _subst(t, mapping)
+
+
+def _subst(t: Type, m: Dict[str, Type]) -> Type:
+    if isinstance(t, VarType):
+        return m.get(t.name, t)
+    if isinstance(t, GenericType):
+        return GenericType(t.name, tuple(_subst(a, m) for a in t.args))
+    if isinstance(t, TupleType):
+        return TupleType(tuple(_subst(e, m) for e in t.elems))
+    if isinstance(t, FiniteHashType):
+        return FiniteHashType(tuple((k, _subst(v, m)) for k, v in t.fields))
+    if isinstance(t, UnionType):
+        return union_of(*(_subst(a, m) for a in t.arms))
+    if isinstance(t, IntersectionType):
+        return intersection_of(*(_subst(a, m) for a in t.arms))
+    if isinstance(t, MethodType):
+        return MethodType(tuple(_subst_param(p, m) for p in t.params),
+                          (BlockType(_subst(t.block.sig, m), t.block.optional)
+                           if t.block is not None else None),
+                          _subst(t.ret, m))
+    if isinstance(t, StructuralType):
+        return StructuralType(tuple((n, _subst(sig, m))
+                                    for n, sig in t.methods))
+    return t
+
+
+def _subst_param(p: Param, m: Dict[str, Type]) -> Param:
+    if isinstance(p, RequiredParam):
+        return RequiredParam(_subst(p.ty, m))
+    if isinstance(p, OptionalParam):
+        return OptionalParam(_subst(p.ty, m))
+    if isinstance(p, VarargParam):
+        return VarargParam(_subst(p.ty, m))
+    raise TypeError(f"unknown param kind {p!r}")
+
+
+def resolve_self(t: Type, self_ty: Type) -> Type:
+    """Replace ``self`` with the receiver type ``self_ty``."""
+    if isinstance(t, SelfType):
+        return self_ty
+    if isinstance(t, GenericType):
+        return GenericType(t.name,
+                           tuple(resolve_self(a, self_ty) for a in t.args))
+    if isinstance(t, TupleType):
+        return TupleType(tuple(resolve_self(e, self_ty) for e in t.elems))
+    if isinstance(t, FiniteHashType):
+        return FiniteHashType(tuple((k, resolve_self(v, self_ty))
+                                    for k, v in t.fields))
+    if isinstance(t, UnionType):
+        return union_of(*(resolve_self(a, self_ty) for a in t.arms))
+    if isinstance(t, IntersectionType):
+        return intersection_of(*(resolve_self(a, self_ty) for a in t.arms))
+    if isinstance(t, MethodType):
+        return MethodType(
+            tuple(_self_param(p, self_ty) for p in t.params),
+            (BlockType(resolve_self(t.block.sig, self_ty), t.block.optional)
+             if t.block is not None else None),
+            resolve_self(t.ret, self_ty))
+    return t
+
+
+def _self_param(p: Param, self_ty: Type) -> Param:
+    if isinstance(p, RequiredParam):
+        return RequiredParam(resolve_self(p.ty, self_ty))
+    if isinstance(p, OptionalParam):
+        return OptionalParam(resolve_self(p.ty, self_ty))
+    if isinstance(p, VarargParam):
+        return VarargParam(resolve_self(p.ty, self_ty))
+    raise TypeError(f"unknown param kind {p!r}")
+
+
+def receiver_bindings(recv: Type, hier: ClassHierarchy) -> Dict[str, Type]:
+    """Type-variable bindings induced by a receiver type.
+
+    ``Array<Integer>`` binds ``t := Integer``; a raw ``Array`` binds
+    ``t := %any`` (the paper's raw-generic default); non-generic receivers
+    bind nothing.
+    """
+    if isinstance(recv, GenericType):
+        names = hier.typevars(recv.name)
+        if len(names) == len(recv.args):
+            return dict(zip(names, recv.args))
+        return {}
+    if isinstance(recv, NominalType):
+        names = hier.typevars(recv.name)
+        return {n: ANY for n in names}
+    if isinstance(recv, TupleType):
+        # Tuples respond to Array methods; bind t to the element join-as-union.
+        if not recv.elems:
+            return {"t": ANY}
+        return {"t": union_of(*recv.elems)}
+    if isinstance(recv, FiniteHashType):
+        if not recv.fields:
+            return {"k": ANY, "v": ANY}
+        from .types import SingletonType
+        keys = union_of(*(SingletonType(k, "Symbol") for k, _ in recv.fields))
+        vals = union_of(*(v for _, v in recv.fields))
+        return {"k": keys, "v": vals}
+    return {}
+
+
+def instantiate_for_receiver(mt: MethodType, recv: Type,
+                             hier: ClassHierarchy) -> MethodType:
+    """Instantiate a stored method signature for a concrete receiver type:
+    bind the receiver class's type variables and resolve ``self``."""
+    bound = substitute(mt, receiver_bindings(recv, hier))
+    resolved = resolve_self(bound, recv)
+    assert isinstance(resolved, MethodType)
+    return resolved

@@ -1,0 +1,123 @@
+"""Tokenizer for the RDL-style type annotation language.
+
+The surface syntax mirrors RDL's:
+
+* ``(User, ?String, *Integer) { (T) -> U } -> %bool`` — method types
+* ``Array<Integer>`` — generics
+* ``[Integer, String]`` — tuples; ``[to_s: () -> String]`` — structural types
+* ``{name: String}`` — finite hashes
+* ``A or B``, ``A and B`` — unions and intersections
+* ``:sym``, ``42`` — singletons; ``%any``, ``%bool``, ``%bot``, ``nil``,
+  ``self`` — specials
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class TypeSyntaxError(ValueError):
+    """Raised for malformed type annotation strings."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        super().__init__(f"{message} at position {pos} in {text!r}")
+        self.text = text
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # NAME, LNAME, SYMBOL, INT, SPECIAL, punctuation kinds
+    value: str
+    pos: int
+
+
+_PUNCT = {
+    "(": "LPAREN", ")": "RPAREN",
+    "<": "LT", ">": "GT",
+    "[": "LBRACK", "]": "RBRACK",
+    "{": "LBRACE", "}": "RBRACE",
+    ",": "COMMA", ":": "COLON",
+    "?": "QUESTION", "*": "STAR",
+}
+
+_KEYWORDS = {"or": "OR", "and": "AND", "nil": "NIL", "self": "SELF"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a type annotation string; raises :class:`TypeSyntaxError`."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("->", i):
+            yield Token("ARROW", "->", i)
+            i += 2
+            continue
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, i)
+            i += 1
+            continue
+        if ch == "%":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word not in ("%any", "%bool", "%bot"):
+                raise TypeSyntaxError(f"unknown special type {word!r}", text, i)
+            yield Token("SPECIAL", word, i)
+            i = j
+            continue
+        if ch == ":":  # unreachable: ':' is punctuation; symbols handled below
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            yield Token("INT", text[i:j], i)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word in _KEYWORDS:
+                yield Token(_KEYWORDS[word], word, i)
+            elif word[0].isupper():
+                yield Token("NAME", word, i)
+            else:
+                yield Token("LNAME", word, i)
+            i = j
+            continue
+        raise TypeSyntaxError(f"unexpected character {ch!r}", text, i)
+    yield Token("EOF", "", n)
+
+
+def tokenize_with_symbols(text: str) -> List[Token]:
+    """Tokenize, merging ``COLON NAME/LNAME`` pairs into SYMBOL tokens when
+    the colon is in prefix position (start, or after a delimiter)."""
+    raw = tokenize(text)
+    out: List[Token] = []
+    i = 0
+    prefix_ok = {"LPAREN", "LBRACK", "LBRACE", "COMMA", "ARROW", "LT",
+                 "OR", "AND", "COLON", "QUESTION", "STAR"}
+    while i < len(raw):
+        tok = raw[i]
+        if (tok.kind == "COLON" and i + 1 < len(raw)
+                and raw[i + 1].kind in ("NAME", "LNAME")
+                and (not out or out[-1].kind in prefix_ok)):
+            out.append(Token("SYMBOL", raw[i + 1].value, tok.pos))
+            i += 2
+            continue
+        out.append(tok)
+        i += 1
+    return out

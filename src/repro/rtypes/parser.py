@@ -1,0 +1,250 @@
+"""Recursive-descent parser for the RDL-style type annotation language.
+
+Entry points:
+
+* :func:`parse_type` — parse any type (``"Array<Integer> or nil"``).
+* :func:`parse_method_type` — parse a method signature
+  (``"(User) -> %bool"``); rejects non-method types.
+
+``str()`` on the returned objects produces syntax this parser accepts, and
+``parse_type(str(t)) == t`` (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .lexer import Token, TypeSyntaxError, tokenize_with_symbols
+from .types import (
+    ANY, BOOL, BOT, NIL, SELF,
+    BlockType, ClassObjectType, FiniteHashType, GenericType, IntersectionType,
+    MethodType, NominalType, OptionalParam, Param, RequiredParam,
+    SingletonType, StructuralType, TupleType, Type, VarType, VarargParam,
+    intersection_of, union_of,
+)
+
+_SPECIALS = {"%any": ANY, "%bool": BOOL, "%bot": BOT}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.toks: List[Token] = tokenize_with_symbols(text)
+        self.i = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        j = min(self.i + offset, len(self.toks) - 1)
+        return self.toks[j]
+
+    def next(self) -> Token:
+        tok = self.toks[self.i]
+        if tok.kind != "EOF":
+            self.i += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise TypeSyntaxError(
+                f"expected {kind}, found {tok.value!r}", self.text, tok.pos)
+        return tok
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def error(self, message: str) -> TypeSyntaxError:
+        tok = self.peek()
+        return TypeSyntaxError(message, self.text, tok.pos)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_full(self) -> Type:
+        t = self.union()
+        self.expect("EOF")
+        return t
+
+    def union(self) -> Type:
+        arms = [self.inter()]
+        while self.at("OR"):
+            self.next()
+            arms.append(self.inter())
+        return union_of(*arms)
+
+    def inter(self) -> Type:
+        arms = [self.atom()]
+        while self.at("AND"):
+            self.next()
+            arms.append(self.atom())
+        return intersection_of(*arms)
+
+    def atom(self) -> Type:
+        tok = self.peek()
+        if tok.kind == "SPECIAL":
+            self.next()
+            return _SPECIALS[tok.value]
+        if tok.kind == "NIL":
+            self.next()
+            return NIL
+        if tok.kind == "SELF":
+            self.next()
+            return SELF
+        if tok.kind == "SYMBOL":
+            self.next()
+            return SingletonType(tok.value, "Symbol")
+        if tok.kind == "INT":
+            self.next()
+            return SingletonType(int(tok.value), "Integer")
+        if tok.kind == "NAME":
+            return self.named()
+        if tok.kind == "LNAME":
+            self.next()
+            return VarType(tok.value)
+        if tok.kind == "LBRACK":
+            return self.bracketed()
+        if tok.kind == "LBRACE":
+            return self.finite_hash()
+        if tok.kind == "LPAREN":
+            return self.parens()
+        raise self.error(f"unexpected token {tok.value!r}")
+
+    def named(self) -> Type:
+        name = self.expect("NAME").value
+        if not self.at("LT"):
+            return NominalType(name)
+        self.next()
+        args = [self.union()]
+        while self.at("COMMA"):
+            self.next()
+            args.append(self.union())
+        self.expect("GT")
+        if name == "Class":
+            if len(args) == 1 and isinstance(args[0], NominalType):
+                return ClassObjectType(args[0].name)
+            raise self.error("Class<...> takes exactly one class name")
+        return GenericType(name, tuple(args))
+
+    def bracketed(self) -> Type:
+        """``[T, U]`` tuple or ``[m: (..) -> ..]`` structural type."""
+        self.expect("LBRACK")
+        if self.at("RBRACK"):
+            self.next()
+            return TupleType(())
+        structural = (self.peek().kind in ("LNAME", "NAME")
+                      and self.peek(1).kind == "COLON")
+        if structural:
+            methods = [self.struct_member()]
+            while self.at("COMMA"):
+                self.next()
+                methods.append(self.struct_member())
+            self.expect("RBRACK")
+            return StructuralType(tuple(methods))
+        elems = [self.union()]
+        while self.at("COMMA"):
+            self.next()
+            elems.append(self.union())
+        self.expect("RBRACK")
+        return TupleType(tuple(elems))
+
+    def struct_member(self) -> tuple:
+        name_tok = self.next()
+        if name_tok.kind not in ("LNAME", "NAME"):
+            raise self.error("expected method name in structural type")
+        self.expect("COLON")
+        sig = self.parens()
+        if not isinstance(sig, MethodType):
+            raise self.error("structural member must be a method type")
+        return (name_tok.value, sig)
+
+    def finite_hash(self) -> Type:
+        self.expect("LBRACE")
+        fields = [self.hash_field()]
+        while self.at("COMMA"):
+            self.next()
+            fields.append(self.hash_field())
+        self.expect("RBRACE")
+        return FiniteHashType(tuple(fields))
+
+    def hash_field(self) -> tuple:
+        name_tok = self.next()
+        if name_tok.kind not in ("LNAME", "NAME", "SYMBOL"):
+            raise self.error("expected field name in finite hash")
+        self.expect("COLON")
+        return (name_tok.value, self.union())
+
+    def parens(self) -> Type:
+        """Either a method type ``(..) {..}? -> T`` or a grouped type."""
+        self.expect("LPAREN")
+        params: List[Param] = []
+        if not self.at("RPAREN"):
+            params.append(self.param())
+            while self.at("COMMA"):
+                self.next()
+                params.append(self.param())
+        self.expect("RPAREN")
+        block = self.maybe_block()
+        if block is not None or self.at("ARROW"):
+            self.expect("ARROW")
+            ret = self.union()
+            return MethodType(tuple(params), block, ret)
+        # Plain grouping: exactly one required parameter, no block.
+        if len(params) == 1 and isinstance(params[0], RequiredParam):
+            return params[0].ty
+        raise self.error("expected '->' after method parameter list")
+
+    def param(self) -> Param:
+        if self.at("QUESTION") and self.peek(1).kind != "LBRACE":
+            self.next()
+            return OptionalParam(self.union())
+        if self.at("STAR"):
+            self.next()
+            return VarargParam(self.union())
+        ty = self.union()
+        if self.at("LNAME"):  # optional parameter name, e.g. (Integer x)
+            self.next()
+        return RequiredParam(ty)
+
+    def maybe_block(self) -> Optional[BlockType]:
+        optional = False
+        if self.at("QUESTION") and self.peek(1).kind == "LBRACE":
+            self.next()
+            optional = True
+        if not self.at("LBRACE"):
+            return None
+        self.next()
+        sig = self.parens()
+        if not isinstance(sig, MethodType):
+            raise self.error("block type must be a method type")
+        self.expect("RBRACE")
+        return BlockType(sig, optional)
+
+
+import functools
+
+
+@functools.lru_cache(maxsize=4096)
+def parse_type(text: str) -> Type:
+    """Parse a type annotation string into a :class:`~repro.rtypes.types.Type`.
+
+    Memoized: annotation strings are parsed hot (dynamic checks and casts
+    re-parse their expected types), and the type objects are immutable, so
+    sharing results is safe.
+
+    >>> parse_type("Array<Integer> or nil")
+    UnionType(Array<Integer> or nil)
+    """
+    return _Parser(text).parse_full()
+
+
+def parse_method_type(text: str) -> MethodType:
+    """Parse a method signature; raises :class:`TypeSyntaxError` if the
+    string is not a (single, non-overloaded) method type.
+
+    >>> parse_method_type("(User) -> %bool")
+    MethodType((User) -> %bool)
+    """
+    t = parse_type(text)
+    if not isinstance(t, MethodType):
+        raise TypeSyntaxError("expected a method type", text, 0)
+    return t

@@ -1,0 +1,15 @@
+"""``repro.sqldb`` — the in-memory relational database substrate.
+
+The paper's Rails apps sit on a SQL database whose *schema drives
+metaprogramming*: ActiveRecord defines attribute methods and finders from
+the columns.  This package provides the equivalent storage layer: tables
+with typed columns, autoincrement primary keys, equality queries, and the
+column-type → RDL-type mapping the type-generation hooks use.
+"""
+
+from .schema import Column, Schema, column_rdl_type
+from .table import Row, Table
+from .database import Database
+
+__all__ = ["Column", "Database", "Row", "Schema", "Table",
+           "column_rdl_type"]

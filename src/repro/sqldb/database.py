@@ -1,0 +1,60 @@
+"""The database: named tables created through a migration-style DSL."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .schema import Column, Schema, SchemaError
+from .table import Table
+
+
+class Database:
+    """A named collection of tables.
+
+    ``create_table`` is the migration DSL; columns are (name, type) pairs
+    with an optional ``null=False``::
+
+        db.create_table("talks",
+                        ("title", "string"),
+                        ("owner_id", "integer"),
+                        ("starts_at", "datetime"))
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, *columns, **options) -> Table:
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        cols: List[Column] = []
+        for spec in columns:
+            if isinstance(spec, Column):
+                cols.append(spec)
+            else:
+                cname, ctype, *rest = spec
+                null = rest[0] if rest else True
+                cols.append(Column(cname, ctype, null=null))
+        table = Table(Schema(name, cols))
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise SchemaError(f"no such table {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def reset(self) -> None:
+        """Truncate every table (the Table 2 experiment resets the database
+        between versions 'so that we run all versions with the same initial
+        data')."""
+        for table in self._tables.values():
+            table.clear()
+
+    def drop_all(self) -> None:
+        self._tables.clear()

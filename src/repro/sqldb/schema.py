@@ -1,0 +1,91 @@
+"""Table schemas and the column-type → RDL-type mapping.
+
+"We added code to dynamically generate types for model getters and setters
+based on the database schema" (paper, section 5) — this mapping is what
+that generation consults.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: column type -> (RDL type, host Python types accepted)
+_COLUMN_TYPES = {
+    "integer": ("Integer", (int,)),
+    "float": ("Float", (float, int)),
+    "string": ("String", (str,)),
+    "text": ("String", (str,)),
+    "boolean": ("%bool", (bool,)),
+    "datetime": ("Time", (datetime.datetime, datetime.date)),
+}
+
+
+class SchemaError(ValueError):
+    """Bad schema definition or value/column mismatch."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column.  ``null=True`` columns get ``T or nil``."""
+
+    name: str
+    ctype: str
+    null: bool = True
+
+    def __post_init__(self):
+        if self.ctype not in _COLUMN_TYPES:
+            raise SchemaError(f"unknown column type {self.ctype!r}")
+
+    def rdl_type(self) -> str:
+        base, _ = _COLUMN_TYPES[self.ctype]
+        return f"{base} or nil" if self.null else base
+
+    def accepts(self, value: object) -> bool:
+        if value is None:
+            return self.null
+        _, host_types = _COLUMN_TYPES[self.ctype]
+        if isinstance(value, bool) and self.ctype != "boolean":
+            return False
+        return isinstance(value, host_types)
+
+
+def column_rdl_type(ctype: str, null: bool = True) -> str:
+    """The RDL type string for a raw column type."""
+    return Column("_", ctype, null).rdl_type()
+
+
+@dataclass
+class Schema:
+    """An ordered set of columns; ``id`` is implicit and autoincremented."""
+
+    table_name: str
+    columns: List[Column] = field(default_factory=list)
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column in {self.table_name}")
+        if "id" in names:
+            raise SchemaError("id is implicit; do not declare it")
+
+    def column(self, name: str) -> Optional[Column]:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        return None
+
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def validate_row(self, values: Dict[str, object]) -> None:
+        for name, value in values.items():
+            col = self.column(name)
+            if col is None:
+                raise SchemaError(
+                    f"{self.table_name} has no column {name!r}")
+            if not col.accepts(value):
+                raise SchemaError(
+                    f"{self.table_name}.{name} ({col.ctype}) rejects "
+                    f"{value!r}")

@@ -1,0 +1,84 @@
+"""Tables: rows with autoincrement ids, equality queries, updates."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .schema import Schema, SchemaError
+
+Row = Dict[str, object]
+
+
+class Table:
+    """One table's rows.  Rows are plain dicts including ``id``."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_id = 1
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, **values: object) -> Row:
+        self.schema.validate_row(values)
+        row: Row = {"id": self._next_id}
+        for col in self.schema.columns:
+            row[col.name] = values.get(col.name)
+        self._rows[self._next_id] = row
+        self._next_id += 1
+        return dict(row)
+
+    def update(self, row_id: int, **values: object) -> Optional[Row]:
+        self.schema.validate_row(values)
+        row = self._rows.get(row_id)
+        if row is None:
+            return None
+        row.update(values)
+        return dict(row)
+
+    def delete(self, row_id: int) -> bool:
+        return self._rows.pop(row_id, None) is not None
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._next_id = 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def find(self, row_id: object) -> Optional[Row]:
+        if not isinstance(row_id, int):
+            return None
+        row = self._rows.get(row_id)
+        return dict(row) if row is not None else None
+
+    def all_rows(self) -> List[Row]:
+        return [dict(r) for r in self._rows.values()]
+
+    def where(self, **conditions: object) -> List[Row]:
+        for name in conditions:
+            if name != "id" and self.schema.column(name) is None:
+                raise SchemaError(
+                    f"{self.schema.table_name} has no column {name!r}")
+        return [dict(r) for r in self._rows.values()
+                if all(r.get(k) == v for k, v in conditions.items())]
+
+    def first_where(self, **conditions: object) -> Optional[Row]:
+        matches = self.where(**conditions)
+        return matches[0] if matches else None
+
+    def count(self, **conditions: object) -> int:
+        if not conditions:
+            return len(self._rows)
+        return len(self.where(**conditions))
+
+    def order_by(self, column: str, reverse: bool = False) -> List[Row]:
+        rows = self.all_rows()
+        rows.sort(key=lambda r: (r.get(column) is None, r.get(column)),
+                  reverse=reverse)
+        return rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.all_rows())

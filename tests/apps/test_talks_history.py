@@ -1,0 +1,25 @@
+"""The six historical Talks type errors (paper section 5)."""
+
+import pytest
+
+from repro.apps.talks.history import (
+    HISTORICAL_ERRORS, check_historical_error,
+)
+
+
+def test_six_errors_recorded():
+    assert len(HISTORICAL_ERRORS) == 6
+    assert [e.version for e in HISTORICAL_ERRORS] == [
+        "1/8/12-4", "1/7/12-5", "1/26/12-3", "1/28/12", "2/6/12-2",
+        "2/6/12-3"]
+
+
+@pytest.mark.parametrize("entry", HISTORICAL_ERRORS,
+                         ids=[e.version for e in HISTORICAL_ERRORS])
+def test_error_detected_and_fix_checks(entry):
+    """The buggy version is flagged with the paper's diagnosis; the fixed
+    version (the next checkin) checks cleanly — check_historical_error
+    raises if the fix fails."""
+    message = check_historical_error(entry)
+    assert message is not None, f"{entry.version} not detected"
+    assert entry.error_match in message, (entry.version, message)

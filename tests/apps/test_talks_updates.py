@@ -1,0 +1,54 @@
+"""The Table 2 dev-mode update experiment."""
+
+import pytest
+
+from repro.apps.talks.updates import run_update_experiment
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_update_experiment()
+
+
+def test_seven_versions(rows):
+    assert len(rows) == 7
+    assert rows[0].version == "5/14/12"
+    assert rows[-1].version == "1/4/13"
+
+
+def test_first_version_checks_everything(rows):
+    first = rows[0]
+    assert first.delta_meth is None  # N/A row, like the paper
+    assert first.checked_with_helpers >= 10
+
+
+def test_updates_check_far_less_than_full_reload(rows):
+    baseline = rows[0].checked_with_helpers
+    for row in rows[1:]:
+        assert row.checked_without_helpers < baseline
+
+
+def test_chkd_accounting_mostly_exact(rows):
+    """Paper: 'in almost all cases, the second number in Chk'd is equal to
+    the sum of the three previous columns' — with one anomalous row."""
+    exact = 0
+    for row in rows[1:]:
+        expected = row.delta_meth + row.added + row.deps
+        if row.checked_without_helpers == expected:
+            exact += 1
+        else:
+            # Anomalies stay within one method of the sum (interleaved
+            # dependency updates / not-yet-called added methods).
+            assert abs(row.checked_without_helpers - expected) <= 1
+    assert exact >= 3
+
+
+def test_helper_quirk_reported_as_two_numbers(rows):
+    for row in rows[1:]:
+        assert row.checked_with_helpers >= row.checked_without_helpers
+
+
+def test_no_type_errors_in_the_streak(rows):
+    # run_update_experiment would have raised on any static error;
+    # reaching here means the whole update streak type checks.
+    assert all(r.checked_with_helpers >= 0 for r in rows)

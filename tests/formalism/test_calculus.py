@@ -1,0 +1,237 @@
+"""Tests for the core calculus: type system, semantics, cache, blame."""
+
+import pytest
+
+from repro.formalism import (
+    Blame, CoreSyntaxError, CoreTypeError, Machine, MTy, StuckError, T_NIL,
+    TCls, VNil, VObj, parse_expr, run_program, type_check, uses_of,
+)
+
+
+def run(src, **kwargs):
+    return run_program(parse_expr(src), **kwargs)
+
+
+class TestParser:
+    def test_literals(self):
+        assert str(parse_expr("nil")) == "nil"
+        assert str(parse_expr("self")) == "self"
+
+    def test_round_trippable_program(self):
+        src = "type A.m : nil -> A; def A.m(x) { A.new }; A.new.m(nil)"
+        e = parse_expr(src)
+        assert parse_expr(str(e)) == e
+
+    def test_rejects_bare_class(self):
+        with pytest.raises(CoreSyntaxError):
+            parse_expr("A")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(CoreSyntaxError):
+            parse_expr("x = ")
+
+
+class TestTypeSystem:
+    def test_tnil(self):
+        d = type_check({}, {}, parse_expr("nil"))
+        assert d.rule == "TNil" and d.tau == T_NIL
+
+    def test_tnew(self):
+        d = type_check({}, {}, parse_expr("A.new"))
+        assert d.tau == TCls("A")
+
+    def test_tassn_flow_sensitivity(self):
+        d = type_check({}, {}, parse_expr("x = A.new; x"))
+        assert d.tau == TCls("A")
+
+    def test_reassignment_changes_type(self):
+        d = type_check({}, {}, parse_expr("x = A.new; x = nil; x"))
+        assert d.tau == T_NIL
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(CoreTypeError, match="unbound"):
+            type_check({}, {}, parse_expr("x"))
+
+    def test_tif_lub(self):
+        # One branch nil, one branch A: lub is A (nil ⊔ τ = τ).
+        d = type_check({}, {}, parse_expr(
+            "if nil then nil else A.new end"))
+        assert d.tau == TCls("A")
+
+    def test_tif_incompatible_branches_rejected(self):
+        with pytest.raises(CoreTypeError, match="incompatible"):
+            type_check({}, {}, parse_expr(
+                "if nil then A.new else B.new end"))
+
+    def test_tif_env_join_drops_one_sided_vars(self):
+        # y is assigned only in the then-branch, so it is dropped after.
+        src = "(if nil then y = A.new else nil end); y"
+        with pytest.raises(CoreTypeError, match="unbound"):
+            type_check({}, {}, parse_expr(src))
+
+    def test_tapp_uses_recorded(self):
+        tt = {("A", "m"): MTy(T_NIL, TCls("A"))}
+        d = type_check(tt, {}, parse_expr("A.new.m(nil)"))
+        assert uses_of(d) == {("A", "m")}
+
+    def test_tapp_missing_method_rejected(self):
+        with pytest.raises(CoreTypeError, match="not in the type table"):
+            type_check({}, {}, parse_expr("A.new.m(nil)"))
+
+    def test_tapp_argument_subtyping(self):
+        tt = {("A", "m"): MTy(TCls("B"), T_NIL)}
+        # nil <= B, so passing nil is fine.
+        type_check(tt, {}, parse_expr("A.new.m(nil)"))
+        with pytest.raises(CoreTypeError, match="argument"):
+            type_check(tt, {}, parse_expr("A.new.m(A.new)"))
+
+    def test_paper_example_type_then_call_in_same_body_fails(self):
+        """Section 3: defining and typing B.m inside A.m's body, then
+        calling it, is a type error — the type expression has not yet
+        executed when A.m's body is checked."""
+        src = ("type A.run : nil -> B; "
+               "def A.run(x) { "
+               "  (def B.m(y) { B.new }); "
+               "  (type B.m : nil -> B); "
+               "  B.new.m(nil) "
+               "}; "
+               "A.new.run(nil)")
+        result, _ = run(src)
+        assert isinstance(result, Blame) and result.reason == "body-ill-typed"
+
+    def test_tdef_does_not_check_body(self):
+        # The body calls a method with no type, but (TDef) doesn't look.
+        d = type_check({}, {}, parse_expr("def A.m(x) { x.nope(nil) }"))
+        assert d.rule == "TDef" and d.tau == T_NIL
+
+
+class TestSemantics:
+    def test_simple_call(self):
+        result, m = run(
+            "type A.id : A -> A; def A.id(x) { x }; A.new.id(A.new)")
+        assert result == VObj("A")
+        assert m.checks_performed == 1
+
+    def test_def_before_type_also_works(self):
+        # "there is no ordering dependency between def and type"
+        result, _ = run(
+            "def A.id(x) { x }; type A.id : A -> A; A.new.id(A.new)")
+        assert result == VObj("A")
+
+    def test_self_bound_in_body(self):
+        result, _ = run(
+            "type A.me : nil -> A; def A.me(x) { self }; A.new.me(nil)")
+        assert result == VObj("A")
+
+    def test_cache_hit_on_second_call(self):
+        result, m = run(
+            "type A.id : A -> A; def A.id(x) { x }; "
+            "y = A.new; y.id(y); y.id(y); y.id(y)")
+        assert m.checks_performed == 1
+        assert m.cache_hits == 2
+
+    def test_no_cache_rechecks(self):
+        result, m = run(
+            "type A.id : A -> A; def A.id(x) { x }; "
+            "y = A.new; y.id(y); y.id(y); y.id(y)",
+            caching=False)
+        assert m.checks_performed == 3
+
+    def test_conditional_evaluation(self):
+        result, _ = run("if A.new then A.new else nil end")
+        assert result == VObj("A")
+        result, _ = run("if nil then A.new else nil end")
+        assert isinstance(result, VNil)
+
+    def test_method_calls_method(self):
+        src = ("type A.g : nil -> A; def A.g(x) { A.new }; "
+               "type A.f : nil -> A; def A.f(x) { self.g(nil) }; "
+               "A.new.f(nil)")
+        result, m = run(src)
+        assert result == VObj("A")
+        assert m.checks_performed == 2
+
+    def test_nested_call_argument(self):
+        src = ("type A.id : A -> A; def A.id(x) { x }; "
+               "a = A.new; a.id(a.id(a))")
+        result, _ = run(src)
+        assert result == VObj("A")
+
+
+class TestBlame:
+    def test_nil_receiver(self):
+        result, _ = run(
+            "type A.m : nil -> nil; def A.m(x) { nil }; "
+            "type A.get : nil -> A; def A.get(x) { nil }; "
+            "A.new.get(nil).m(nil)")
+        assert isinstance(result, Blame) and result.reason == "nil-receiver"
+
+    def test_typed_but_undefined(self):
+        result, _ = run("type A.m : nil -> nil; A.new.m(nil)")
+        assert isinstance(result, Blame)
+        assert result.reason == "method-undefined"
+
+    def test_body_ill_typed_at_call(self):
+        # The body returns A but claims B; detected at the call, not at def.
+        src = ("type A.bad : nil -> B; def A.bad(x) { A.new }; "
+               "A.new.bad(nil)")
+        result, _ = run(src)
+        assert isinstance(result, Blame) and result.reason == "body-ill-typed"
+
+    def test_def_without_call_never_blames(self):
+        src = "type A.bad : nil -> B; def A.bad(x) { A.new }; nil"
+        result, _ = run(src)
+        assert isinstance(result, VNil)
+
+
+class TestCacheInvalidation:
+    def test_redefinition_invalidates_and_rechecks(self):
+        src = ("type A.m : nil -> A; def A.m(x) { A.new }; "
+               "a = A.new; a.m(nil); "
+               "def A.m(x) { A.new }; "   # (EDef) invalidates
+               "a.m(nil)")
+        result, m = run(src)
+        assert result == VObj("A")
+        assert m.checks_performed == 2
+
+    def test_retype_invalidates_dependents_definition1(self):
+        """Changing B.g's type invalidates A.f (whose derivation used it)."""
+        src = ("type B.g : nil -> B; def B.g(x) { B.new }; "
+               "type A.f : nil -> B; def A.f(x) { B.new.g(nil) }; "
+               "a = A.new; a.f(nil); "
+               "type B.g : nil -> B; "        # re-type B.g
+               "a.f(nil)")
+        result, m = run(src)
+        assert result == VObj("B")
+        # f checked twice (invalidated), g checked twice too (keyed entry).
+        assert m.checks_performed >= 3
+
+    def test_retype_to_bad_signature_blames_dependent(self):
+        """After B.g's return type changes to nil, A.f's body no longer
+        checks: its declared return B cannot come from g anymore."""
+        src = ("type B.g : nil -> B; def B.g(x) { B.new }; "
+               "type A.f : nil -> B; def A.f(x) { B.new.g(nil) }; "
+               "a = A.new; a.f(nil); "
+               "type B.g : nil -> Other; "
+               "a.f(nil)")
+        result, _ = run(src)
+        assert isinstance(result, Blame) and result.reason == "body-ill-typed"
+
+    def test_unrelated_retype_keeps_cache(self):
+        src = ("type A.f : nil -> A; def A.f(x) { A.new }; "
+               "a = A.new; a.f(nil); "
+               "type Z.z : nil -> nil; "
+               "a.f(nil)")
+        result, m = run(src)
+        assert m.checks_performed == 1
+        assert m.cache_hits == 1
+
+    def test_phase_counting(self):
+        _, m1 = run("type A.f : nil -> A; def A.f(x) { A.new }; "
+                    "A.new.f(nil)")
+        assert m1.phase_count() == 1
+        _, m2 = run("type A.f : nil -> A; def A.f(x) { A.new }; "
+                    "A.new.f(nil); "
+                    "type A.g : nil -> A; def A.g(x) { A.new }; "
+                    "A.new.g(nil)")
+        assert m2.phase_count() == 2

@@ -1,0 +1,231 @@
+"""Empirical soundness for the core calculus (hypothesis).
+
+The paper's guarantee, as the system actually uses it: every *method body*
+is statically checked at first call against the then-current type table;
+top-level code is the untrusted dynamic world, guarded by the (EApp*)
+run-time checks.  Accordingly we generate programs whose prelude declares
+types and definitions and whose main expression is *well-typed under the
+declared table by construction*, then assert:
+
+* the machine never gets stuck — every run ends in a value or one of the
+  paper's permitted blame outcomes (progress);
+* the cache-consistency relation X ∼ (TT, DT) (Definition 7) holds along
+  the run (preservation, executable projection);
+* when a value is produced, its run-time type is a subtype of the main
+  expression's static type under the declared table;
+* caching is observationally pure: cached and uncached runs agree.
+
+Programs include run-time ``def``/``type`` (with mid-run re-definition and
+re-annotation, exercising Definitions 1 and 2), conditionals, sequencing,
+assignments, and calls.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.formalism import (
+    Blame, EAssign, ECall, EDef, EIf, ENew, ESeq, EType, EVal, EVar,
+    Machine, MTy, Premethod, T_NIL, TCls, V_NIL, Value, check_all,
+    check_blame_permitted, lub, seq, subtype, type_check, type_of,
+)
+
+FUEL = 3_000
+
+
+def run_or_diverge(machine, program, on_step=None):
+    """Run to a value/blame, or None when the program diverges past the
+    fuel bound — divergence is a permitted soundness outcome ("e reduces
+    to a value, e reduces to blame, or e diverges")."""
+    try:
+        return machine.run(program, fuel=FUEL, on_step=on_step)
+    except TimeoutError:
+        return None
+
+CLASSES = ["A", "B", "C"]
+METHODS = ["m", "f", "g"]
+ALL_TAUS = [T_NIL] + [TCls(c) for c in CLASSES]
+
+
+@st.composite
+def library(draw):
+    """A set of method signatures; bodies are generated against them."""
+    count = draw(st.integers(min_value=1, max_value=4))
+    sigs = {}
+    for _ in range(count):
+        cls = draw(st.sampled_from(CLASSES))
+        meth = draw(st.sampled_from(METHODS))
+        sigs[(cls, meth)] = MTy(draw(st.sampled_from(ALL_TAUS)),
+                                draw(st.sampled_from(ALL_TAUS)))
+    return sigs
+
+
+@st.composite
+def expr_of(draw, target, tt, env, depth):
+    """Generate (expr, static type) with static type ≤ ``target``.
+
+    ``env`` tracks exactly what the (T*) rules would derive as the output
+    environment — each compound case works on a trial copy and commits
+    only when it actually returns that shape, so discarded attempts never
+    pollute the environment, and (TIf) branch environments are joined the
+    way the type rule joins them (variables on both sides, lub'd).
+    """
+    def simple_choices():
+        out = [(EVal(V_NIL), T_NIL)]
+        if isinstance(target, TCls):
+            out.append((ENew(target.name), target))
+        for name, tau in env.items():
+            if name != "self" and subtype(tau, target):
+                out.append((EVar(name), tau))
+        return out
+
+    if depth <= 0:
+        return draw(st.sampled_from(simple_choices()))
+    choice = draw(st.integers(min_value=0, max_value=4))
+    if choice == 0:  # a call whose return type fits the target
+        candidates = [(k, mty) for k, mty in tt.items()
+                      if subtype(mty.rng, target)]
+        if candidates:
+            (cls, meth), mty = draw(st.sampled_from(candidates))
+            trial = dict(env)
+            recv, recv_tau = draw(expr_of(TCls(cls), tt, trial, depth - 1))
+            if isinstance(recv_tau, TCls):  # receiver must be a class type
+                arg, _ = draw(expr_of(mty.dom, tt, trial, depth - 1))
+                env.clear()
+                env.update(trial)
+                return ECall(recv, meth, arg), mty.rng
+    if choice == 1:  # conditional — branch envs joined as in (TIf)
+        trial = dict(env)
+        test, _ = draw(expr_of(T_NIL, tt, trial, depth - 1))
+        then_env = dict(trial)
+        then, t1 = draw(expr_of(target, tt, then_env, depth - 1))
+        else_env = dict(trial)
+        orelse, t2 = draw(expr_of(target, tt, else_env, depth - 1))
+        joined = lub(t1, t2)
+        if joined is not None:
+            env.clear()
+            for name in then_env:
+                if name in else_env:
+                    j = lub(then_env[name], else_env[name])
+                    if j is not None:
+                        env[name] = j
+            return EIf(test, then, orelse), joined
+    if choice == 2:  # sequencing
+        first, _ = draw(expr_of(T_NIL, tt, env, depth - 1))
+        second, t2 = draw(expr_of(target, tt, env, depth - 1))
+        return ESeq(first, second), t2
+    if choice == 3:  # assignment (flow-sensitively recorded)
+        name = draw(st.sampled_from(["x1", "x2", "x3"]))
+        value, tau = draw(expr_of(target, tt, env, depth - 1))
+        env[name] = tau
+        return EAssign(name, value), tau
+    return draw(st.sampled_from(simple_choices()))
+
+
+@st.composite
+def programs(draw):
+    """Returns (program, declared type table, main expr, main static type)."""
+    sigs = draw(library())
+    parts = []
+    for (cls, meth), mty in sigs.items():
+        parts.append(EType(cls, meth, mty))
+    for (cls, meth), mty in sigs.items():
+        body_env = {"x": mty.dom, "self": TCls(cls)}
+        body, _ = draw(expr_of(mty.rng, sigs, body_env, depth=2))
+        parts.append(EDef(cls, meth, Premethod("x", body)))
+    main_target = draw(st.sampled_from(ALL_TAUS))
+    main, main_tau = draw(expr_of(main_target, sigs, {}, depth=3))
+    parts.append(main)
+    # Optionally re-define / re-annotate one method and call it again,
+    # exercising (EDef)/(EType) invalidation mid-run.
+    if sigs and draw(st.booleans()):
+        (cls, meth), mty = draw(st.sampled_from(sorted(
+            sigs.items(), key=lambda kv: kv[0])))
+        parts.append(EType(cls, meth, mty))
+        body, _ = draw(expr_of(mty.rng, sigs,
+                               {"x": mty.dom, "self": TCls(cls)}, depth=2))
+        parts.append(EDef(cls, meth, Premethod("x", body)))
+        arg, _ = draw(expr_of(mty.dom, sigs, {}, depth=1))
+        main = ECall(ENew(cls), meth, arg)
+        parts.append(main)
+        main_tau = mty.rng
+    return seq(*parts), dict(sigs), main, main_tau
+
+
+@given(programs())
+@settings(max_examples=150, deadline=None)
+def test_generated_main_is_well_typed_under_declared_table(case):
+    """The generator only builds main expressions that type check under
+    the table the prelude declares — the JIT analog of the soundness
+    hypothesis — and the tracked static type matches the derivation."""
+    _, tt, main, main_tau = case
+    deriv = type_check(tt, {}, main)
+    assert deriv.tau == main_tau
+
+
+@given(programs())
+@settings(max_examples=150, deadline=None)
+def test_progress_value_or_permitted_blame(case):
+    """Progress: never stuck; outcome is a value or a permitted blame."""
+    program, *_ = case
+    machine = Machine()
+    outcome = run_or_diverge(machine, program)
+    if outcome is None:
+        return  # diverges: permitted
+    assert isinstance(outcome, (Value, Blame))
+    check_blame_permitted(outcome)
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_preservation_invariants_along_the_run(case):
+    """Preservation (executable projection): cache consistency
+    X ∼ (TT, DT) and environment well-formedness hold along the run.
+
+    Re-deriving every cached check is expensive, so invariants are sampled
+    every few steps plus at the final state."""
+    program, *_ = case
+    machine = Machine()
+
+    def sampled(m):
+        if m.steps % 7 == 0:
+            check_all(m)
+
+    outcome = run_or_diverge(machine, program, on_step=sampled)
+    check_all(machine)
+    if outcome is not None:
+        assert isinstance(outcome, (Value, Blame))
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_final_value_type_preserved(case):
+    """A produced value's run-time type is ≤ the main expression's static
+    type (the soundness theorem's conclusion, under the declared table)."""
+    program, tt, main, main_tau = case
+    machine = Machine()
+    outcome = run_or_diverge(machine, program)
+    if isinstance(outcome, Value):
+        assert subtype(type_of(outcome), main_tau)
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_caching_does_not_change_outcomes(case):
+    """The cache is a pure optimization: cached and uncached runs agree."""
+    program, *_ = case
+    cached = run_or_diverge(Machine(), program)
+    uncached = Machine()
+
+    class _NoCache(dict):
+        def __setitem__(self, key, value):
+            pass
+
+    uncached.cache = _NoCache()
+    result = run_or_diverge(uncached, program)
+    if cached is None or result is None:
+        assert cached is None and result is None
+        return
+    assert type(cached) is type(result)
+    if isinstance(cached, Value):
+        assert cached == result
+    else:
+        assert cached.reason == result.reason

@@ -1,0 +1,304 @@
+"""Lowering tests: Python ast -> simplified IR."""
+
+import ast
+
+import pytest
+
+from repro.ril import LoweringError, lower_body, lower_expr
+from repro.ril import ir
+
+
+def expr(src: str):
+    return lower_expr(ast.parse(src, mode="eval").body)
+
+
+def body(src: str):
+    return lower_body(ast.parse(src).body)
+
+
+class TestLiterals:
+    def test_none(self):
+        assert isinstance(expr("None"), ir.NilLit)
+
+    def test_bool(self):
+        node = expr("True")
+        assert isinstance(node, ir.BoolLit) and node.value is True
+
+    def test_numbers(self):
+        assert expr("5") == ir.IntLit(5, expr("5").pos)
+        assert isinstance(expr("2.5"), ir.FloatLit)
+        neg = expr("-3")
+        assert isinstance(neg, ir.IntLit) and neg.value == -3
+
+    def test_string(self):
+        node = expr("'abc'")
+        assert isinstance(node, ir.StrLit) and node.value == "abc"
+
+    def test_symbol(self):
+        node = expr("Sym('owner')")
+        assert isinstance(node, ir.SymLit) and node.name == "owner"
+
+    def test_array(self):
+        node = expr("[1, 2]")
+        assert isinstance(node, ir.ArrayLit) and len(node.elems) == 2
+
+    def test_tuple_becomes_array(self):
+        assert isinstance(expr("(1, 2)"), ir.ArrayLit)
+
+    def test_hash(self):
+        node = expr("{Sym('a'): 1}")
+        assert isinstance(node, ir.HashLit)
+        key, value = node.pairs[0]
+        assert isinstance(key, ir.SymLit) and isinstance(value, ir.IntLit)
+
+    def test_range(self):
+        node = expr("range(1, 5)")
+        assert isinstance(node, ir.RangeLit)
+        one_arg = expr("range(5)")
+        assert isinstance(one_arg, ir.RangeLit)
+        assert isinstance(one_arg.lo, ir.IntLit) and one_arg.lo.value == 0
+
+    def test_fstring(self):
+        node = expr("f'{x}: {y}'")
+        assert isinstance(node, ir.StrFormat)
+        assert any(isinstance(p, ir.VarRead) for p in node.parts)
+
+
+class TestNames:
+    def test_self(self):
+        assert isinstance(expr("self"), ir.SelfRef)
+
+    def test_local(self):
+        assert expr("user") == ir.VarRead("user", expr("user").pos)
+
+    def test_const(self):
+        assert isinstance(expr("User"), ir.ConstRead)
+
+    def test_ivar_read(self):
+        node = expr("self.transactions")
+        assert isinstance(node, ir.IVarRead)
+        assert node.name == "transactions"
+
+    def test_other_attr_becomes_call(self):
+        node = expr("user.name")
+        assert isinstance(node, ir.Call) and node.name == "name"
+        assert node.args == ()
+
+
+class TestOperators:
+    def test_binop_is_method_call(self):
+        node = expr("a + b")
+        assert isinstance(node, ir.Call) and node.name == "+"
+
+    def test_compare(self):
+        node = expr("a == b")
+        assert isinstance(node, ir.Call) and node.name == "=="
+
+    def test_chained_compare(self):
+        node = expr("a < b < c")
+        assert isinstance(node, ir.BoolOp) and node.op == "and"
+        assert len(node.parts) == 2
+
+    def test_is_none(self):
+        assert isinstance(expr("x is None"), ir.IsNil)
+        node = expr("x is not None")
+        assert isinstance(node, ir.Not) and isinstance(node.value, ir.IsNil)
+
+    def test_isinstance(self):
+        node = expr("isinstance(x, User)")
+        assert isinstance(node, ir.IsA) and node.class_name == "User"
+
+    def test_in_becomes_include(self):
+        node = expr("x in xs")
+        assert isinstance(node, ir.Call) and node.name == "include?"
+        assert isinstance(node.recv, ir.VarRead) and node.recv.name == "xs"
+
+    def test_not(self):
+        assert isinstance(expr("not x"), ir.Not)
+
+    def test_boolop(self):
+        node = expr("a and b or c")
+        assert isinstance(node, ir.BoolOp) and node.op == "or"
+
+    def test_subscript(self):
+        node = expr("a[0]")
+        assert isinstance(node, ir.Call) and node.name == "[]"
+
+    def test_unary_minus_on_var(self):
+        node = expr("-x")
+        assert isinstance(node, ir.Call) and node.name == "-@"
+
+
+class TestCalls:
+    def test_method_call(self):
+        node = expr("user.save(1)")
+        assert isinstance(node, ir.Call)
+        assert node.name == "save" and len(node.args) == 1
+
+    def test_self_method_call(self):
+        node = expr("self.render(x)")
+        assert isinstance(node.recv, ir.SelfRef)
+
+    def test_bare_call(self):
+        node = expr("helper(1)")
+        assert isinstance(node, ir.Call) and node.recv is None
+
+    def test_constructor(self):
+        node = expr("User('bob')")
+        assert isinstance(node, ir.Call) and node.name == "new"
+        assert isinstance(node.recv, ir.ConstRead)
+
+    def test_class_method(self):
+        node = expr("User.find(3)")
+        assert isinstance(node.recv, ir.ConstRead) and node.name == "find"
+
+    def test_len_becomes_length(self):
+        node = expr("len(xs)")
+        assert node.name == "length"
+        assert isinstance(node.recv, ir.VarRead)
+
+    def test_str_becomes_to_s(self):
+        assert expr("str(x)").name == "to_s"
+
+    def test_print_becomes_puts(self):
+        node = expr("print('hello')")
+        assert node.name == "puts" and node.recv is None
+
+    def test_trailing_lambda_is_block(self):
+        node = expr("xs.sort(lambda a, b: a - b)")
+        assert node.name == "sort"
+        assert node.args == ()
+        assert isinstance(node.block, ir.BlockFn)
+        assert node.block.params == ("a", "b")
+
+    def test_kwargs_become_options_hash(self):
+        node = expr("belongs_to(Sym('owner'), class_name='User')")
+        assert len(node.args) == 2
+        options = node.args[1]
+        assert isinstance(options, ir.HashLit)
+        key, value = options.pairs[0]
+        assert isinstance(key, ir.SymLit) and key.name == "class_name"
+
+    def test_cast_forms(self):
+        for src in ("cast(x, 'Array<Integer>')",
+                    "hb.cast(x, 'Array<Integer>')",
+                    "rdl_cast(x, 'Array<Integer>')"):
+            node = expr(src)
+            assert isinstance(node, ir.Cast)
+            assert node.type_text == "Array<Integer>"
+
+    def test_comprehension_becomes_map(self):
+        node = expr("[f(x) for x in xs]")
+        assert node.name == "map"
+        assert isinstance(node.block, ir.BlockFn)
+
+    def test_filtered_comprehension_becomes_select_map(self):
+        node = expr("[x for x in xs if x > 0]")
+        assert node.name == "map"
+        assert node.recv.name == "select"
+
+    def test_starred_rejected(self):
+        with pytest.raises(LoweringError):
+            expr("f(*args)")
+
+
+class TestStatements:
+    def test_assign(self):
+        node = body("x = 1")
+        assert isinstance(node, ir.VarWrite)
+
+    def test_ivar_assign(self):
+        node = body("self.total = 0")
+        assert isinstance(node, ir.IVarWrite)
+
+    def test_attr_assign_becomes_setter(self):
+        node = body("talk.owner = user")
+        assert isinstance(node, ir.Call) and node.name == "owner="
+
+    def test_subscript_assign(self):
+        node = body("h[k] = v")
+        assert isinstance(node, ir.Call) and node.name == "[]="
+
+    def test_augassign(self):
+        node = body("x += 1")
+        assert isinstance(node, ir.VarWrite)
+        assert isinstance(node.value, ir.Call) and node.value.name == "+"
+
+    def test_annassign_is_cast(self):
+        node = body("xs: 'Array<Integer>' = []")
+        assert isinstance(node, ir.VarWrite)
+        assert isinstance(node.value, ir.Cast)
+
+    def test_destructuring(self):
+        node = body("a, b = pair")
+        assert isinstance(node, ir.Seq)
+        assert isinstance(node.stmts[0], ir.VarWrite)
+
+    def test_if(self):
+        node = body("if x:\n    y = 1\nelse:\n    y = 2")
+        assert isinstance(node, ir.If)
+
+    def test_while(self):
+        assert isinstance(body("while x:\n    f()"), ir.While)
+
+    def test_for(self):
+        node = body("for t in talks:\n    f(t)")
+        assert isinstance(node, ir.ForEach) and node.var == "t"
+
+    def test_for_unpack(self):
+        node = body("for k, v in pairs:\n    f(k, v)")
+        assert isinstance(node, ir.ForEach)
+        assert isinstance(node.body, ir.Seq)
+
+    def test_return(self):
+        node = body("return 5")
+        assert isinstance(node, ir.Return)
+        bare = body("return")
+        assert isinstance(bare, ir.Return) and bare.value is None
+
+    def test_raise(self):
+        node = body("raise ValueError('bad')")
+        assert isinstance(node, ir.Raise)
+
+    def test_try(self):
+        node = body(
+            "try:\n    f()\nexcept ValueError as e:\n    g(e)\n"
+            "finally:\n    h()")
+        assert isinstance(node, ir.Try)
+        assert node.handlers[0].class_name == "ValueError"
+        assert node.final is not None
+
+    def test_docstring_dropped(self):
+        node = body('"""doc"""\nx = 1')
+        assert isinstance(node, ir.VarWrite)
+
+    def test_pass(self):
+        assert isinstance(body("pass"), ir.NilLit)
+
+    def test_break_continue(self):
+        node = body("for x in xs:\n    break")
+        assert isinstance(node.body, ir.Break)
+        node = body("for x in xs:\n    continue")
+        assert isinstance(node.body, ir.Next)
+
+    def test_unsupported_statement(self):
+        with pytest.raises(LoweringError):
+            body("with open('f') as f:\n    pass")
+
+    def test_seq_positions(self):
+        node = body("x = 1\ny = 2")
+        assert isinstance(node, ir.Seq)
+        assert node.stmts[0].pos.line == 1
+        assert node.stmts[1].pos.line == 2
+
+
+class TestWalk:
+    def test_walk_visits_nested(self):
+        node = body("if a:\n    x = f(1)\nelse:\n    y = 2")
+        kinds = {type(n).__name__ for n in ir.walk(node)}
+        assert {"If", "VarWrite", "Call", "IntLit"} <= kinds
+
+    def test_walk_visits_hash_pairs(self):
+        node = expr("{Sym('a'): f(1)}")
+        kinds = {type(n).__name__ for n in ir.walk(node)}
+        assert "SymLit" in kinds and "Call" in kinds

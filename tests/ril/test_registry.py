@@ -1,0 +1,168 @@
+"""Registry, JSON round-trip, and diff tests for the IR front end."""
+
+import pytest
+
+from repro.ril import (
+    CFGRegistry, RegistrationError, bodies_differ, diff_registries, dumps,
+    fingerprint, from_json, ir, loads, snapshot_fingerprints, to_json,
+)
+from repro.rtypes import NominalType
+
+
+# Module-level fixtures so inspect.getsource works.
+
+def _sample(self, user, items=None):
+    total = 0
+    for item in items:
+        total = total + item
+    if user is None:
+        return None
+    return f"{user}: {total}"
+
+
+def _varargs(self, first, *rest):
+    return first
+
+
+def _make_closure(role_name):
+    def dynamic(self):
+        return "is_" + role_name
+    return dynamic
+
+
+class TestRegistry:
+    def test_register_function(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "sample", _sample)
+        assert mir.owner == "Demo" and mir.name == "sample"
+        assert reg.lookup("Demo", "sample") is mir
+
+    def test_self_param_skipped(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "sample", _sample)
+        assert mir.param_names() == ("user", "items")
+
+    def test_default_marks_optional(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "sample", _sample)
+        assert not mir.params[0].optional
+        assert mir.params[1].optional
+
+    def test_vararg_param(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "varargs", _varargs)
+        assert mir.params[1].vararg
+
+    def test_closure_captures_typed(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("User", "is_prof", _make_closure("prof"))
+        assert mir.captures["role_name"] == NominalType("String")
+
+    def test_register_source(self):
+        reg = CFGRegistry()
+        mir = reg.register_source(
+            "Demo", "double", "def double(self, x):\n    return x * 2\n")
+        assert mir.param_names() == ("x",)
+        assert isinstance(mir.body, ir.Return)
+
+    def test_hb_source_attribute(self):
+        namespace = {}
+        src = "def tripled(self, x):\n    return x * 3\n"
+        exec(src, namespace)
+        fn = namespace["tripled"]
+        fn.__hb_source__ = src
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "tripled", fn)
+        assert mir.param_names() == ("x",)
+
+    def test_no_source_raises(self):
+        namespace = {}
+        exec("def ghost(self): return 1", namespace)
+        reg = CFGRegistry()
+        with pytest.raises(RegistrationError):
+            reg.register_function("Demo", "ghost", namespace["ghost"])
+
+    def test_bad_source_raises(self):
+        reg = CFGRegistry()
+        with pytest.raises(RegistrationError):
+            reg.register_source("Demo", "bad", "not python ][")
+
+    def test_source_without_def_raises(self):
+        reg = CFGRegistry()
+        with pytest.raises(RegistrationError):
+            reg.register_source("Demo", "bad", "x = 1")
+
+    def test_forget(self):
+        reg = CFGRegistry()
+        reg.register_function("Demo", "sample", _sample)
+        reg.forget("Demo", "sample")
+        assert reg.lookup("Demo", "sample") is None
+
+    def test_methods_of(self):
+        reg = CFGRegistry()
+        reg.register_function("Demo", "sample", _sample)
+        reg.register_function("Demo", "varargs", _varargs)
+        reg.register_function("Other", "sample", _sample)
+        assert len(reg.methods_of("Demo")) == 2
+        assert len(reg) == 3
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "sample", _sample)
+        assert loads(dumps(mir.body)) == mir.body
+
+    def test_to_from_json(self):
+        node = ir.If(ir.BoolLit(True), ir.IntLit(1), ir.IntLit(2))
+        assert from_json(to_json(node)) == node
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            from_json({"kind": "Bogus"})
+
+    def test_positions_preserved(self):
+        reg = CFGRegistry()
+        mir = reg.register_function("Demo", "sample", _sample)
+        rt = loads(dumps(mir.body))
+        positions = [n.pos for n in ir.walk(rt)]
+        assert any(p.line > 0 for p in positions)
+
+
+class TestFingerprintAndDiff:
+    def test_fingerprint_ignores_positions(self):
+        reg = CFGRegistry()
+        a = reg.register_source("D", "m", "def m(self):\n    return 1\n")
+        b = reg.register_source(
+            "D", "m", "\n\n\ndef m(self):\n    return 1\n")
+        assert a.fingerprint == b.fingerprint
+        assert not bodies_differ(a, b)
+
+    def test_fingerprint_sees_body_change(self):
+        reg = CFGRegistry()
+        a = reg.register_source("D", "m", "def m(self):\n    return 1\n")
+        b = reg.register_source("D", "m", "def m(self):\n    return 2\n")
+        assert bodies_differ(a, b)
+
+    def test_param_change_counts(self):
+        reg = CFGRegistry()
+        a = reg.register_source("D", "m", "def m(self):\n    return 1\n")
+        b = reg.register_source("D", "m", "def m(self, x):\n    return 1\n")
+        assert bodies_differ(a, b)
+
+    def test_diff_registries(self):
+        reg = CFGRegistry()
+        reg.register_source("D", "kept", "def kept(self):\n    return 1\n")
+        reg.register_source("D", "edited", "def edited(self):\n    return 1\n")
+        reg.register_source("D", "dropped", "def dropped(self):\n    return 1\n")
+        before = snapshot_fingerprints(reg)
+
+        reg.register_source("D", "edited", "def edited(self):\n    return 2\n")
+        reg.register_source("D", "fresh", "def fresh(self):\n    return 3\n")
+        reg.forget("D", "dropped")
+
+        diff = diff_registries(before, reg)
+        assert diff.changed == {("D", "edited")}
+        assert diff.added == {("D", "fresh")}
+        assert diff.removed == {("D", "dropped")}
+        assert diff.invalidation_roots() == {("D", "edited"), ("D", "dropped")}

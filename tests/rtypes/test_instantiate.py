@@ -1,0 +1,126 @@
+"""Tests for type-variable substitution and receiver instantiation."""
+
+import pytest
+
+from repro.rtypes import (
+    ANY,
+    NominalType, VarType, default_hierarchy, free_vars,
+    instantiate_for_receiver, parse_method_type, parse_type,
+    receiver_bindings, resolve_self, substitute,
+)
+
+
+@pytest.fixture
+def hier():
+    return default_hierarchy()
+
+
+class TestFreeVars:
+    def test_simple(self):
+        assert free_vars(parse_type("t")) == {"t"}
+
+    def test_nested(self):
+        assert free_vars(parse_type("Array<Hash<k, v>>")) == {"k", "v"}
+
+    def test_method(self):
+        assert free_vars(parse_type("(t) { (u) -> t } -> Array<t>")) == {
+            "t", "u"}
+
+    def test_closed(self):
+        assert free_vars(parse_type("Array<Integer>")) == set()
+
+
+class TestSubstitute:
+    def test_var(self):
+        assert substitute(parse_type("t"),
+                          {"t": NominalType("Integer")}) == parse_type(
+            "Integer")
+
+    def test_inside_generic(self):
+        out = substitute(parse_type("Array<t>"), {"t": parse_type("String")})
+        assert out == parse_type("Array<String>")
+
+    def test_inside_method(self):
+        mt = parse_method_type("(t, ?t, *t) { (t) -> t } -> t")
+        out = substitute(mt, {"t": parse_type("Integer")})
+        assert out == parse_method_type(
+            "(Integer, ?Integer, *Integer) { (Integer) -> Integer } -> Integer")
+
+    def test_partial(self):
+        out = substitute(parse_type("Hash<k, v>"), {"k": parse_type("Symbol")})
+        assert out == parse_type("Hash<Symbol, v>")
+
+    def test_unions(self):
+        out = substitute(parse_type("t or nil"), {"t": parse_type("User")})
+        assert out == parse_type("User or nil")
+
+    def test_empty_mapping_identity(self):
+        t = parse_type("Array<t>")
+        assert substitute(t, {}) is t
+
+
+class TestResolveSelf:
+    def test_plain(self):
+        assert resolve_self(parse_type("self"),
+                            parse_type("User")) == parse_type("User")
+
+    def test_in_method(self):
+        mt = parse_method_type("(self) -> self")
+        out = resolve_self(mt, parse_type("User"))
+        assert out == parse_method_type("(User) -> User")
+
+    def test_in_generic(self):
+        out = resolve_self(parse_type("Array<self>"), parse_type("User"))
+        assert out == parse_type("Array<User>")
+
+
+class TestReceiverBindings:
+    def test_instantiated_generic(self, hier):
+        b = receiver_bindings(parse_type("Array<Integer>"), hier)
+        assert b == {"t": parse_type("Integer")}
+
+    def test_hash(self, hier):
+        b = receiver_bindings(parse_type("Hash<Symbol, String>"), hier)
+        assert b == {"k": parse_type("Symbol"), "v": parse_type("String")}
+
+    def test_raw_generic_defaults_to_any(self, hier):
+        # Paper: instances of generic classes get their raw type by default.
+        b = receiver_bindings(parse_type("Array"), hier)
+        assert b == {"t": ANY}
+
+    def test_non_generic(self, hier):
+        assert receiver_bindings(parse_type("String"), hier) == {}
+
+    def test_tuple_binds_union(self, hier):
+        b = receiver_bindings(parse_type("[Integer, String]"), hier)
+        assert b == {"t": parse_type("Integer or String")}
+
+    def test_finite_hash_binds_key_and_value(self, hier):
+        b = receiver_bindings(parse_type("{a: Integer}"), hier)
+        assert b["k"] == parse_type(":a")
+        assert b["v"] == parse_type("Integer")
+
+
+class TestInstantiateForReceiver:
+    def test_array_push(self, hier):
+        push = parse_method_type("(t) -> Array<t>")
+        out = instantiate_for_receiver(push, parse_type("Array<Integer>"),
+                                       hier)
+        assert out == parse_method_type("(Integer) -> Array<Integer>")
+
+    def test_array_paper_example(self, hier):
+        """Array#[] from paper section 4: '(Fixnum or Float) -> t'."""
+        hier.add_class("Fixnum", "Integer")
+        idx = parse_method_type("(Fixnum or Float) -> t")
+        out = instantiate_for_receiver(idx, parse_type("Array<String>"), hier)
+        assert out.ret == parse_type("String")
+
+    def test_self_resolution(self, hier):
+        dup = parse_method_type("() -> self")
+        out = instantiate_for_receiver(dup, parse_type("String"), hier)
+        assert out.ret == parse_type("String")
+
+    def test_raw_receiver(self, hier):
+        push = parse_method_type("(t) -> Array<t>")
+        out = instantiate_for_receiver(push, parse_type("Array"), hier)
+        assert out == parse_method_type("(%any) -> Array<%any>")

@@ -1,0 +1,200 @@
+"""Parser tests for the RDL-style type language."""
+
+import pytest
+
+from repro.rtypes import (
+    ANY, BOOL, BOT, NIL, SELF,
+    BlockType, ClassObjectType, FiniteHashType, GenericType, IntersectionType,
+    MethodType, NominalType, OptionalParam, RequiredParam, SingletonType,
+    StructuralType, TupleType, TypeSyntaxError, UnionType, VarType,
+    VarargParam, parse_method_type, parse_type,
+)
+
+
+class TestAtoms:
+    def test_nominal(self):
+        assert parse_type("User") == NominalType("User")
+
+    def test_specials(self):
+        assert parse_type("%any") is ANY
+        assert parse_type("%bool") is BOOL
+        assert parse_type("%bot") is BOT
+
+    def test_nil_and_self(self):
+        assert parse_type("nil") == NIL
+        assert parse_type("self") == SELF
+
+    def test_type_variable(self):
+        assert parse_type("t") == VarType("t")
+        assert parse_type("elem") == VarType("elem")
+
+    def test_symbol_singleton(self):
+        t = parse_type(":owner")
+        assert t == SingletonType("owner", "Symbol")
+
+    def test_integer_singleton(self):
+        assert parse_type("42") == SingletonType(42, "Integer")
+
+    def test_class_object(self):
+        assert parse_type("Class<Talk>") == ClassObjectType("Talk")
+
+    def test_unknown_special_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type("%foo")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type("User @ Talk")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_type("User Talk")
+
+
+class TestCompound:
+    def test_generic(self):
+        t = parse_type("Array<Integer>")
+        assert t == GenericType("Array", (NominalType("Integer"),))
+
+    def test_generic_two_args(self):
+        t = parse_type("Hash<Symbol, String>")
+        assert t == GenericType(
+            "Hash", (NominalType("Symbol"), NominalType("String")))
+
+    def test_nested_generic(self):
+        t = parse_type("Array<Array<Integer>>")
+        inner = GenericType("Array", (NominalType("Integer"),))
+        assert t == GenericType("Array", (inner,))
+
+    def test_union(self):
+        t = parse_type("Integer or String")
+        assert isinstance(t, UnionType)
+        assert set(t.arms) == {NominalType("Integer"), NominalType("String")}
+
+    def test_union_flattens(self):
+        assert parse_type("A or (B or C)") == parse_type("A or B or C")
+
+    def test_union_equality_order_insensitive(self):
+        assert parse_type("A or B") == parse_type("B or A")
+
+    def test_intersection(self):
+        t = parse_type("A and B")
+        assert isinstance(t, IntersectionType)
+
+    def test_tuple(self):
+        t = parse_type("[Integer, String]")
+        assert t == TupleType((NominalType("Integer"), NominalType("String")))
+
+    def test_empty_tuple(self):
+        assert parse_type("[]") == TupleType(())
+
+    def test_finite_hash(self):
+        t = parse_type("{name: String, age: Integer}")
+        assert isinstance(t, FiniteHashType)
+        assert t.field_map() == {"name": NominalType("String"),
+                                 "age": NominalType("Integer")}
+
+    def test_finite_hash_order_insensitive_equality(self):
+        assert parse_type("{a: A, b: B}") == parse_type("{b: B, a: A}")
+
+    def test_structural(self):
+        t = parse_type("[to_s: () -> String]")
+        assert isinstance(t, StructuralType)
+        sig = t.method_map()["to_s"]
+        assert sig.ret == NominalType("String")
+
+    def test_grouping_parens(self):
+        t = parse_type("(Integer or String)")
+        assert isinstance(t, UnionType)
+
+
+class TestMethodTypes:
+    def test_simple(self):
+        mt = parse_method_type("(User) -> %bool")
+        assert mt.params == (RequiredParam(NominalType("User")),)
+        assert mt.ret is BOOL
+
+    def test_no_args(self):
+        mt = parse_method_type("() -> nil")
+        assert mt.params == ()
+        assert mt.ret == NIL
+
+    def test_optional_param(self):
+        mt = parse_method_type("(Integer, ?String) -> nil")
+        assert mt.params[1] == OptionalParam(NominalType("String"))
+        assert mt.min_arity() == 1
+        assert mt.max_arity() == 2
+
+    def test_vararg_param(self):
+        mt = parse_method_type("(*Integer) -> nil")
+        assert mt.params[0] == VarargParam(NominalType("Integer"))
+        assert mt.max_arity() is None
+        assert mt.accepts_arity(0) and mt.accepts_arity(5)
+
+    def test_param_type_at_vararg(self):
+        mt = parse_method_type("(String, *Integer) -> nil")
+        assert mt.param_type_at(0) == NominalType("String")
+        assert mt.param_type_at(1) == NominalType("Integer")
+        assert mt.param_type_at(7) == NominalType("Integer")
+
+    def test_block(self):
+        mt = parse_method_type("() { (T) -> U } -> nil")
+        assert mt.block is not None
+        assert not mt.block.optional
+        assert mt.block.sig.params == (RequiredParam(NominalType("T")),)
+
+    def test_optional_block(self):
+        mt = parse_method_type("() ?{ (T) -> U } -> nil")
+        assert mt.block is not None and mt.block.optional
+
+    def test_union_return(self):
+        mt = parse_method_type("() -> Integer or nil")
+        assert isinstance(mt.ret, UnionType)
+
+    def test_method_type_as_union_arm(self):
+        t = parse_type("Integer or ((String) -> nil)")
+        assert isinstance(t, UnionType)
+        assert any(isinstance(a, MethodType) for a in t.arms)
+
+    def test_named_parameter_ignored(self):
+        mt = parse_method_type("(Integer x, String y) -> nil")
+        assert [p.ty for p in mt.params] == [NominalType("Integer"),
+                                             NominalType("String")]
+
+    def test_rejects_plain_type(self):
+        with pytest.raises(TypeSyntaxError):
+            parse_method_type("Integer")
+
+    def test_paper_figure1_types(self):
+        """The exact signatures Fig. 1's belongs_to hook generates."""
+        getter = parse_method_type("() -> User")
+        setter = parse_method_type("(User) -> User")
+        assert getter.ret == NominalType("User")
+        assert setter.params == (RequiredParam(NominalType("User")),)
+
+
+ROUND_TRIP_CASES = [
+    "User",
+    "%any", "%bool", "%bot", "nil", "self",
+    ":owner", "42",
+    "t",
+    "Class<Talk>",
+    "Array<Integer>",
+    "Hash<Symbol, String or nil>",
+    "[Integer, String]",
+    "{name: String, age: Integer or nil}",
+    "[to_s: () -> String, size: () -> Integer]",
+    "Integer or String or nil",
+    "(A and B) or C",
+    "(User) -> %bool",
+    "(Integer, ?String, *Float) -> Array<Integer>",
+    "() { (t) -> u } -> nil",
+    "() ?{ () -> %any } -> self",
+    "(Fixnum or Float) -> t",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_CASES)
+def test_print_parse_round_trip(text):
+    t = parse_type(text)
+    assert parse_type(str(t)) == t

@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the type-language substrate.
+
+Invariants checked:
+
+* print/parse round-trip for arbitrary generated types;
+* subtyping is reflexive and transitive on generated samples;
+* join is commutative (up to equivalence), idempotent, and an upper bound;
+* substitution preserves free-variable accounting.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtypes import (
+    ANY, BOOL, NIL,
+    BlockType, GenericType, MethodType, NominalType, OptionalParam,
+    RequiredParam, SingletonType, TupleType, VarType, VarargParam,
+    default_hierarchy, equivalent, free_vars, is_subtype, join, parse_type,
+    substitute, union_of,
+)
+
+HIER = default_hierarchy()
+for _name in ("User", "Talk", "Widget"):
+    HIER.add_class(_name)
+HIER.add_class("AdminUser", "User")
+
+_NOMINALS = ["Object", "Integer", "Float", "Numeric", "String", "Symbol",
+             "User", "AdminUser", "Talk", "Widget"]
+
+base_types = st.one_of(
+    st.sampled_from([ANY, BOOL, NIL]),
+    st.sampled_from(_NOMINALS).map(NominalType),
+    st.sampled_from(["a", "b", "owner"]).map(
+        lambda s: SingletonType(s, "Symbol")),
+    st.integers(min_value=-5, max_value=5).map(
+        lambda i: SingletonType(i, "Integer")),
+    st.sampled_from(["t", "u"]).map(VarType),
+)
+
+
+def _method(args):
+    params, ret = args
+    return MethodType(tuple(RequiredParam(p) for p in params), None, ret)
+
+
+def compound(children):
+    return st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda ts: GenericType("Array", (ts[0],))),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ts: union_of(*ts)),
+        st.lists(children, min_size=0, max_size=3).map(
+            lambda ts: TupleType(tuple(ts))),
+        st.tuples(st.lists(children, max_size=2), children).map(_method),
+    )
+
+
+types = st.recursive(base_types, compound, max_leaves=8)
+
+
+@given(types)
+@settings(max_examples=300)
+def test_print_parse_round_trip(t):
+    assert parse_type(str(t)) == t
+
+
+@given(types)
+@settings(max_examples=200)
+def test_subtype_reflexive(t):
+    assert is_subtype(t, t, HIER)
+
+
+def _contains_any(t) -> bool:
+    """True when %any occurs anywhere in ``t``.
+
+    ``%any`` is RDL's *dynamic* type: compatibility with it is a consistency
+    relation, which — like all gradual-typing consistency relations — is
+    deliberately not transitive (``Array<%any> <= %any <= %bool`` must not
+    imply ``Array<%any> <= %bool``).  Transitivity holds on the static
+    fragment, which is what we test.
+    """
+    from repro.rtypes import (
+        AnyType, GenericType, MethodType, TupleType, UnionType,
+    )
+    if isinstance(t, AnyType):
+        return True
+    if isinstance(t, GenericType):
+        return any(_contains_any(a) for a in t.args)
+    if isinstance(t, TupleType):
+        return any(_contains_any(e) for e in t.elems)
+    if isinstance(t, UnionType):
+        return any(_contains_any(a) for a in t.arms)
+    if isinstance(t, MethodType):
+        return (any(_contains_any(p.ty) for p in t.params)
+                or _contains_any(t.ret)
+                or (t.block is not None and _contains_any(t.block.sig)))
+    return False
+
+
+@given(types, types, types)
+@settings(max_examples=300)
+def test_subtype_transitive_on_static_fragment(a, b, c):
+    if any(_contains_any(t) for t in (a, b, c)):
+        return
+    if is_subtype(a, b, HIER) and is_subtype(b, c, HIER):
+        assert is_subtype(a, c, HIER)
+
+
+@given(types, types)
+@settings(max_examples=300)
+def test_join_is_upper_bound(a, b):
+    j = join(a, b, HIER)
+    assert is_subtype(a, j, HIER)
+    assert is_subtype(b, j, HIER)
+
+
+@given(types, types)
+@settings(max_examples=200)
+def test_join_commutative_up_to_equivalence(a, b):
+    assert equivalent(join(a, b, HIER), join(b, a, HIER), HIER)
+
+
+@given(types)
+@settings(max_examples=200)
+def test_join_idempotent(t):
+    assert join(t, t, HIER) == t
+
+
+@given(types)
+@settings(max_examples=200)
+def test_substitute_closes_variables(t):
+    mapping = {v: NominalType("Integer") for v in free_vars(t)}
+    assert free_vars(substitute(t, mapping)) == set()
+
+
+@given(types, types)
+@settings(max_examples=200)
+def test_union_contains_arms(a, b):
+    u = union_of(a, b)
+    assert is_subtype(a, u, HIER)
+    assert is_subtype(b, u, HIER)

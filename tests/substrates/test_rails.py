@@ -1,0 +1,231 @@
+"""Tests for the mini-Rails substrate: ORM metaprogramming + typegen,
+controllers, routing, and the paper's Fig. 1 behaviour end to end."""
+
+import pytest
+
+from repro import ArgumentTypeError, Engine, StaticTypeError, Sym
+from repro.rails import RailsApp, RoutingError
+from repro.rails.inflect import (
+    camelize, foreign_key, pluralize, singularize, tableize, underscore,
+)
+
+
+class TestInflections:
+    @pytest.mark.parametrize("word,expected", [
+        ("talk", "talks"), ("country", "countries"), ("box", "boxes"),
+        ("class", "classes"), ("user", "users"), ("person", "people"),
+    ])
+    def test_pluralize(self, word, expected):
+        assert pluralize(word) == expected
+
+    @pytest.mark.parametrize("word,expected", [
+        ("talks", "talk"), ("countries", "country"), ("boxes", "box"),
+        ("users", "user"), ("people", "person"), ("owner", "owner"),
+    ])
+    def test_singularize(self, word, expected):
+        assert singularize(word) == expected
+
+    def test_camelize_underscore(self):
+        assert camelize("file_share") == "FileShare"
+        assert underscore("FileShare") == "file_share"
+
+    def test_tableize(self):
+        assert tableize("Talk") == "talks"
+        assert tableize("UserFile") == "user_files"
+
+    def test_foreign_key(self):
+        assert foreign_key("owner") == "owner_id"
+
+    def test_paper_fig1_derivation(self):
+        # hmu = hm.singularize.camelize for the :owner association
+        assert camelize(singularize("owner")) == "Owner"
+
+
+def build_blog(engine=None):
+    """A small Rails world: User has many Talks, Talk belongs to owner."""
+    app = RailsApp(engine or Engine())
+    app.db.create_table("users", ("name", "string"), ("email", "string"))
+    app.db.create_table(
+        "talks", ("title", "string"), ("owner_id", "integer"),
+        ("room", "string"))
+
+    @app.register_model
+    class User(app.Model):
+        pass
+
+    @app.register_model
+    class Talk(app.Model):
+        pass
+
+    Talk.belongs_to("owner", class_name="User")
+    User.has_many("talks", fk="owner_id")
+    return app, User, Talk
+
+
+class TestModelMetaprogramming:
+    def test_attribute_readers(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice", email="a@x.org")
+        assert u.name == "alice"
+        assert u.id == 1
+
+    def test_attribute_writer_and_save(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice")
+        u.name = "bob"
+        u.save()
+        assert User.find(u.id).name == "bob"
+
+    def test_finders_are_dynamic(self):
+        app, User, Talk = build_blog()
+        User.create(name="alice")
+        User.create(name="bob")
+        assert User.find_by_name("bob").id == 2
+        assert User.find_by_name("nobody") is None
+        assert len(User.find_all_by_name("alice")) == 1
+
+    def test_belongs_to_getter_queries(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice")
+        t = Talk.create(title="PLDI", owner_id=u.id)
+        assert t.owner.name == "alice"
+
+    def test_belongs_to_setter_sets_fk(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice")
+        t = Talk.create(title="PLDI")
+        t.owner = u
+        assert t.owner_id == u.id
+
+    def test_has_many(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice")
+        Talk.create(title="One", owner_id=u.id)
+        Talk.create(title="Two", owner_id=u.id)
+        assert [t.title for t in u.talks] == ["One", "Two"]
+
+    def test_where_update_destroy(self):
+        app, User, Talk = build_blog()
+        u = User.create(name="alice")
+        assert User.where(name="alice") == [u]
+        u.update(name="carol")
+        assert User.find(u.id).name == "carol"
+        u.destroy()
+        assert User.count() == 0
+
+    def test_types_were_generated(self):
+        app, User, Talk = build_blog()
+        stats = app.engine.stats
+        # Schema getters/setters + finders + associations, for two models.
+        assert stats.generated_count() > 20
+        # The Fig. 1 signatures exist with the right types.
+        sig = app.engine.types.lookup("Talk", "owner")
+        assert sig is not None and sig.generated
+        assert str(sig.arms[0]) == "() -> User"
+        setter = app.engine.types.lookup("Talk", "owner=")
+        assert str(setter.arms[0]) == "(User) -> User"
+
+
+class TestCheckedAppMethodsOnModels:
+    def test_paper_fig1_owner_check(self):
+        """The owner? method of Fig. 1: checkable only thanks to the
+        dynamically generated association getter type."""
+        app, User, Talk = build_blog()
+        hb = app.hb
+        hb.annotate(Talk, "owner_p", "(User) -> %bool", check=True)
+
+        def owner_p(self, user):
+            return self.owner == user
+
+        app.engine.define_method(Talk, "owner_p", owner_p)
+        u = User.create(name="alice")
+        t = Talk.create(title="x", owner_id=u.id)
+        assert t.owner_p(u) is True
+        assert app.engine.stats.static_checks >= 1
+        used = app.engine.stats.used_generated
+        assert ("Talk", "owner") in used
+
+    def test_check_fails_without_generated_types(self):
+        """Without the belongs_to typegen, owner? cannot type check —
+        dynamically generated types are essential (paper, section 5)."""
+        app = RailsApp(Engine())
+        app.db.create_table("users", ("name", "string"))
+        app.db.create_table("talks", ("title", "string"),
+                            ("owner_id", "integer"))
+
+        @app.register_model
+        class User(app.Model):
+            pass
+
+        @app.register_model
+        class Talk(app.Model):
+            pass
+
+        # NOTE: no belongs_to call — the association type never generated.
+        hb = app.hb
+        hb.annotate(Talk, "owner_p", "(User) -> %bool", check=True)
+
+        def owner_p(self, user):
+            return self.owner == user
+
+        app.engine.define_method(Talk, "owner_p", owner_p)
+        u = User.create(name="alice")
+        t = Talk.create(title="x", owner_id=u.id)
+        with pytest.raises(StaticTypeError, match="owner"):
+            t.owner_p(u)
+
+
+class TestControllersAndRouting:
+    def build(self):
+        app, User, Talk = build_blog()
+        hb = app.hb
+
+        class TalksController(app.Controller):
+            @hb.typed("() -> String")
+            def index(self):
+                talks = Talk.all()
+                titles = [t.title for t in talks]
+                return self.render("talks/index", {Sym("titles"): titles})
+
+            @hb.typed("() -> String")
+            def show(self):
+                talk = Talk.find(int(self.param(Sym("id"))))
+                return self.render("talks/show",
+                                   {Sym("title"): talk.title})
+
+        app.get("/talks", TalksController, "index")
+        app.get("/talks/:id", TalksController, "show")
+        return app, User, Talk, TalksController
+
+    def test_dispatch_index(self):
+        app, User, Talk, _ = self.build()
+        Talk.create(title="JIT checking")
+        body = app.request("GET", "/talks")
+        assert "JIT checking" in body
+        assert app.engine.stats.static_checks >= 1
+
+    def test_dispatch_with_captured_param(self):
+        app, User, Talk, _ = self.build()
+        t = Talk.create(title="Types")
+        body = app.request("GET", f"/talks/{t.id}")
+        assert "Types" in body
+
+    def test_unknown_route(self):
+        app, *_ = self.build()
+        with pytest.raises(RoutingError):
+            app.request("GET", "/nope")
+
+    def test_params_always_dynamically_checked(self):
+        """Rails params come from the browser: always checked (section 4)."""
+        app, User, Talk, _ = self.build()
+        Talk.create(title="x")
+        with pytest.raises(ArgumentTypeError):
+            app.request("GET", "/talks", params={"evil": object()})
+
+    def test_second_request_hits_cache(self):
+        app, User, Talk, _ = self.build()
+        Talk.create(title="x")
+        app.request("GET", "/talks")
+        before = app.engine.stats.static_checks
+        app.request("GET", "/talks")
+        assert app.engine.stats.static_checks == before

@@ -1,0 +1,141 @@
+"""Tests for the in-memory relational database substrate."""
+
+import pytest
+
+from repro.sqldb import Column, Database, Schema, Table, column_rdl_type
+from repro.sqldb.schema import SchemaError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "talks", ("title", "string"), ("owner_id", "integer"),
+        ("public", "boolean"), ("rating", "float"))
+    return database
+
+
+class TestSchema:
+    def test_column_rdl_types(self):
+        assert column_rdl_type("integer") == "Integer or nil"
+        assert column_rdl_type("integer", null=False) == "Integer"
+        assert column_rdl_type("string") == "String or nil"
+        assert column_rdl_type("boolean") == "%bool or nil"
+        assert column_rdl_type("datetime") == "Time or nil"
+
+    def test_unknown_column_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "jsonb")
+
+    def test_column_accepts(self):
+        assert Column("n", "integer").accepts(3)
+        assert not Column("n", "integer").accepts("3")
+        assert not Column("n", "integer").accepts(True)  # bool is not int
+        assert Column("b", "boolean").accepts(True)
+        assert Column("n", "integer").accepts(None)
+        assert not Column("n", "integer", null=False).accepts(None)
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", "string"), Column("a", "integer")])
+
+    def test_explicit_id_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("id", "integer")])
+
+
+class TestTable:
+    def test_insert_assigns_ids(self, db):
+        t = db.table("talks")
+        first = t.insert(title="A")
+        second = t.insert(title="B")
+        assert first["id"] == 1 and second["id"] == 2
+
+    def test_missing_columns_default_nil(self, db):
+        row = db.table("talks").insert(title="A")
+        assert row["owner_id"] is None
+
+    def test_insert_validates_types(self, db):
+        with pytest.raises(SchemaError):
+            db.table("talks").insert(title=42)
+
+    def test_insert_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.table("talks").insert(speaker="X")
+
+    def test_find(self, db):
+        t = db.table("talks")
+        row = t.insert(title="A")
+        assert t.find(row["id"])["title"] == "A"
+        assert t.find(999) is None
+        assert t.find("1") is None
+
+    def test_where(self, db):
+        t = db.table("talks")
+        t.insert(title="A", owner_id=1)
+        t.insert(title="B", owner_id=1)
+        t.insert(title="C", owner_id=2)
+        assert len(t.where(owner_id=1)) == 2
+        assert t.first_where(owner_id=2)["title"] == "C"
+        assert t.first_where(owner_id=9) is None
+
+    def test_where_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.table("talks").where(nope=1)
+
+    def test_update(self, db):
+        t = db.table("talks")
+        row = t.insert(title="A")
+        updated = t.update(row["id"], title="B")
+        assert updated["title"] == "B"
+        assert t.find(row["id"])["title"] == "B"
+        assert t.update(999, title="X") is None
+
+    def test_delete(self, db):
+        t = db.table("talks")
+        row = t.insert(title="A")
+        assert t.delete(row["id"])
+        assert not t.delete(row["id"])
+        assert len(t) == 0
+
+    def test_rows_are_copies(self, db):
+        t = db.table("talks")
+        row = t.insert(title="A")
+        row["title"] = "mutated"
+        assert t.find(row["id"])["title"] == "A"
+
+    def test_order_by(self, db):
+        t = db.table("talks")
+        t.insert(title="B")
+        t.insert(title="A")
+        t.insert(title="C")
+        titles = [r["title"] for r in t.order_by("title")]
+        assert titles == ["A", "B", "C"]
+
+    def test_count(self, db):
+        t = db.table("talks")
+        t.insert(title="A", owner_id=1)
+        t.insert(title="B", owner_id=2)
+        assert t.count() == 2
+        assert t.count(owner_id=1) == 1
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table("talks", ("title", "string"))
+
+    def test_missing_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.table("users")
+
+    def test_reset_truncates_and_restarts_ids(self, db):
+        t = db.table("talks")
+        t.insert(title="A")
+        db.reset()
+        assert len(t) == 0
+        assert t.insert(title="B")["id"] == 1
+
+    def test_table_names(self, db):
+        db.create_table("users", ("name", "string"))
+        assert db.table_names() == ["talks", "users"]
