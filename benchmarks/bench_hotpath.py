@@ -1,0 +1,153 @@
+"""Hot-path microbenchmarks: the steady-state intercepted-call fast path.
+
+The tentpole claim: once a call site is warm, the JIT protocol collapses to
+a guard + dict hit (call plan) instead of signature resolution + jit_check
++ mode dispatch, and the supporting caches (interned types, memoized
+subtyping, class-name memo) keep the remaining dynamic work flat.
+
+Two ways to run:
+
+* ``PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -q`` —
+  asserts the >= 3x steady-state speedup versus the legacy (pre-plan)
+  call path and that warm app workloads actually take the fast path;
+* ``PYTHONPATH=src python benchmarks/bench_hotpath.py [--smoke]`` —
+  prints a JSON report (the committed ``BENCH_hotpath.json`` baseline
+  format) for perf-trajectory tracking across PRs.
+
+The "legacy" engine below reproduces the pre-plan hot path faithfully:
+call plans off *and* the per-hierarchy subtype memo off, so every call
+re-resolves and every dynamic check re-walks the subtype relation.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro import Engine, EngineConfig
+from repro.apps import all_builders
+from repro.evalharness.table1 import engine_for
+
+#: calls per timed loop (pytest asserts use the full size; --smoke shrinks).
+CALLS = 100_000
+
+
+def fast_engine() -> Engine:
+    return Engine()
+
+
+def legacy_engine() -> Engine:
+    engine = Engine(EngineConfig(call_plans=False))
+    engine.hier.subtype_cache.enabled = False
+    return engine
+
+
+def _build_hot_class(engine):
+    hb = engine.api()
+
+    class HotCounter:
+        @hb.typed("(Integer) -> Integer")
+        def bump(self, n):
+            return n + 1
+
+    return HotCounter()
+
+
+def steady_state_seconds(engine, calls: int = CALLS) -> float:
+    """Time ``calls`` warm intercepted calls on one typed method."""
+    counter = _build_hot_class(engine)
+    counter.bump(0)  # warm: static check runs, plan (if any) is built
+    start = time.perf_counter()
+    for i in range(calls):
+        counter.bump(i)
+    return time.perf_counter() - start
+
+
+def measure(calls: int = CALLS) -> dict:
+    """The committed-baseline measurement: fast vs legacy steady state."""
+    fast = fast_engine()
+    fast_s = steady_state_seconds(fast, calls)
+    legacy_s = steady_state_seconds(legacy_engine(), calls)
+    return {
+        "calls": calls,
+        "fast_s": round(fast_s, 4),
+        "legacy_s": round(legacy_s, 4),
+        "fast_calls_per_sec": round(calls / fast_s),
+        "legacy_calls_per_sec": round(calls / legacy_s),
+        "speedup": round(legacy_s / fast_s, 2),
+        "fast_path_hits": fast.stats.fast_path_hits,
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_steady_state_speedup_at_least_3x():
+    """Acceptance criterion: >= 3x on the warm intercepted-call loop.
+
+    Shared CI runners are noisy; CI exports HOTPATH_MIN_SPEEDUP=2 as its
+    alarm threshold while local runs enforce the full 3x.
+    """
+    floor = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "3.0"))
+    result = measure()
+    assert result["fast_path_hits"] >= result["calls"]
+    assert result["speedup"] >= floor, result
+
+
+def test_warm_workloads_take_the_fast_path():
+    """A warm pubs/cct workload is served almost entirely by call plans."""
+    cfg = {"pubs": {"publications": 40}, "cct": {"repeats": 10}}
+    for app in ("pubs", "cct"):
+        world = all_builders()[app](engine_for("hum"), **cfg[app])
+        world.seed()
+        world.workload()  # load phase: annotations execute, checks cache
+        world.seed()
+        world.workload()  # steady state
+        stats = world.engine.stats
+        assert stats.fast_path_hits > 0
+        assert stats.fast_path_hits > stats.calls_intercepted * 0.9, app
+
+
+def test_profile_cache_never_skips_a_failing_check():
+    """Inline-cache soundness: a warm site still rejects bad argument
+    classes (the profile only memoizes *passing* class tuples)."""
+    import pytest
+
+    from repro import ArgumentTypeError
+
+    counter = _build_hot_class(fast_engine())
+    for i in range(50):
+        counter.bump(i)
+    with pytest.raises(ArgumentTypeError):
+        counter.bump("not an integer")
+
+
+def test_benchmark_fast_steady_state(benchmark):
+    counter = _build_hot_class(fast_engine())
+    counter.bump(0)
+    benchmark(counter.bump, 1)
+
+
+def test_benchmark_legacy_steady_state(benchmark):
+    counter = _build_hot_class(legacy_engine())
+    counter.bump(0)
+    benchmark(counter.bump, 1)
+
+
+# -- baseline script ---------------------------------------------------------
+
+
+def main(argv) -> int:
+    calls = 10_000 if "--smoke" in argv else CALLS
+    result = measure(calls)
+    print(json.dumps(result, indent=2))
+    if "--smoke" in argv and result["speedup"] < 2.0:
+        # Smoke runs on shared CI runners are noisy; 2x is the alarm
+        # threshold there, while the pytest assertion enforces 3x locally.
+        print("FAIL: smoke speedup below 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

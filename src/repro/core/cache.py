@@ -20,23 +20,52 @@ under the new table and simply have their stamp refreshed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 Key = Tuple[str, str]  # (class name, method name)
 
 
-@dataclass(frozen=True)
-class CacheEntry:
-    """A memoized derivation: what was checked and what it relied on."""
+class _TableStamp:
+    """A shared, mutable table-version holder (one per cache)."""
 
-    key: Key
-    deps: FrozenSet[Key]
-    field_deps: FrozenSet[Key]  # (owner, field name) reads
-    table_version: int
+    __slots__ = ("version",)
+
+    def __init__(self, version: int = 0) -> None:
+        self.version = version
+
+
+class CacheEntry:
+    """A memoized derivation: what was checked and what it relied on.
+
+    ``table_version`` reads through a stamp shared with the owning cache:
+    :meth:`CheckCache.upgrade` (Definition 2) restamps every surviving
+    entry by writing one integer instead of reallocating each entry.
+    """
+
+    __slots__ = ("key", "deps", "field_deps", "_stored_version", "_stamp")
+
+    def __init__(self, key: Key, deps: Iterable[Key],
+                 field_deps: Iterable[Key] = (), table_version: int = 0,
+                 stamp: Optional[_TableStamp] = None) -> None:
+        self.key = key
+        self.deps = frozenset(deps)
+        self.field_deps = frozenset(field_deps)  # (owner, field name) reads
+        self._stored_version = table_version
+        self._stamp = stamp if stamp is not None else _TableStamp(
+            table_version)
+
+    @property
+    def table_version(self) -> int:
+        stamped = self._stamp.version
+        return stamped if stamped > self._stored_version \
+            else self._stored_version
 
     def mentions(self, key: Key) -> bool:
         return key in self.deps or key == self.key
+
+    def __repr__(self) -> str:
+        return (f"CacheEntry({self.key}, deps={sorted(self.deps)}, "
+                f"table_version={self.table_version})")
 
 
 class CheckCache:
@@ -46,6 +75,7 @@ class CheckCache:
         self._entries: Dict[Key, CacheEntry] = {}
         self._rdeps: Dict[Key, Set[Key]] = {}        # dep -> dependents
         self._field_rdeps: Dict[Key, Set[Key]] = {}  # field -> dependents
+        self._stamp = _TableStamp(0)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._entries
@@ -59,8 +89,8 @@ class CheckCache:
     def store(self, key: Key, deps: Iterable[Key],
               field_deps: Iterable[Key] = (),
               table_version: int = 0) -> CacheEntry:
-        entry = CacheEntry(key, frozenset(deps), frozenset(field_deps),
-                           table_version)
+        entry = CacheEntry(key, deps, field_deps, table_version,
+                           stamp=self._stamp)
         self.remove(key)
         self._entries[key] = entry
         for dep in entry.deps:
@@ -103,11 +133,12 @@ class CheckCache:
         """Definition 2: restamp surviving derivations with the new table.
 
         Valid only after invalidation removed every entry mentioning the
-        changed signature, which :meth:`invalidate` guarantees.
+        changed signature, which :meth:`invalidate` guarantees.  O(1): the
+        shared stamp is advanced; entries report the newer of their
+        store-time version and the stamp.
         """
-        for key, entry in list(self._entries.items()):
-            self._entries[key] = CacheEntry(entry.key, entry.deps,
-                                            entry.field_deps, table_version)
+        if table_version > self._stamp.version:
+            self._stamp.version = table_version
 
     def clear(self) -> None:
         self._entries.clear()

@@ -27,6 +27,7 @@ are "Hum".
 from __future__ import annotations
 
 import inspect
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -36,7 +37,7 @@ from ..ril.registry import MethodIR, RegistrationError
 from ..rtypes import (
     ANY,
     ClassObjectType, MethodType, NominalType, Type, class_name_of,
-    default_hierarchy, parse_type, value_conforms,
+    default_hierarchy, is_class_determined, parse_type, value_conforms,
 )
 from .builtins_sigs import install as install_builtins
 from .cache import CheckCache
@@ -44,6 +45,10 @@ from .checker import Checker
 from .errors import (
     ArgumentTypeError, CastError, NoMethodBodyError, StaticTypeError,
     TypeSignatureError,
+)
+from .plans import (
+    ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_MODES, MAX_PROFILES, CallPlan,
+    CallPlanCache,
 )
 from .stats import Stats
 
@@ -67,6 +72,9 @@ class EngineConfig:
     strict_nil: bool = False
     #: occurrence-typing narrowing extension.
     narrowing: bool = True
+    #: memoize warm call sites as CallPlans (the steady-state fast path);
+    #: False falls back to full per-call resolution (perf ablation).
+    call_plans: bool = True
 
 
 class Engine:
@@ -84,6 +92,12 @@ class Engine:
         self._stack: List[bool] = []  # is each active frame statically checked?
         self._app_classes: Dict[str, type] = {}
         self._pending_wraps: Set[Tuple[str, str, str]] = set()
+        #: warm call-site inline caches; None disables the fast path.
+        self._plans: Optional[CallPlanCache] = (
+            CallPlanCache() if self.config.call_plans else None)
+        self._arg_mode: int = ARG_MODES.get(self.config.dynamic_arg_checks,
+                                            ARG_CHECK_BOUNDARY)
+        self._contracts: Dict = {}  # populated by rdl.wrap pre/post hooks
         self.types.on_change(self._on_type_change)
         if builtins:
             install_builtins(self)
@@ -94,6 +108,15 @@ class Engine:
         """A bound annotation helper (``hb = engine.api()``)."""
         from .annotations import Api
         return Api(self)
+
+    def stats_snapshot(self) -> dict:
+        """The :meth:`Stats.snapshot` dict, with the substrate counters
+        (the subtype memo lives on the hierarchy, not the engine) synced
+        into the stats object first."""
+        cache = self.hier.subtype_cache
+        self.stats.subtype_cache_hits = cache.hits
+        self.stats.subtype_cache_misses = cache.misses
+        return self.stats.snapshot()
 
     # -- class registration -----------------------------------------------------
 
@@ -153,12 +176,15 @@ class Engine:
             self.register_class(pycls)
         elif not self.hier.is_known(owner_name):
             self.hier.add_class(owner_name)
-        before = self.types.version
+        existing = self.types.lookup(owner_name, name, kind)
+        arms_before = len(existing.arms) if existing is not None else 0
         entry = self.types.add(owner_name, name, sig, kind=kind, check=check,
                                generated=generated)
-        if self.types.version != before:
+        if len(entry.arms) != arms_before:
             # "Adding the same type again is harmless" — duplicates are
-            # dropped by the registry and not double-counted here.
+            # dropped by the registry and not double-counted here (a
+            # duplicate arm that merely upgrades check= bumps the table
+            # version for invalidation but is not a new annotation).
             self.stats.record_annotation(check=check, generated=generated,
                                          app_level=app_level,
                                          key=(owner_name, name))
@@ -235,29 +261,102 @@ class Engine:
         ``def_owner`` is the class the wrapped function was found on;
         the *receiver's* class keys the cache, so module methods mixed into
         several classes are checked separately per class (section 4).
+
+        Warm call sites take the *fast path*: a
+        :class:`~repro.core.plans.CallPlan` built by a previous slow call
+        replays the resolved dispatch decision after two version guards,
+        so the steady state is a dict hit plus (at most) an
+        argument-profile check instead of signature resolution + jit_check
+        + mode dispatch.
         """
-        self.stats.calls_intercepted += 1
+        stats = self.stats
+        stats.calls_intercepted += 1
         if kind == CLASS:
             owner = recv.__name__ if isinstance(recv, type) else \
                 class_name_of(recv)
         else:
             owner = class_name_of(recv)
+        plans = self._plans
+        if plans is not None:
+            plan = plans.get((def_owner, owner, name, kind))
+            if (plan is not None
+                    and plan.types_version == self.types.version
+                    and plan.hier_version == self.hier.version
+                    # checked plans additionally require their memoized
+                    # derivation to still be present, so even a direct
+                    # cache flush (bypassing Engine.invalidate) cannot
+                    # leave a stale fast path.
+                    and (not plan.checked or (owner, name) in self.cache)):
+                stats.fast_path_hits += 1
+                checked = plan.checked
+                sig = plan.sig
+                if sig is not None:
+                    if checked:
+                        stats.cache_hits += 1
+                    mode = plan.arg_mode
+                    if mode == ARG_CHECK_BOUNDARY:
+                        stack = self._stack
+                        do_check = not (stack and stack[-1])
+                    else:
+                        do_check = mode == ARG_CHECK_ALWAYS
+                    if do_check:
+                        if plan.profile_eligible and not kwargs:
+                            profile = tuple(map(type, args))
+                            profiles = plan.profiles
+                            if profile not in profiles:
+                                self._dynamic_arg_check(
+                                    sig, fn, recv, args, kwargs, owner,
+                                    name, kind)
+                                if len(profiles) < MAX_PROFILES:
+                                    profiles.add(profile)
+                        else:
+                            self._dynamic_arg_check(sig, fn, recv, args,
+                                                    kwargs, owner, name,
+                                                    kind)
+                        stats.dynamic_arg_checks += 1
+                    else:
+                        stats.dynamic_arg_checks_skipped += 1
+                stack = self._stack
+                stack.append(checked)
+                try:
+                    return fn(recv, *args, **kwargs)
+                finally:
+                    stack.pop()
+        return self._invoke_slow(def_owner, owner, name, kind, fn, recv,
+                                 args, kwargs)
+
+    def _invoke_slow(self, def_owner: str, owner: str, name: str, kind: str,
+                     fn, recv, args: tuple, kwargs: dict):
+        """Cold call path: full resolution, then memoize a CallPlan."""
         resolved = self.resolve_sig(owner, name, kind)
         if resolved is None:
             resolved = self.resolve_sig(def_owner, name, kind)
         checked = False
+        plannable = self._plans is not None
+        sig_owner: Optional[str] = None
+        sig: Optional[MethodSig] = None
         if resolved is not None:
             sig_owner, sig = resolved
             key = (owner, name)
             if sig.check and self.config.static_checking:
                 self.jit_check(key, sig, def_owner, kind)
                 checked = True
+                if not self.config.caching:
+                    # No$ mode re-checks on every call by design; a plan
+                    # would wrongly skip the re-check.
+                    plannable = False
             if self._should_check_args(sig):
                 self._dynamic_arg_check(sig, fn, recv, args, kwargs, owner,
                                         name, kind)
                 self.stats.dynamic_arg_checks += 1
             else:
                 self.stats.dynamic_arg_checks_skipped += 1
+        if plannable:
+            plan = CallPlan(
+                sig_owner, sig, checked, self._arg_mode,
+                sig is not None and _profile_eligible(sig),
+                self.types.version, self.hier.version)
+            self._plans.store((def_owner, owner, name, kind), plan)
         self._stack.append(checked)
         try:
             return fn(recv, *args, **kwargs)
@@ -382,14 +481,31 @@ class Engine:
         removed = self.cache.invalidate((owner, name))
         if removed:
             self.stats.record_invalidation(removed)
+        self._flush_plans(name, removed)
         self.cache.upgrade(self.types.version)
         return removed
+
+    def _flush_plans(self, name: str, removed: Set[Key]) -> None:
+        """Drop call plans made stale by an invalidation.
+
+        The type-table/hierarchy version guards already catch annotation
+        and hierarchy changes; this explicit flush is what keeps plans
+        honest for *body* redefinitions (EDef), which invalidate cached
+        checks without touching the type table.
+        """
+        if self._plans is None:
+            return
+        flushed = self._plans.invalidate_method(name)
+        for dep_name in {m for _, m in removed if m != name}:
+            flushed += self._plans.invalidate_method(dep_name)
+        self.stats.plan_invalidations += flushed
 
     def _on_type_change(self, owner: str, name: str, kind: str) -> None:
         if kind == "field":
             removed = self.cache.invalidate_field(owner, name)
             if removed:
                 self.stats.record_invalidation(removed)
+            self._flush_plans(name, removed)
             return
         self.invalidate(owner, name)
 
@@ -420,6 +536,19 @@ class Engine:
                 self._install_wrapper(pycls, name, kind, fn)
 
 
+def _profile_eligible(sig: MethodSig) -> bool:
+    """True when a passing argument-class tuple is a sound inline-cache
+    guard for ``sig``: no block arms (whose callable-trimming depends on
+    arity juggling) and every parameter type class-determined."""
+    for arm in sig.arms:
+        if arm.block is not None:
+            return False
+        for p in arm.params:
+            if not is_class_determined(p.ty):
+                return False
+    return True
+
+
 def _find_callable(pycls: type, name: str, kind: str):
     """The raw function for ``name`` along the MRO, unwrapping descriptors
     and previously-installed wrappers."""
@@ -435,13 +564,30 @@ def _find_callable(pycls: type, name: str, kind: str):
     return None
 
 
+#: fn -> inspect.Signature.  Building a Signature object is far more
+#: expensive than binding one; kwargs-carrying calls reuse it per function.
+#: Weak keys: superseded functions (dev-mode redefinitions) must not be
+#: pinned for process lifetime by their memo entry.
+_SIGNATURE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 def _positional_view(fn, recv, args: tuple, kwargs: dict) -> list:
     """Flatten a call's arguments into declared positional order so each
     value lines up with the signature's parameter list."""
     if not kwargs:
         return list(args)
+    sig = _SIGNATURE_MEMO.get(fn)
+    if sig is None:
+        try:
+            sig = inspect.signature(fn)
+        except (TypeError, ValueError):
+            return list(args) + list(kwargs.values())
+        try:
+            _SIGNATURE_MEMO[fn] = sig
+        except TypeError:
+            pass  # non-weakref-able callable; just don't memoize it
     try:
-        bound = inspect.signature(fn).bind(recv, *args, **kwargs)
+        bound = sig.bind(recv, *args, **kwargs)
     except TypeError:
         return list(args) + list(kwargs.values())
     values = []

@@ -1,0 +1,115 @@
+"""Call plans — per-call-site inline caches for the steady-state JIT path.
+
+The paper's headline performance result (Orig < Hum << No$) rests on the
+intercepted-call path being cheap once a method is warm.  Without plans,
+every call re-resolves the signature through the ancestor linearization,
+re-enters ``jit_check`` (to discover the check is already cached), and
+re-derives the argument-check decision.  A :class:`CallPlan` memoizes the
+outcome of one warm call per ``(defining class, receiver class, method,
+kind)`` site so the hot loop collapses to a guard plus a dict hit — the
+same move as the polymorphic inline caches of "Transient Typechecks are
+(Almost) Free" (Roberts et al.) and the shape tests of lazy basic block
+versioning (Chevalier-Boisvert & Feeley).
+
+Soundness / invalidation:
+
+* a plan embeds the type-table version and hierarchy version it was built
+  under; the engine compares both integers before trusting it, so any
+  annotation (``type``), field-type change, or hierarchy mutation (new
+  class, module inclusion) makes every affected plan unusable;
+* body redefinitions do not bump the type table, so
+  :meth:`Engine.invalidate` also flushes plans by method name explicitly
+  (Definition 1's removal set), which keeps dev-mode reloading correct;
+* ``No$`` mode (``caching=False``) never builds plans for statically
+  checked methods — re-checking on every call is that mode's point.
+
+Argument-class profiles: when every signature arm is *class-determined*
+(:func:`repro.rtypes.typeof.is_class_determined` — conformance depends only
+on each argument's host class), a plan additionally remembers the argument
+class tuples that already passed the dynamic check.  A repeat call with the
+same classes skips the conformance walk entirely: guard + set hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+PlanKey = Tuple[str, str, str, str]  # (def_owner, recv class, method, kind)
+
+#: ``EngineConfig.dynamic_arg_checks`` precompiled to an int for the fast
+#: path ("boundary" also covers unknown modes, matching the slow path).
+ARG_CHECK_NEVER = 0
+ARG_CHECK_BOUNDARY = 1
+ARG_CHECK_ALWAYS = 2
+ARG_MODES = {"never": ARG_CHECK_NEVER, "boundary": ARG_CHECK_BOUNDARY,
+             "always": ARG_CHECK_ALWAYS}
+
+#: Cap on remembered passing argument-class profiles per plan; beyond it
+#: the dynamic check still runs, it just stops learning new profiles.
+MAX_PROFILES = 64
+
+
+class CallPlan:
+    """The fully-resolved outcome of one warm intercepted call."""
+
+    __slots__ = ("sig_owner", "sig", "checked", "arg_mode",
+                 "profile_eligible", "profiles", "types_version",
+                 "hier_version")
+
+    def __init__(self, sig_owner: Optional[str], sig, checked: bool,
+                 arg_mode: int, profile_eligible: bool,
+                 types_version: int, hier_version: int) -> None:
+        #: ancestor the signature was found on (None when unannotated).
+        self.sig_owner = sig_owner
+        #: the resolved MethodSig, or None for wrapped-but-unannotated.
+        self.sig = sig
+        #: the JIT static check is satisfied and memoized in the check
+        #: cache; also what the checked-frame stack records for callees.
+        self.checked = checked
+        self.arg_mode = arg_mode
+        self.profile_eligible = profile_eligible
+        self.profiles: Set[tuple] = set()
+        self.types_version = types_version
+        self.hier_version = hier_version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CallPlan(owner={self.sig_owner!r}, checked={self.checked}, "
+                f"profiles={len(self.profiles)})")
+
+
+class CallPlanCache:
+    """Per-engine map of call sites to :class:`CallPlan`."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[PlanKey, CallPlan] = {}
+        #: total plans dropped by explicit invalidation (not version drift).
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, key: PlanKey) -> Optional[CallPlan]:
+        return self._plans.get(key)
+
+    def store(self, key: PlanKey, plan: CallPlan) -> None:
+        self._plans[key] = plan
+
+    def invalidate_method(self, name: str) -> int:
+        """Drop every plan for method ``name``, on any receiver class.
+
+        Name-granular on purpose: a signature found on an ancestor serves
+        plans keyed by many receiver classes, and Definition 1's removal
+        set can touch several owners; a flushed plan just rebuilds on the
+        next call, so over-approximating costs one slow call per site.
+        """
+        stale = [k for k in self._plans if k[2] == name]
+        for k in stale:
+            del self._plans[k]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        dropped = len(self._plans)
+        self._plans.clear()
+        self.invalidations += dropped
+        return dropped

@@ -73,6 +73,11 @@ class Stats:
         self.dynamic_arg_checks = 0
         self.dynamic_arg_checks_skipped = 0
         self.calls_intercepted = 0
+        # hot path: call-plan inline caches + memoized subtyping
+        self.fast_path_hits = 0          # calls served by a warm CallPlan
+        self.plan_invalidations = 0      # plans dropped by invalidation
+        self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
+        self.subtype_cache_misses = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -160,4 +165,8 @@ class Stats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "calls_intercepted": self.calls_intercepted,
+            "fast_path_hits": self.fast_path_hits,
+            "plan_invalidations": self.plan_invalidations,
+            "subtype_cache_hits": self.subtype_cache_hits,
+            "subtype_cache_misses": self.subtype_cache_misses,
         }

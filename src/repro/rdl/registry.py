@@ -73,7 +73,14 @@ class TypeRegistry:
                               generated=generated)
             self._sigs[key] = entry
         if mt in entry.arms:
-            entry.check = entry.check or check
+            if check and not entry.check:
+                # Upgrading a trusted signature to a checked one is a real
+                # table change even though the arm is a duplicate: bump and
+                # notify so caches (and call plans) can't keep skipping the
+                # static check.
+                entry.check = True
+                self.version += 1
+                self._notify(owner, name, kind)
             return entry
         entry.arms.append(mt)
         entry.check = entry.check or check

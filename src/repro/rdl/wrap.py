@@ -46,11 +46,17 @@ def wrap_method(engine, pycls: type, name: str, *, kind: str = INSTANCE,
     original = getattr(fn, "__hb_original__", fn)
     def_owner = def_cls.__name__
 
+    invoke = engine.invoke
+
     @functools.wraps(original)
     def wrapper(recv, *args, **kwargs):
+        # Contracts are rare (metaprogramming hooks); the common wrapper
+        # does exactly one call into the engine's JIT protocol.
+        if not engine._contracts:
+            return invoke(def_owner, name, kind, original, recv, args,
+                          kwargs)
         _run_contracts(engine, recv, def_owner, name, _PRE_KEY, args, kwargs)
-        result = engine.invoke(def_owner, name, kind, original, recv, args,
-                               kwargs)
+        result = invoke(def_owner, name, kind, original, recv, args, kwargs)
         _run_contracts(engine, recv, def_owner, name, _POST_KEY, args,
                        kwargs, result=result)
         return result

@@ -9,7 +9,9 @@ The substrate Hummingbird's checking is built on: type objects
 (:mod:`~repro.rtypes.typeof`).
 """
 
-from .hierarchy import ClassHierarchy, UnknownClassError, default_hierarchy
+from .hierarchy import (
+    ClassHierarchy, SubtypeCache, UnknownClassError, default_hierarchy,
+)
 from .instantiate import (
     free_vars, instantiate_for_receiver, receiver_bindings, resolve_self,
     substitute,
@@ -17,7 +19,9 @@ from .instantiate import (
 from .lexer import TypeSyntaxError
 from .parser import parse_method_type, parse_type
 from .subtype import equivalent, is_subtype, join, join_all
-from .typeof import Sym, class_name_of, type_of, value_conforms
+from .typeof import (
+    Sym, class_name_of, is_class_determined, type_of, value_conforms,
+)
 from .types import (
     ANY, BOOL, BOT, NIL, OBJECT, SELF,
     AnyType, BlockType, BoolType, BotType, ClassObjectType, FiniteHashType,
@@ -33,12 +37,14 @@ __all__ = [
     "AnyType", "BlockType", "BoolType", "BotType", "ClassHierarchy",
     "ClassObjectType", "FiniteHashType", "GenericType", "IntersectionType",
     "MethodType", "NilType", "NominalType", "OptionalParam", "Param",
-    "RequiredParam", "SelfType", "SingletonType", "StructuralType", "Sym",
+    "RequiredParam", "SelfType", "SingletonType", "StructuralType",
+    "SubtypeCache", "Sym",
     "TupleType", "Type", "TypeSyntaxError", "UnionType", "UnknownClassError",
     "VarType", "VarargParam",
     "array_of", "class_name_of", "default_hierarchy", "equivalent",
     "free_vars", "generic", "hash_of", "instantiate_for_receiver",
-    "int_singleton", "intersection_of", "is_subtype", "join", "join_all",
+    "int_singleton", "intersection_of", "is_class_determined", "is_subtype",
+    "join", "join_all",
     "method_arms", "method_type", "nominal", "optional",
     "parse_method_type", "parse_type", "receiver_bindings", "resolve_self",
     "substitute", "symbol", "type_of", "union_of", "value_conforms",

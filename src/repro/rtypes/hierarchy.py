@@ -23,14 +23,53 @@ class UnknownClassError(KeyError):
     """Raised when a class name is not registered in the hierarchy."""
 
 
+class SubtypeCache:
+    """Memoized ``is_subtype`` answers for one hierarchy.
+
+    The table maps ``(s, t, strict_nil)`` to a bool.  It is owned by the
+    hierarchy because answers depend on its edges: every structural
+    mutation (:meth:`ClassHierarchy._bump`) clears the table, so a stored
+    answer is always valid for the current hierarchy.  Queries that carry a
+    method resolver (structural-type checks) bypass the cache entirely —
+    see ``repro.rtypes.subtype.is_subtype``.
+    """
+
+    __slots__ = ("table", "hits", "misses", "enabled", "max_entries")
+
+    def __init__(self, max_entries: int = 16384) -> None:
+        self.table: Dict[tuple, bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+        #: bound on the table; when full it is dropped wholesale (the
+        #: working set of distinct queries is far smaller in practice).
+        self.max_entries = max_entries
+
+
 class ClassHierarchy:
-    """A registry of class names with superclass, mixin, and generic info."""
+    """A registry of class names with superclass, mixin, and generic info.
+
+    Mutations bump :attr:`version` so dependent caches (subtype memo,
+    ancestor linearizations, the engine's call plans) can detect staleness
+    with a single integer compare.
+    """
 
     def __init__(self) -> None:
         self._parent: Dict[str, Optional[str]] = {"Object": None}
         self._mixins: Dict[str, List[str]] = {"Object": []}
         self._modules: set = set()
         self._typevars: Dict[str, Tuple[str, ...]] = {}
+        #: bumped on every structural change (new class/module/mixin edge).
+        self.version = 0
+        self.subtype_cache = SubtypeCache()
+        self._linearizations: Dict[str, Tuple[str, ...]] = {}
+        self._ancestor_sets: Dict[str, frozenset] = {}
+
+    def _bump(self) -> None:
+        self.version += 1
+        self._linearizations.clear()
+        self._ancestor_sets.clear()
+        self.subtype_cache.table.clear()
 
     # -- registration ------------------------------------------------------
 
@@ -56,12 +95,16 @@ class ClassHierarchy:
         self._mixins.setdefault(name, [])
         if typevars:
             self._typevars[name] = tuple(typevars)
+        self._bump()
 
     def add_module(self, name: str) -> None:
         """Register a module (mixin); modules have no superclass."""
+        if name in self._modules:
+            return
         self._modules.add(name)
         self._mixins.setdefault(name, [])
         self._parent.setdefault(name, None)
+        self._bump()
 
     def include_module(self, cls: str, module: str) -> None:
         """Mix ``module`` into ``cls`` (Ruby ``include``)."""
@@ -72,6 +115,7 @@ class ClassHierarchy:
         mixins = self._mixins.setdefault(cls, [])
         if module not in mixins:
             mixins.insert(0, module)  # later includes take precedence
+            self._bump()
 
     # -- queries -----------------------------------------------------------
 
@@ -92,14 +136,24 @@ class ClassHierarchy:
     def ancestors(self, name: str) -> Iterator[str]:
         """Linearized lookup order: the class, its mixins, then the
         superclass chain (each with its own mixins) — an MRO-lite."""
-        if name not in self._parent:
-            raise UnknownClassError(name)
-        current: Optional[str] = name
-        while current is not None:
-            yield current
-            for mod in self._mixins.get(current, ()):
-                yield mod
-            current = self._parent.get(current)
+        return iter(self.linearization(name))
+
+    def linearization(self, name: str) -> Tuple[str, ...]:
+        """The ancestor walk as a cached tuple (signature resolution and
+        subtyping are hot; the walk is rebuilt only after mutations)."""
+        lin = self._linearizations.get(name)
+        if lin is None:
+            if name not in self._parent:
+                raise UnknownClassError(name)
+            out: List[str] = []
+            current: Optional[str] = name
+            while current is not None:
+                out.append(current)
+                out.extend(self._mixins.get(current, ()))
+                current = self._parent.get(current)
+            lin = tuple(out)
+            self._linearizations[name] = lin
+        return lin
 
     def is_subclass(self, sub: str, sup: str) -> bool:
         """True when ``sup`` appears in ``sub``'s ancestor linearization."""
@@ -107,7 +161,11 @@ class ClassHierarchy:
             return True
         if sub not in self._parent:
             return False
-        return any(a == sup for a in self.ancestors(sub))
+        ancestors = self._ancestor_sets.get(sub)
+        if ancestors is None:
+            ancestors = frozenset(self.linearization(sub))
+            self._ancestor_sets[sub] = ancestors
+        return sup in ancestors
 
     def typevars(self, name: str) -> Tuple[str, ...]:
         return self._typevars.get(name, ())
@@ -125,6 +183,7 @@ class ClassHierarchy:
         out._mixins = {k: list(v) for k, v in self._mixins.items()}
         out._modules = set(self._modules)
         out._typevars = dict(self._typevars)
+        out.version = self.version
         return out
 
 

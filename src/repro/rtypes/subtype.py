@@ -37,7 +37,43 @@ MethodResolver = Callable[[str, str], Optional[Type]]
 def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
                strict_nil: bool = False,
                resolver: Optional[MethodResolver] = None) -> bool:
-    """True when ``s <= t`` under hierarchy ``hier``."""
+    """True when ``s <= t`` under hierarchy ``hier``.
+
+    Memoized per hierarchy: answers are stored in ``hier.subtype_cache``
+    keyed ``(s, t, strict_nil)`` and dropped whenever the hierarchy
+    mutates, so the steady-state query is a dict hit.  This is safe
+    because types are immutable (and usually interned, making the key
+    hash cheap).  Queries carrying a ``resolver`` bypass the cache —
+    structural checks depend on which method table the resolver reads,
+    which is not part of the key.
+    """
+    if s is t:
+        return True
+    cache = hier.subtype_cache
+    if resolver is not None or not cache.enabled:
+        return _is_subtype(s, t, hier, strict_nil, resolver)
+    key = (s, t, strict_nil)
+    table = cache.table
+    hit = table.get(key)
+    if hit is not None:
+        cache.hits += 1
+        return hit
+    cache.misses += 1
+    result = _is_subtype(s, t, hier, strict_nil, None)
+    if len(table) >= cache.max_entries:
+        table.clear()
+    table[key] = result
+    return result
+
+
+def _is_subtype(s: Type, t: Type, hier: ClassHierarchy,
+                strict_nil: bool,
+                resolver: Optional[MethodResolver]) -> bool:
+    """The uncached structural dispatch behind :func:`is_subtype`.
+
+    Recursive positions call back through the public entry point so every
+    sub-query lands in (and benefits from) the memo table.
+    """
     if s == t:
         return True
     if isinstance(s, BotType):
@@ -157,12 +193,9 @@ def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
     if isinstance(s, (SelfType, VarType)):
         return s == t  # resolved before subtyping in well-formed queries
 
-    if isinstance(s, StructuralType) and isinstance(t, StructuralType):
-        mine = s.method_map()
-        return all(m in mine and _le_method(mine[m], sig, hier,
-                                            strict_nil, resolver)
-                   for m, sig in t.methods)
-
+    # Structural-vs-structural is handled by the `isinstance(t,
+    # StructuralType)` dispatch above (via _le_structural); no case
+    # remains here.
     return False
 
 

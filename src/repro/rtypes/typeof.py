@@ -64,11 +64,26 @@ class Sym:
 # Sample at most this many elements when computing the type of a collection.
 _SAMPLE_LIMIT = 50
 
+# host class -> RDL class name.  class_name_of runs on every intercepted
+# call (the engine keys checking by the receiver's class), and its answer
+# depends only on the value's exact class, so one isinstance cascade per
+# distinct host class suffices.
+_CLASS_NAME_MEMO: dict = {}
+
 
 def class_name_of(value: object) -> str:
     """The RDL class name for a host value (``int`` -> ``Integer`` etc.)."""
     if value is None:
         return "NilClass"
+    cls = type(value)
+    name = _CLASS_NAME_MEMO.get(cls)
+    if name is None:
+        name = _class_name_of_uncached(value)
+        _CLASS_NAME_MEMO[cls] = name
+    return name
+
+
+def _class_name_of_uncached(value: object) -> str:
     if isinstance(value, bool):
         return "Boolean"
     if isinstance(value, int):
@@ -222,7 +237,31 @@ def value_conforms(value: object, t: Type, hier: ClassHierarchy, *,
     if isinstance(t, StructuralType):
         return all(hasattr(value, name) for name, _ in t.methods)
     if isinstance(t, NominalType):
-        return is_subtype(type_of(value), t, hier, strict_nil=strict_nil)
+        # Equivalent to is_subtype(type_of(value), t, ...) but skips
+        # collection element sampling: against a *nominal* expectation the
+        # subtype rules only consult the value's class name (GenericType /
+        # SingletonType / %bool sources all reduce to their base class).
+        return is_subtype(NominalType(class_name_of(value)), t, hier,
+                          strict_nil=strict_nil)
+    return False
+
+
+def is_class_determined(t: Type) -> bool:
+    """True when ``value_conforms(v, t, ...)`` depends only on ``type(v)``.
+
+    This is what makes an argument-class *profile* a sound inline-cache
+    guard (the engine's call plans): once a call with argument classes
+    ``(C1, ..., Cn)`` passed the dynamic check against such types, any
+    later call with the same classes must pass too.  Deep or
+    value-dependent expectations (generics with element types, tuples,
+    finite hashes, singletons, structural types, class objects) are
+    excluded.
+    """
+    if isinstance(t, (AnyType, VarType, BoolType, NilType, NominalType,
+                      MethodType, SelfType, BotType)):
+        return True
+    if isinstance(t, (UnionType, IntersectionType)):
+        return all(is_class_determined(a) for a in t.arms)
     return False
 
 

@@ -11,12 +11,39 @@ All types are immutable and hashable, so they can be used as cache keys and
 stored in derivations.  ``str()`` on any type produces concrete syntax that
 ``repro.rtypes.parser.parse_type`` parses back to an equal type; this
 round-trip is property-tested.
+
+The common constructors are *hash-consed*: building ``NominalType("User")``
+twice yields the same object, so equal types are usually identity-equal and
+the memoized subtype cache (``repro.rtypes.subtype``) can key on them
+cheaply.  Interning is an optimization, not an invariant — structural
+``__eq__``/``__hash__`` remain authoritative, and un-interned construction
+paths (e.g. building a ``UnionType`` directly) still compare correctly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple
+
+#: The hash-consing table shared by every interned constructor.  Keys embed
+#: the concrete class, so subclasses (none exist today) would not collide.
+#: Unbounded, but bounded in practice by the distinct types a program
+#: mentions; entries are tiny immutable objects.
+_INTERN: dict = {}
+
+
+def _intern(cls, key, args):
+    """Return the canonical instance for ``cls(*args)``, allocating one on
+    first use.  Falls back to a fresh instance when ``key`` is unhashable
+    (e.g. a caller passed a list where a tuple was expected)."""
+    try:
+        cached = _INTERN.get(key)
+    except TypeError:
+        return object.__new__(cls)
+    if cached is None:
+        cached = object.__new__(cls)
+        _INTERN[key] = cached
+    return cached
 
 
 class Type:
@@ -85,6 +112,9 @@ class NominalType(Type):
 
     name: str
 
+    def __new__(cls, name: str):
+        return _intern(cls, (cls, name), (name,))
+
     def __str__(self) -> str:
         return self.name
 
@@ -98,6 +128,9 @@ class VarType(Type):
     """
 
     name: str
+
+    def __new__(cls, name: str):
+        return _intern(cls, (cls, name), (name,))
 
     def __str__(self) -> str:
         return self.name
@@ -113,6 +146,9 @@ class ClassObjectType(Type):
 
     name: str
 
+    def __new__(cls, name: str):
+        return _intern(cls, (cls, name), (name,))
+
     def __str__(self) -> str:
         return f"Class<{self.name}>"
 
@@ -125,6 +161,9 @@ class GenericType(Type):
     name: str
     args: Tuple[Type, ...]
 
+    def __new__(cls, name: str, args: Tuple[Type, ...]):
+        return _intern(cls, (cls, name, args), (name, args))
+
     def __str__(self) -> str:
         args = ", ".join(str(a) for a in self.args)
         return f"{self.name}<{args}>"
@@ -135,6 +174,9 @@ class TupleType(Type):
     """A heterogeneous array, written ``[Integer, String]``."""
 
     elems: Tuple[Type, ...]
+
+    def __new__(cls, elems: Tuple[Type, ...]):
+        return _intern(cls, (cls, elems), (elems,))
 
     def __str__(self) -> str:
         return "[" + ", ".join(str(e) for e in self.elems) + "]"
@@ -176,6 +218,9 @@ class SingletonType(Type):
 
     value: object
     base: str
+
+    def __new__(cls, value: object, base: str):
+        return _intern(cls, (cls, value, base), (value, base))
 
     def __str__(self) -> str:
         if self.base == "Symbol":
@@ -342,6 +387,10 @@ class MethodType(Type):
     block: Optional[BlockType]
     ret: Type
 
+    def __new__(cls, params: Tuple[Param, ...], block: Optional[BlockType],
+                ret: Type):
+        return _intern(cls, (cls, params, block, ret), (params, block, ret))
+
     def __str__(self) -> str:
         params = ", ".join(str(p) for p in self.params)
         block = f" {self.block}" if self.block is not None else ""
@@ -433,7 +482,17 @@ def union_of(*types: Type) -> Type:
         raise ValueError("union_of requires at least one type")
     if len(flat) == 1:
         return flat[0]
-    return UnionType(flat)
+    # Hash-cons by arm *set*: equality is order-insensitive, so two
+    # orderings share one canonical instance (the first one built).
+    try:
+        key = (UnionType, frozenset(flat))
+        cached = _INTERN.get(key)
+    except TypeError:
+        return UnionType(flat)
+    if cached is None:
+        cached = UnionType(flat)
+        _INTERN[key] = cached
+    return cached
 
 
 def intersection_of(*types: Type) -> Type:
@@ -443,7 +502,15 @@ def intersection_of(*types: Type) -> Type:
         raise ValueError("intersection_of requires at least one type")
     if len(flat) == 1:
         return flat[0]
-    return IntersectionType(flat)
+    try:
+        key = (IntersectionType, frozenset(flat))
+        cached = _INTERN.get(key)
+    except TypeError:
+        return IntersectionType(flat)
+    if cached is None:
+        cached = IntersectionType(flat)
+        _INTERN[key] = cached
+    return cached
 
 
 def method_type(params: Iterable[Type | Param], ret: Type,

@@ -1,0 +1,121 @@
+"""The memoized subtype relation agrees with the uncached one, and its
+cache is invalidated by hierarchy mutations.
+
+The memo (``ClassHierarchy.subtype_cache``) is keyed ``(s, t,
+strict_nil)`` and cleared on every hierarchy bump; interning makes the
+keys cheap.  A wrong cache would silently corrupt both static checking and
+dynamic argument checks, so this file property-tests it against a
+cache-disabled twin hierarchy on randomized type pairs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rtypes import (
+    ANY, BOOL, NIL,
+    GenericType, MethodType, NominalType, RequiredParam, SingletonType,
+    TupleType, VarType,
+    default_hierarchy, is_subtype, union_of,
+)
+
+
+def _extended_hierarchy():
+    h = default_hierarchy()
+    for name in ("User", "Talk", "Widget"):
+        h.add_class(name)
+    h.add_class("AdminUser", "User")
+    return h
+
+
+#: the memoizing hierarchy under test and a structurally identical twin
+#: with the cache disabled (the "fresh uncached engine" oracle).
+HOT = _extended_hierarchy()
+COLD = _extended_hierarchy()
+COLD.subtype_cache.enabled = False
+
+_NOMINALS = ["Object", "Integer", "Float", "Numeric", "String", "Symbol",
+             "User", "AdminUser", "Talk", "Widget"]
+
+base_types = st.one_of(
+    st.sampled_from([ANY, BOOL, NIL]),
+    st.sampled_from(_NOMINALS).map(NominalType),
+    st.sampled_from(["a", "b", "owner"]).map(
+        lambda s: SingletonType(s, "Symbol")),
+    st.integers(min_value=-5, max_value=5).map(
+        lambda i: SingletonType(i, "Integer")),
+    st.sampled_from(["t", "u"]).map(VarType),
+)
+
+
+def _method(args):
+    params, ret = args
+    return MethodType(tuple(RequiredParam(p) for p in params), None, ret)
+
+
+def compound(children):
+    return st.one_of(
+        st.lists(children, min_size=1, max_size=3).map(
+            lambda ts: GenericType("Array", (ts[0],))),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda ts: union_of(*ts)),
+        st.lists(children, min_size=0, max_size=3).map(
+            lambda ts: TupleType(tuple(ts))),
+        st.tuples(st.lists(children, max_size=2), children).map(_method),
+    )
+
+
+types = st.recursive(base_types, compound, max_leaves=8)
+
+
+@given(types, types, st.booleans())
+@settings(max_examples=400)
+def test_memoized_agrees_with_uncached(s, t, strict_nil):
+    assert (is_subtype(s, t, HOT, strict_nil=strict_nil)
+            == is_subtype(s, t, COLD, strict_nil=strict_nil))
+
+
+@given(types, types)
+@settings(max_examples=100)
+def test_memoized_queries_are_stable(s, t):
+    first = is_subtype(s, t, HOT)
+    assert all(is_subtype(s, t, HOT) == first for _ in range(3))
+
+
+def test_cache_counts_hits():
+    h = _extended_hierarchy()
+    s, t = NominalType("AdminUser"), NominalType("User")
+    assert is_subtype(s, t, h)
+    before = h.subtype_cache.hits
+    assert is_subtype(s, t, h)
+    assert h.subtype_cache.hits == before + 1
+
+
+def test_hierarchy_mutation_invalidates_cached_answers():
+    h = default_hierarchy()
+    h.add_class("Animal")
+    cat, animal = NominalType("Cat"), NominalType("Animal")
+    # Cat is unknown: the (cached) answer is False.
+    assert not is_subtype(cat, animal, h)
+    h.add_class("Cat", "Animal")
+    # The registration cleared the memo; the stale False must not survive.
+    assert is_subtype(cat, animal, h)
+
+
+def test_mixin_inclusion_invalidates_cached_answers():
+    h = default_hierarchy()
+    h.add_class("Post")
+    h.add_module("Commentable")
+    post, mod = NominalType("Post"), NominalType("Commentable")
+    assert not is_subtype(post, mod, h)
+    h.include_module("Post", "Commentable")
+    assert is_subtype(post, mod, h)
+
+
+def test_bounded_cache_stays_correct_when_full():
+    h = _extended_hierarchy()
+    h.subtype_cache.max_entries = 8  # force wraparound
+    pairs = [(NominalType(a), NominalType(b))
+             for a in _NOMINALS for b in _NOMINALS]
+    expected = [is_subtype(s, t, COLD) for s, t in pairs]
+    for _ in range(2):  # second sweep re-queries through evictions
+        got = [is_subtype(s, t, h) for s, t in pairs]
+        assert got == expected
