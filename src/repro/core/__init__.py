@@ -8,7 +8,8 @@ and successful checks are memoized with dependency-based invalidation.
 from .annotations import Api, TypedMethod
 from .cache import CacheEntry, CheckCache
 from .checker import CheckOutcome, Checker
-from .engine import Engine, EngineConfig
+from .deps import DepGraph
+from .engine import Engine, EngineConfig, caches_disabled_by_env
 from .errors import (
     ArgumentTypeError, CastError, HummingbirdError, NoMethodBodyError,
     ReturnTypeError, StaticTypeError, TypeSignatureError,
@@ -17,7 +18,8 @@ from .stats import PhaseTracker, Stats
 
 __all__ = [
     "Api", "ArgumentTypeError", "CacheEntry", "CastError", "CheckCache",
-    "CheckOutcome", "Checker", "Engine", "EngineConfig", "HummingbirdError",
-    "NoMethodBodyError", "PhaseTracker", "ReturnTypeError", "StaticTypeError",
-    "Stats", "TypedMethod", "TypeSignatureError",
+    "CheckOutcome", "Checker", "DepGraph", "Engine", "EngineConfig",
+    "HummingbirdError", "NoMethodBodyError", "PhaseTracker",
+    "ReturnTypeError", "StaticTypeError", "Stats", "TypedMethod",
+    "TypeSignatureError", "caches_disabled_by_env",
 ]

@@ -2,25 +2,39 @@
 
 An entry memoizes a successful static check of ``A#m``'s body.  Each entry
 records its *dependencies*: every ``B#m'`` whose signature the derivation
-consulted (the (TApp) uses of the formalism), plus every field type read.
+consulted (the (TApp) uses of the formalism), every field type read, and
+— the dependency-tracked extension — every class whose ancestor
+linearization the derivation's subtype queries walked (``hier_deps``).
+The edges live in a shared :class:`~repro.core.deps.DepGraph`, so each
+kind of mutation removes exactly its dependents:
 
-Invalidation implements Definition 1 exactly:
+* **Definition 1** (signature/body change of ``A#m``): entries keyed
+  ``A#m`` are removed, and entries whose derivation consulted ``A#m``'s
+  slot are removed.  This is *one* level, not transitive: if ``C`` calls
+  ``B`` calls ``A``, changing ``A`` invalidates ``B`` (whose derivation
+  used ``A``'s signature) but not ``C`` (whose derivation used only
+  ``B``'s signature, which did not change).  Entries storing a derivation
+  of an *ancestor's* body under a descendant receiver record an explicit
+  edge to the ancestor slot (the engine adds the body/signature owner to
+  ``deps``), so retyping or redefining the ancestor invalidates exactly
+  the receiver-keyed descendants.
+* **field change**: entries whose derivations read the field type.
+* **hierarchy change**: the engine maps the hierarchy's affected-class
+  report onto :meth:`invalidate_hier`, removing entries whose subtype
+  reasoning consulted a changed linearization — previously these were
+  only caught indirectly (or not at all for receiver-keyed entries).
 
-1. entries keyed ``A#m`` are removed, and
-2. entries whose derivation applied (TApp) with ``A#m`` are removed —
-
-note this is *one* level, not transitive: if ``C`` calls ``B`` calls ``A``,
-changing ``A`` invalidates ``B`` (whose derivation used ``A``'s signature)
-but not ``C`` (whose derivation used only ``B``'s signature, which did not
-change).  Cache *upgrading* (Definition 2) is represented by stamping each
-entry with the type-table version; since invalidation already removed every
-entry that mentioned the changed signature, surviving entries remain valid
-under the new table and simply have their stamp refreshed.
+Cache *upgrading* (Definition 2) is represented by stamping each entry
+with the type-table version; since invalidation already removed every
+entry that mentioned the changed signature, surviving entries remain
+valid under the new table and simply have their stamp refreshed.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Set, Tuple
+
+from .deps import DepGraph, field_resource, lin_resource, sig_resource
 
 Key = Tuple[str, str]  # (class name, method name)
 
@@ -42,14 +56,17 @@ class CacheEntry:
     entry by writing one integer instead of reallocating each entry.
     """
 
-    __slots__ = ("key", "deps", "field_deps", "_stored_version", "_stamp")
+    __slots__ = ("key", "deps", "field_deps", "hier_deps",
+                 "_stored_version", "_stamp")
 
     def __init__(self, key: Key, deps: Iterable[Key],
-                 field_deps: Iterable[Key] = (), table_version: int = 0,
+                 field_deps: Iterable[Key] = (),
+                 hier_deps: Iterable[str] = (), table_version: int = 0,
                  stamp: Optional[_TableStamp] = None) -> None:
         self.key = key
         self.deps = frozenset(deps)
         self.field_deps = frozenset(field_deps)  # (owner, field name) reads
+        self.hier_deps = frozenset(hier_deps)    # class linearization reads
         self._stored_version = table_version
         self._stamp = stamp if stamp is not None else _TableStamp(
             table_version)
@@ -73,8 +90,7 @@ class CheckCache:
 
     def __init__(self) -> None:
         self._entries: Dict[Key, CacheEntry] = {}
-        self._rdeps: Dict[Key, Set[Key]] = {}        # dep -> dependents
-        self._field_rdeps: Dict[Key, Set[Key]] = {}  # field -> dependents
+        self._deps = DepGraph()
         self._stamp = _TableStamp(0)
 
     def __contains__(self, key: Key) -> bool:
@@ -88,43 +104,45 @@ class CheckCache:
 
     def store(self, key: Key, deps: Iterable[Key],
               field_deps: Iterable[Key] = (),
+              hier_deps: Iterable[str] = (),
               table_version: int = 0) -> CacheEntry:
-        entry = CacheEntry(key, deps, field_deps, table_version,
+        entry = CacheEntry(key, deps, field_deps, hier_deps, table_version,
                            stamp=self._stamp)
-        self.remove(key)
         self._entries[key] = entry
-        for dep in entry.deps:
-            self._rdeps.setdefault(dep, set()).add(key)
-        for fdep in entry.field_deps:
-            self._field_rdeps.setdefault(fdep, set()).add(key)
+        resources = [sig_resource(*dep) for dep in entry.deps]
+        resources += [field_resource(*fdep) for fdep in entry.field_deps]
+        resources += [lin_resource(cls) for cls in entry.hier_deps]
+        self._deps.record(key, resources)
         return entry
 
     def remove(self, key: Key) -> None:
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return
-        for dep in entry.deps:
-            self._rdeps.get(dep, set()).discard(key)
-        for fdep in entry.field_deps:
-            self._field_rdeps.get(fdep, set()).discard(key)
+        if self._entries.pop(key, None) is not None:
+            self._deps.forget(key)
 
     def dependents(self, key: Key) -> Set[Key]:
         """Cached methods whose derivations consulted ``key``'s signature."""
-        return set(self._rdeps.get(key, ()))
+        return self._deps.dependents(sig_resource(*key))
 
     def invalidate(self, key: Key) -> Set[Key]:
         """Definition 1: drop ``key`` and every entry that used it."""
-        removed = set()
+        removed = self._deps.invalidate(sig_resource(*key))
         if key in self._entries:
             removed.add(key)
-        removed |= self.dependents(key)
         for k in removed:
             self.remove(k)
         return removed
 
     def invalidate_field(self, owner: str, field_name: str) -> Set[Key]:
         """Drop entries whose derivations read the given field type."""
-        removed = set(self._field_rdeps.get((owner, field_name), ()))
+        removed = self._deps.invalidate(field_resource(owner, field_name))
+        for k in removed:
+            self.remove(k)
+        return removed
+
+    def invalidate_hier(self, class_name: str) -> Set[Key]:
+        """Drop entries whose derivations consulted ``class_name``'s
+        linearization (the hierarchy-edge flush rule)."""
+        removed = self._deps.invalidate(lin_resource(class_name))
         for k in removed:
             self.remove(k)
         return removed
@@ -142,8 +160,7 @@ class CheckCache:
 
     def clear(self) -> None:
         self._entries.clear()
-        self._rdeps.clear()
-        self._field_rdeps.clear()
+        self._deps.clear()
 
     def keys(self) -> Set[Key]:
         return set(self._entries)

@@ -19,17 +19,28 @@ The protocol (paper sections 1, 3, 4):
 4. Defining a method (EDef) or changing a signature (EType) invalidates the
    cache entry and its dependents (Definitions 1 and 2).
 
+Invalidation is *dependency-tracked*: every cached judgment (check-cache
+entry, call plan, subtype-memo line) records exactly which signature
+slots, field types, and class linearizations it read, and each mutation
+removes exactly the dependents of what it changed (see
+:mod:`repro.core.deps` and ``docs/performance.md``).
+
 Different :class:`EngineConfig` settings give the paper's measurement
 modes: ``intercept=False`` is "Orig", ``caching=False`` is "No$", defaults
-are "Hum".
+are "Hum".  Setting ``REPRO_DISABLE_CACHES=1`` in the environment (or
+``Engine(..., disable_caches=True)``) builds a *cache-free oracle*: call
+plans off, check memoization off, subtype/linearization memos off — every
+judgment recomputed from scratch.  The differential soundness harness
+runs workloads in both modes and asserts identical outcomes.
 """
 
 from __future__ import annotations
 
 import inspect
+import os
 import weakref
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..rdl.registry import CLASS, INSTANCE, MethodSig, TypeRegistry
 from ..ril import CFGRegistry, bodies_differ
@@ -42,17 +53,24 @@ from ..rtypes import (
 from .builtins_sigs import install as install_builtins
 from .cache import CheckCache
 from .checker import Checker
+from .deps import Resource, lin_resource, sig_resource
 from .errors import (
-    ArgumentTypeError, CastError, NoMethodBodyError, StaticTypeError,
-    TypeSignatureError,
+    ArgumentTypeError, CastError, NoMethodBodyError, ReturnTypeError,
+    StaticTypeError, TypeSignatureError,
 )
 from .plans import (
-    ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_MODES, MAX_PROFILES, CallPlan,
-    CallPlanCache,
+    ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_CHECK_NEVER, ARG_MODES,
+    MAX_PROFILES, RET_MODES, CallPlan, CallPlanCache,
 )
 from .stats import Stats
 
 Key = Tuple[str, str]
+
+
+def caches_disabled_by_env() -> bool:
+    """True when ``REPRO_DISABLE_CACHES`` asks for the cache-free oracle."""
+    return os.environ.get("REPRO_DISABLE_CACHES", "") not in (
+        "", "0", "false", "no")
 
 
 @dataclass
@@ -68,6 +86,12 @@ class EngineConfig:
     #: dynamic argument checks: "boundary" (only from unchecked callers —
     #: the paper's optimization), "always", or "never" (ablations).
     dynamic_arg_checks: str = "boundary"
+    #: dynamic *return* checks for trusted (unchecked) signatures — the
+    #: RDL-style contract Hummingbird's static check replaces for checked
+    #: methods.  "never" (paper semantics, default), "boundary" (only when
+    #: the immediate caller is statically checked, i.e. its derivation
+    #: relied on this return type), or "always".
+    dynamic_ret_checks: str = "never"
     #: strict-nil subtyping ablation (the paper uses nil <= A).
     strict_nil: bool = False
     #: occurrence-typing narrowing extension.
@@ -81,9 +105,20 @@ class Engine:
     """One Hummingbird instance: type table, IR registry, cache, stats."""
 
     def __init__(self, config: Optional[EngineConfig] = None, *,
-                 builtins: bool = True):
+                 builtins: bool = True,
+                 disable_caches: Optional[bool] = None):
         self.config = config or EngineConfig()
+        if disable_caches is None:
+            disable_caches = caches_disabled_by_env()
+        #: the differential-soundness oracle: recompute every judgment.
+        self.caches_disabled = disable_caches
+        if disable_caches:
+            self.config = dc_replace(self.config, caching=False,
+                                     call_plans=False)
         self.hier = default_hierarchy()
+        if disable_caches:
+            self.hier.subtype_cache.enabled = False
+            self.hier.memo_enabled = False
         self.types = TypeRegistry()
         self.cfgs = CFGRegistry()
         self.cache = CheckCache()
@@ -97,8 +132,15 @@ class Engine:
             CallPlanCache() if self.config.call_plans else None)
         self._arg_mode: int = ARG_MODES.get(self.config.dynamic_arg_checks,
                                             ARG_CHECK_BOUNDARY)
+        if self.config.dynamic_ret_checks not in RET_MODES:
+            raise ValueError(
+                f"unknown dynamic_ret_checks mode "
+                f"{self.config.dynamic_ret_checks!r}; "
+                f"expected one of {sorted(RET_MODES)}")
+        self._ret_mode: int = RET_MODES[self.config.dynamic_ret_checks]
         self._contracts: Dict = {}  # populated by rdl.wrap pre/post hooks
         self.types.on_change(self._on_type_change)
+        self.hier.on_change(self._on_hier_change)
         if builtins:
             install_builtins(self)
 
@@ -116,6 +158,7 @@ class Engine:
         cache = self.hier.subtype_cache
         self.stats.subtype_cache_hits = cache.hits
         self.stats.subtype_cache_misses = cache.misses
+        self.stats.subtype_lru_evictions = cache.evictions
         return self.stats.snapshot()
 
     # -- class registration -----------------------------------------------------
@@ -240,13 +283,27 @@ class Engine:
 
     # -- signature resolution -------------------------------------------------------
 
-    def resolve_sig(self, owner: str, name: str,
-                    kind: str = INSTANCE) -> Optional[Tuple[str, MethodSig]]:
-        """Look up a signature through the ancestor linearization."""
+    def resolve_sig(self, owner: str, name: str, kind: str = INSTANCE,
+                    trace: Optional[List[Resource]] = None
+                    ) -> Optional[Tuple[str, MethodSig]]:
+        """Look up a signature through the ancestor linearization.
+
+        With ``trace``, every resource the walk consulted is appended:
+        the owner's linearization and each probed signature slot —
+        *including negative probes*, so a signature later appearing on a
+        closer ancestor invalidates plans that resolved past its slot.
+        """
         if not self.hier.is_known(owner):
+            if trace is not None:
+                trace.append(lin_resource(owner))
+                trace.append(sig_resource(owner, name, kind))
             sig = self.types.lookup(owner, name, kind)
             return (owner, sig) if sig is not None else None
+        if trace is not None:
+            trace.append(lin_resource(owner))
         for ancestor in self.hier.ancestors(owner):
+            if trace is not None:
+                trace.append(sig_resource(ancestor, name, kind))
             sig = self.types.lookup(ancestor, name, kind)
             if sig is not None:
                 return ancestor, sig
@@ -264,10 +321,14 @@ class Engine:
 
         Warm call sites take the *fast path*: a
         :class:`~repro.core.plans.CallPlan` built by a previous slow call
-        replays the resolved dispatch decision after two version guards,
-        so the steady state is a dict hit plus (at most) an
-        argument-profile check instead of signature resolution + jit_check
-        + mode dispatch.
+        replays the resolved dispatch decision, so the steady state is a
+        dict hit plus (at most) an argument-profile check instead of
+        signature resolution + jit_check + mode dispatch.  There are no
+        version guards: the dependency graph flushed the plan *eagerly*
+        if anything it resolved through changed; the one remaining guard
+        (checked plans require their memoized derivation to still be in
+        the check cache) protects against direct ``cache.clear()`` calls
+        that bypass ``Engine.invalidate``.
         """
         stats = self.stats
         stats.calls_intercepted += 1
@@ -280,22 +341,21 @@ class Engine:
         if plans is not None:
             plan = plans.get((def_owner, owner, name, kind))
             if (plan is not None
-                    and plan.types_version == self.types.version
-                    and plan.hier_version == self.hier.version
-                    # checked plans additionally require their memoized
-                    # derivation to still be present, so even a direct
-                    # cache flush (bypassing Engine.invalidate) cannot
-                    # leave a stale fast path.
+                    # checked plans require their memoized derivation to
+                    # still be present, so even a direct cache flush
+                    # (bypassing Engine.invalidate) cannot leave a stale
+                    # fast path.
                     and (not plan.checked or (owner, name) in self.cache)):
                 stats.fast_path_hits += 1
                 checked = plan.checked
                 sig = plan.sig
+                stack = self._stack
+                do_ret = False
                 if sig is not None:
                     if checked:
                         stats.cache_hits += 1
                     mode = plan.arg_mode
                     if mode == ARG_CHECK_BOUNDARY:
-                        stack = self._stack
                         do_check = not (stack and stack[-1])
                     else:
                         do_check = mode == ARG_CHECK_ALWAYS
@@ -316,30 +376,56 @@ class Engine:
                         stats.dynamic_arg_checks += 1
                     else:
                         stats.dynamic_arg_checks_skipped += 1
-                stack = self._stack
+                    ret_mode = plan.ret_mode
+                    if ret_mode != ARG_CHECK_NEVER:
+                        # "boundary" returns: check when the *caller* was
+                        # statically checked (its derivation trusted this
+                        # return type); decided before our frame pushes.
+                        do_ret = (ret_mode == ARG_CHECK_ALWAYS
+                                  or bool(stack and stack[-1]))
                 stack.append(checked)
                 try:
-                    return fn(recv, *args, **kwargs)
+                    result = fn(recv, *args, **kwargs)
                 finally:
                     stack.pop()
+                if do_ret:
+                    if plan.ret_profile_eligible:
+                        rcls = type(result)
+                        ret_profiles = plan.ret_profiles
+                        if rcls in ret_profiles:
+                            stats.ret_profile_hits += 1
+                        else:
+                            self._dynamic_ret_check(sig, result, owner,
+                                                    name)
+                            if len(ret_profiles) < MAX_PROFILES:
+                                ret_profiles.add(rcls)
+                    else:
+                        self._dynamic_ret_check(sig, result, owner, name)
+                    stats.dynamic_ret_checks += 1
+                return result
         return self._invoke_slow(def_owner, owner, name, kind, fn, recv,
                                  args, kwargs)
 
     def _invoke_slow(self, def_owner: str, owner: str, name: str, kind: str,
                      fn, recv, args: tuple, kwargs: dict):
-        """Cold call path: full resolution, then memoize a CallPlan."""
-        resolved = self.resolve_sig(owner, name, kind)
-        if resolved is None:
-            resolved = self.resolve_sig(def_owner, name, kind)
-        checked = False
+        """Cold call path: full resolution, then memoize a CallPlan along
+        with the dependency edges the resolution consulted."""
         plannable = self._plans is not None
+        trace: Optional[List[Resource]] = [] if plannable else None
+        resolved = self.resolve_sig(owner, name, kind, trace=trace)
+        if resolved is None:
+            resolved = self.resolve_sig(def_owner, name, kind, trace=trace)
+        checked = False
         sig_owner: Optional[str] = None
         sig: Optional[MethodSig] = None
+        do_ret = False
+        stack = self._stack
         if resolved is not None:
             sig_owner, sig = resolved
             key = (owner, name)
             if sig.check and self.config.static_checking:
-                self.jit_check(key, sig, def_owner, kind)
+                self.jit_check(key, sig, def_owner, kind,
+                               sig_owner=sig_owner)
                 checked = True
                 if not self.config.caching:
                     # No$ mode re-checks on every call by design; a plan
@@ -351,43 +437,72 @@ class Engine:
                 self.stats.dynamic_arg_checks += 1
             else:
                 self.stats.dynamic_arg_checks_skipped += 1
+            ret_mode = self._ret_mode
+            if ret_mode != ARG_CHECK_NEVER and not checked:
+                do_ret = (ret_mode == ARG_CHECK_ALWAYS
+                          or bool(stack and stack[-1]))
         if plannable:
+            ret_checking = (sig is not None and not checked
+                            and self._ret_mode != ARG_CHECK_NEVER)
             plan = CallPlan(
                 sig_owner, sig, checked, self._arg_mode,
                 sig is not None and _profile_eligible(sig),
-                self.types.version, self.hier.version)
-            self._plans.store((def_owner, owner, name, kind), plan)
-        self._stack.append(checked)
+                self._ret_mode if ret_checking else ARG_CHECK_NEVER,
+                ret_checking and _ret_profile_eligible(sig))
+            self._plans.store((def_owner, owner, name, kind), plan, trace)
+        stack.append(checked)
         try:
-            return fn(recv, *args, **kwargs)
+            result = fn(recv, *args, **kwargs)
         finally:
-            self._stack.pop()
+            stack.pop()
+        if do_ret:
+            self._dynamic_ret_check(sig, result, owner, name)
+            self.stats.dynamic_ret_checks += 1
+        return result
 
     def jit_check(self, key: Key, sig: MethodSig, def_owner: str,
-                  kind: str = INSTANCE) -> None:
-        """Check ``key``'s body now unless a valid cached check exists."""
+                  kind: str = INSTANCE,
+                  sig_owner: Optional[str] = None) -> None:
+        """Check ``key``'s body now unless a valid cached check exists.
+
+        The stored entry's dependency set is extended beyond the (TApp)
+        consultations with two explicit edges: the class the checked
+        *body* lives on and the class the *signature* resolved to.  For a
+        receiver-keyed entry (``key[0]`` a descendant), these are the
+        ancestor-retype edges: redefining or retyping the ancestor now
+        invalidates exactly the descendants that checked its body, which
+        the per-key ``(owner, name)`` match alone would miss.
+        """
         if self.config.caching and key in self.cache:
             self.stats.cache_hits += 1
             return
         self.stats.cache_misses += 1
         mir = self.cfgs.lookup(def_owner, key[1])
+        mir_owner = def_owner
         if mir is None:
             mir = self.cfgs.lookup(key[0], key[1])
+            mir_owner = key[0]
         if mir is None:
             raise NoMethodBodyError(
                 f"{key[0]}#{key[1]} has a type signature but no method "
                 f"body is registered for checking")
         self_type: Type = (ClassObjectType(key[0]) if kind == CLASS
                            else self._self_type(key[0]))
-        outcome = self.checker.check_method(mir, sig.intersection(),
-                                            self_type)
+        with self.hier.trace() as hier_reads:
+            outcome = self.checker.check_method(mir, sig.intersection(),
+                                                self_type)
         self.stats.record_static_check(key)
         self.stats.record_consulted(outcome.deps)
         for used in outcome.used_generated:
             self.stats.record_generated_use(used)
         self.stats.cast_sites |= outcome.cast_sites
         if self.config.caching:
-            self.cache.store(key, outcome.deps, outcome.field_deps,
+            deps = set(outcome.deps)
+            deps.add((mir_owner, key[1]))
+            if sig_owner is not None:
+                deps.add((sig_owner, key[1]))
+            deps.discard(key)  # no self-loops; invalidate(key) covers it
+            self.cache.store(key, deps, outcome.field_deps, hier_reads,
                              self.types.version)
 
     def _self_type(self, owner: str) -> Type:
@@ -406,7 +521,8 @@ class Engine:
         if resolved is None:
             raise TypeSignatureError(f"{owner_name}#{name} has no signature")
         sig_owner, sig = resolved
-        self.jit_check((owner_name, name), sig, sig_owner, kind)
+        self.jit_check((owner_name, name), sig, sig_owner, kind,
+                       sig_owner=sig_owner)
 
     # -- dynamic checks ------------------------------------------------------------------
 
@@ -440,6 +556,19 @@ class Engine:
             f"{owner}#{name} called with "
             f"({', '.join(type(v).__name__ for v in values)}), which "
             f"matches no signature arm of {sig.arms}")
+
+    def _dynamic_ret_check(self, sig: MethodSig, result, owner: str,
+                           name: str) -> None:
+        """RDL-style dynamic return check for *trusted* signatures: the
+        result must conform to at least one arm's declared return type.
+        Statically checked methods never reach here — their return types
+        are verified by the derivation."""
+        for arm in sig.arms:
+            if self._value_ok(result, arm.ret):
+                return
+        raise ReturnTypeError(
+            f"{owner}#{name} returned {type(result).__name__}, which "
+            f"conforms to no declared return type of {sig.arms}")
 
     def _value_ok(self, value, expected: Optional[Type]) -> bool:
         if expected is None:
@@ -477,37 +606,63 @@ class Engine:
     # -- invalidation ----------------------------------------------------------------------
 
     def invalidate(self, owner: str, name: str) -> Set[Key]:
-        """Definition 1 + Definition 2 for ``owner#name``."""
-        removed = self.cache.invalidate((owner, name))
+        """Definition 1 + Definition 2 for ``owner#name``.
+
+        Per-key throughout: the check cache drops the keyed entry plus
+        the entries whose derivations consulted it; call plans are
+        flushed only if they resolved through ``owner``'s signature slot
+        or their memoized derivation was just removed.  Plans for other
+        methods — and for the same method name on unrelated classes —
+        stay warm.
+        """
+        key = (owner, name)
+        removed = self.cache.invalidate(key)
         if removed:
             self.stats.record_invalidation(removed)
-        self._flush_plans(name, removed)
+            self.stats.retype_edge_invalidations += len(removed - {key})
+        if self._plans is not None:
+            flushed = self._plans.invalidate_resources(
+                (sig_resource(owner, name, INSTANCE),
+                 sig_resource(owner, name, CLASS)))
+            flushed += self._plans.invalidate_cache_keys(removed | {key})
+            self.stats.plan_invalidations += flushed
         self.cache.upgrade(self.types.version)
         return removed
-
-    def _flush_plans(self, name: str, removed: Set[Key]) -> None:
-        """Drop call plans made stale by an invalidation.
-
-        The type-table/hierarchy version guards already catch annotation
-        and hierarchy changes; this explicit flush is what keeps plans
-        honest for *body* redefinitions (EDef), which invalidate cached
-        checks without touching the type table.
-        """
-        if self._plans is None:
-            return
-        flushed = self._plans.invalidate_method(name)
-        for dep_name in {m for _, m in removed if m != name}:
-            flushed += self._plans.invalidate_method(dep_name)
-        self.stats.plan_invalidations += flushed
 
     def _on_type_change(self, owner: str, name: str, kind: str) -> None:
         if kind == "field":
             removed = self.cache.invalidate_field(owner, name)
             if removed:
                 self.stats.record_invalidation(removed)
-            self._flush_plans(name, removed)
+                self.stats.retype_edge_invalidations += len(removed)
+                if self._plans is not None:
+                    # Plans never read field types directly; flushing the
+                    # ones whose derivation just fell keeps the counterable
+                    # invariant "removed entry => no plan replays it".
+                    self.stats.plan_invalidations += \
+                        self._plans.invalidate_cache_keys(removed)
+            self.cache.upgrade(self.types.version)
             return
         self.invalidate(owner, name)
+
+    def _on_hier_change(self, affected: FrozenSet[str]) -> None:
+        """A structural hierarchy mutation changed exactly ``affected``
+        classes' linearizations: drop the check-cache entries whose
+        derivations consulted them and the plans that resolved through
+        them.  A new leaf class affects only itself, so warm caches for
+        everything else survive (the dev-mode reload win)."""
+        removed: Set[Key] = set()
+        for cls in affected:
+            removed |= self.cache.invalidate_hier(cls)
+        if removed:
+            self.stats.record_invalidation(removed)
+            self.stats.hier_edge_invalidations += len(removed)
+        if self._plans is not None:
+            flushed = self._plans.invalidate_resources(
+                [lin_resource(cls) for cls in affected])
+            if removed:
+                flushed += self._plans.invalidate_cache_keys(removed)
+            self.stats.plan_invalidations += flushed
 
     # -- wrapping ---------------------------------------------------------------------------
 
@@ -547,6 +702,12 @@ def _profile_eligible(sig: MethodSig) -> bool:
             if not is_class_determined(p.ty):
                 return False
     return True
+
+
+def _ret_profile_eligible(sig: MethodSig) -> bool:
+    """True when a passing result class soundly predicts future passes:
+    every arm's return type must be class-determined."""
+    return all(is_class_determined(arm.ret) for arm in sig.arms)
 
 
 def _find_callable(pycls: type, name: str, kind: str):

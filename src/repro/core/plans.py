@@ -11,15 +11,23 @@ same move as the polymorphic inline caches of "Transient Typechecks are
 (Almost) Free" (Roberts et al.) and the shape tests of lazy basic block
 versioning (Chevalier-Boisvert & Feeley).
 
-Soundness / invalidation:
+Soundness / invalidation (the dependency-tracked scheme):
 
-* a plan embeds the type-table version and hierarchy version it was built
-  under; the engine compares both integers before trusting it, so any
-  annotation (``type``), field-type change, or hierarchy mutation (new
-  class, module inclusion) makes every affected plan unusable;
-* body redefinitions do not bump the type table, so
-  :meth:`Engine.invalidate` also flushes plans by method name explicitly
-  (Definition 1's removal set), which keeps dev-mode reloading correct;
+* while a plan is built, the slow path records every resource the
+  resolution consulted — the ``("sig", C, name, kind)`` slot of each
+  ancestor it probed (negative probes included) and the ``("lin", C)``
+  linearization it walked.  The cache keeps those edges in a
+  :class:`~repro.core.deps.DepGraph`; mutating one resource pops exactly
+  its dependent plans (:meth:`CallPlanCache.invalidate_resources`),
+  instead of the old scheme's global version counters that made *every*
+  plan unusable after *any* table or hierarchy change;
+* plans whose memoized check-cache entry is removed (body redefinitions,
+  field retypes, Definition 1 removal sets) are flushed per *(receiver,
+  method)* key (:meth:`CallPlanCache.invalidate_cache_keys`), not per
+  method name — redefining ``A#m`` leaves ``B#m`` plans warm;
+* checked plans additionally guard on their derivation still being in the
+  check cache, so even a direct ``cache.clear()`` that bypasses
+  ``Engine.invalidate`` cannot leave a stale fast path;
 * ``No$`` mode (``caching=False``) never builds plans for statically
   checked methods — re-checking on every call is that mode's point.
 
@@ -27,14 +35,21 @@ Argument-class profiles: when every signature arm is *class-determined*
 (:func:`repro.rtypes.typeof.is_class_determined` — conformance depends only
 on each argument's host class), a plan additionally remembers the argument
 class tuples that already passed the dynamic check.  A repeat call with the
-same classes skips the conformance walk entirely: guard + set hit.
+same classes skips the conformance walk entirely: guard + set hit.  Plans
+for *trusted* (unchecked) signatures can likewise profile the dynamic
+return check (``EngineConfig.dynamic_ret_checks``): once a result class
+passed conformance against a class-determined return type, repeat results
+of the same class skip the walk (``Stats.ret_profile_hits``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from .deps import DepGraph, Resource
 
 PlanKey = Tuple[str, str, str, str]  # (def_owner, recv class, method, kind)
+CacheKey = Tuple[str, str]           # (recv class, method) — check-cache key
 
 #: ``EngineConfig.dynamic_arg_checks`` precompiled to an int for the fast
 #: path ("boundary" also covers unknown modes, matching the slow path).
@@ -42,6 +57,13 @@ ARG_CHECK_NEVER = 0
 ARG_CHECK_BOUNDARY = 1
 ARG_CHECK_ALWAYS = 2
 ARG_MODES = {"never": ARG_CHECK_NEVER, "boundary": ARG_CHECK_BOUNDARY,
+             "always": ARG_CHECK_ALWAYS}
+
+#: ``EngineConfig.dynamic_ret_checks`` uses the same encoding, but its
+#: "boundary" is the *opposite* edge: a return check matters when the
+#: immediate caller **is** statically checked, because that caller's
+#: derivation trusted this signature's return type.
+RET_MODES = {"never": ARG_CHECK_NEVER, "boundary": ARG_CHECK_BOUNDARY,
              "always": ARG_CHECK_ALWAYS}
 
 #: Cap on remembered passing argument-class profiles per plan; beyond it
@@ -53,12 +75,13 @@ class CallPlan:
     """The fully-resolved outcome of one warm intercepted call."""
 
     __slots__ = ("sig_owner", "sig", "checked", "arg_mode",
-                 "profile_eligible", "profiles", "types_version",
-                 "hier_version")
+                 "profile_eligible", "profiles", "ret_mode",
+                 "ret_profile_eligible", "ret_profiles")
 
     def __init__(self, sig_owner: Optional[str], sig, checked: bool,
                  arg_mode: int, profile_eligible: bool,
-                 types_version: int, hier_version: int) -> None:
+                 ret_mode: int = ARG_CHECK_NEVER,
+                 ret_profile_eligible: bool = False) -> None:
         #: ancestor the signature was found on (None when unannotated).
         self.sig_owner = sig_owner
         #: the resolved MethodSig, or None for wrapped-but-unannotated.
@@ -69,8 +92,12 @@ class CallPlan:
         self.arg_mode = arg_mode
         self.profile_eligible = profile_eligible
         self.profiles: Set[tuple] = set()
-        self.types_version = types_version
-        self.hier_version = hier_version
+        #: ARG_CHECK_NEVER unless this plan performs dynamic return checks
+        #: (trusted signature + engine mode), so the fast path pays one
+        #: attribute compare when the feature is off.
+        self.ret_mode = ret_mode
+        self.ret_profile_eligible = ret_profile_eligible
+        self.ret_profiles: Set[type] = set()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CallPlan(owner={self.sig_owner!r}, checked={self.checked}, "
@@ -78,11 +105,16 @@ class CallPlan:
 
 
 class CallPlanCache:
-    """Per-engine map of call sites to :class:`CallPlan`."""
+    """Per-engine map of call sites to :class:`CallPlan`, with the
+    dependency edges that invalidate them."""
 
     def __init__(self) -> None:
         self._plans: Dict[PlanKey, CallPlan] = {}
-        #: total plans dropped by explicit invalidation (not version drift).
+        self._deps = DepGraph()
+        #: (receiver, method) -> plan keys; Definition-1 removal sets are
+        #: check-cache keys, so this index makes their flush O(set size).
+        self._by_cache_key: Dict[CacheKey, Set[PlanKey]] = {}
+        #: total plans dropped by explicit invalidation.
         self.invalidations = 0
 
     def __len__(self) -> int:
@@ -91,25 +123,49 @@ class CallPlanCache:
     def get(self, key: PlanKey) -> Optional[CallPlan]:
         return self._plans.get(key)
 
-    def store(self, key: PlanKey, plan: CallPlan) -> None:
+    def store(self, key: PlanKey, plan: CallPlan,
+              resources: Iterable[Resource] = ()) -> None:
         self._plans[key] = plan
+        self._deps.record(key, resources)
+        self._by_cache_key.setdefault((key[1], key[2]), set()).add(key)
 
-    def invalidate_method(self, name: str) -> int:
-        """Drop every plan for method ``name``, on any receiver class.
+    def _drop(self, key: PlanKey) -> bool:
+        if self._plans.pop(key, None) is None:
+            return False
+        self._deps.forget(key)
+        bucket = self._by_cache_key.get((key[1], key[2]))
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_cache_key[(key[1], key[2])]
+        return True
 
-        Name-granular on purpose: a signature found on an ancestor serves
-        plans keyed by many receiver classes, and Definition 1's removal
-        set can touch several owners; a flushed plan just rebuilds on the
-        next call, so over-approximating costs one slow call per site.
-        """
-        stale = [k for k in self._plans if k[2] == name]
-        for k in stale:
-            del self._plans[k]
-        self.invalidations += len(stale)
-        return len(stale)
+    def invalidate_resources(self, resources: Iterable[Resource]) -> int:
+        """Drop every plan depending on any of ``resources`` (per key)."""
+        dropped = 0
+        for key in self._deps.invalidate_many(resources):
+            if self._drop(key):
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def invalidate_cache_keys(self, cache_keys: Iterable[CacheKey]) -> int:
+        """Drop plans whose *(receiver, method)* check-cache key is in
+        ``cache_keys`` — Definition 1's removal set, per key not per name."""
+        stale: Set[PlanKey] = set()
+        for ckey in cache_keys:
+            stale |= self._by_cache_key.get(ckey, set())
+        dropped = 0
+        for key in stale:
+            if self._drop(key):
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
 
     def clear(self) -> int:
         dropped = len(self._plans)
         self._plans.clear()
+        self._deps.clear()
+        self._by_cache_key.clear()
         self.invalidations += dropped
         return dropped

@@ -72,12 +72,24 @@ class Stats:
         self.casts = 0
         self.dynamic_arg_checks = 0
         self.dynamic_arg_checks_skipped = 0
+        self.dynamic_ret_checks = 0
         self.calls_intercepted = 0
         # hot path: call-plan inline caches + memoized subtyping
         self.fast_path_hits = 0          # calls served by a warm CallPlan
         self.plan_invalidations = 0      # plans dropped by invalidation
+        self.ret_profile_hits = 0        # return checks skipped via profile
         self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
         self.subtype_cache_misses = 0
+        # dependency-tracked invalidation (the deps.DepGraph subsystem)
+        #: cache entries/plans invalidated through an edge whose key is
+        #: *not* the mutated method itself — e.g. retyping an ancestor
+        #: signature removing a descendant's receiver-keyed derivation.
+        self.retype_edge_invalidations = 0
+        #: subtype-memo lines evicted by LRU overflow (not invalidation);
+        #: synced from the hierarchy by Engine.stats_snapshot.
+        self.subtype_lru_evictions = 0
+        #: cache entries removed because a consulted linearization changed.
+        self.hier_edge_invalidations = 0
 
     # -- recording -----------------------------------------------------------
 
@@ -167,6 +179,11 @@ class Stats:
             "calls_intercepted": self.calls_intercepted,
             "fast_path_hits": self.fast_path_hits,
             "plan_invalidations": self.plan_invalidations,
+            "ret_profile_hits": self.ret_profile_hits,
+            "dynamic_ret_checks": self.dynamic_ret_checks,
             "subtype_cache_hits": self.subtype_cache_hits,
             "subtype_cache_misses": self.subtype_cache_misses,
+            "subtype_lru_evictions": self.subtype_lru_evictions,
+            "retype_edge_invalidations": self.retype_edge_invalidations,
+            "hier_edge_invalidations": self.hier_edge_invalidations,
         }

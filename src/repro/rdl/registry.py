@@ -106,9 +106,18 @@ class TypeRegistry:
     def add_field(self, owner: str, field_name: str,
                   t: "Type | str") -> None:
         """Record an instance/class field type (paper Fig. 3's
-        ``field_type :@transactions, "Array<Transaction>"``)."""
+        ``field_type :@transactions, "Array<Transaction>"``).
+
+        Re-recording the *same* type is harmless (the method-signature
+        rule applied to fields): a dev-mode reload re-executes every
+        ``field_type`` call, and an identical type cannot change any
+        judgment, so it must not invalidate anything.
+        """
         ty = parse_type(t) if isinstance(t, str) else t
-        self._fields[(owner, field_name)] = ty
+        key = (owner, field_name)
+        if self._fields.get(key) == ty:
+            return
+        self._fields[key] = ty
         self.version += 1
         self._notify(owner, field_name, "field")
 

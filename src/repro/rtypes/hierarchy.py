@@ -12,11 +12,36 @@ implementation handles it (section 3), so we do too.  A
   (``Array`` has one, ``Hash`` two).
 
 ``BasicObject``-style roots are not modelled; ``Object`` is the root.
+
+Invalidation contract (the dependency-tracked scheme):
+
+* every structural mutation computes exactly which classes' ancestor
+  linearizations it changed — a new leaf class or module changes
+  *nobody's*; ``include_module(cls, m)`` changes ``cls`` and every class
+  that linearizes through it — and reports that *affected set* to
+  registered :meth:`on_change` listeners (the engine maps each name to a
+  ``("lin", name)`` dependency edge);
+* the per-class linearization/ancestor-set memos are dropped only for
+  affected classes;
+* the subtype memo evicts only the lines whose recorded hierarchy reads
+  intersect the affected set (see :class:`SubtypeCache`).
+
+Read tracing: while a :meth:`trace` context is active, every hierarchy
+query records the class names it consulted — including *negative*
+lookups, so registering a previously-unknown class invalidates answers
+that observed its absence.  The subtype memo stores each line's read set
+and replays it into the active trace on a hit, keeping outer read sets
+complete without re-walking.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import (
+    Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Set,
+    Tuple,
+)
 
 
 class UnknownClassError(KeyError):
@@ -24,34 +49,93 @@ class UnknownClassError(KeyError):
 
 
 class SubtypeCache:
-    """Memoized ``is_subtype`` answers for one hierarchy.
+    """Memoized ``is_subtype`` answers for one hierarchy — a bounded LRU.
 
-    The table maps ``(s, t, strict_nil)`` to a bool.  It is owned by the
-    hierarchy because answers depend on its edges: every structural
-    mutation (:meth:`ClassHierarchy._bump`) clears the table, so a stored
-    answer is always valid for the current hierarchy.  Queries that carry a
-    method resolver (structural-type checks) bypass the cache entirely —
-    see ``repro.rtypes.subtype.is_subtype``.
+    Each line maps ``(s, t, strict_nil)`` to ``(answer, reads)`` where
+    ``reads`` is the frozenset of class names whose hierarchy placement
+    the computation consulted.  The cache is owned by the hierarchy
+    because answers depend on its edges: a structural mutation evicts
+    exactly the lines whose reads intersect the affected classes
+    (:meth:`invalidate_classes`), so a stored answer is always valid for
+    the current hierarchy.  When full, the least-recently-used line is
+    evicted (``evictions`` counts them) instead of dropping the table
+    wholesale — hot pairs stay resident across overflow.  Queries that
+    carry a method resolver (structural-type checks) bypass the cache
+    entirely — see ``repro.rtypes.subtype.is_subtype``.
     """
 
-    __slots__ = ("table", "hits", "misses", "enabled", "max_entries")
+    __slots__ = ("table", "hits", "misses", "evictions", "enabled",
+                 "max_entries", "_by_class")
 
     def __init__(self, max_entries: int = 16384) -> None:
-        self.table: Dict[tuple, bool] = {}
+        #: key -> (answer, reads); ordered oldest-first for LRU eviction.
+        self.table: "OrderedDict[tuple, Tuple[bool, FrozenSet[str]]]" = \
+            OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.enabled = True
-        #: bound on the table; when full it is dropped wholesale (the
-        #: working set of distinct queries is far smaller in practice).
         self.max_entries = max_entries
+        #: class name -> keys of lines whose reads include it.
+        self._by_class: Dict[str, Set[tuple]] = {}
+
+    def store(self, key: tuple, answer: bool,
+              reads: FrozenSet[str]) -> None:
+        table = self.table
+        if key in table:
+            self._unindex(key)
+        while len(table) >= self.max_entries:
+            old_key, (_, old_reads) = table.popitem(last=False)
+            self.evictions += 1
+            self._unindex(old_key, old_reads)
+        table[key] = (answer, reads)
+        by_class = self._by_class
+        for name in reads:
+            bucket = by_class.get(name)
+            if bucket is None:
+                by_class[name] = {key}
+            else:
+                bucket.add(key)
+
+    def _unindex(self, key: tuple,
+                 reads: Optional[FrozenSet[str]] = None) -> None:
+        if reads is None:
+            line = self.table.get(key)
+            if line is None:
+                return
+            reads = line[1]
+        by_class = self._by_class
+        for name in reads:
+            bucket = by_class.get(name)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del by_class[name]
+
+    def invalidate_classes(self, names) -> int:
+        """Evict every line whose reads mention any of ``names``."""
+        stale: Set[tuple] = set()
+        by_class = self._by_class
+        for name in names:
+            stale |= by_class.pop(name, set())
+        for key in stale:
+            line = self.table.pop(key, None)
+            if line is not None:
+                self._unindex(key, line[1])
+        return len(stale)
+
+    def clear(self) -> None:
+        self.table.clear()
+        self._by_class.clear()
 
 
 class ClassHierarchy:
     """A registry of class names with superclass, mixin, and generic info.
 
-    Mutations bump :attr:`version` so dependent caches (subtype memo,
-    ancestor linearizations, the engine's call plans) can detect staleness
-    with a single integer compare.
+    Mutations bump :attr:`version` (kept for observability and for
+    snapshot comparison) and notify :meth:`on_change` listeners with the
+    precise set of classes whose linearizations changed, so dependent
+    caches invalidate per key instead of wholesale.
     """
 
     def __init__(self) -> None:
@@ -62,14 +146,72 @@ class ClassHierarchy:
         #: bumped on every structural change (new class/module/mixin edge).
         self.version = 0
         self.subtype_cache = SubtypeCache()
+        #: memoize linearizations/ancestor sets; the cache-disabled
+        #: differential oracle turns this off to recompute every walk.
+        self.memo_enabled = True
         self._linearizations: Dict[str, Tuple[str, ...]] = {}
         self._ancestor_sets: Dict[str, frozenset] = {}
+        self._listeners: List[Callable[[FrozenSet[str]], None]] = []
+        #: stack of active read-trace sets (see :meth:`trace`).
+        self._trace_stack: List[Set[str]] = []
 
-    def _bump(self) -> None:
+    # -- read tracing ------------------------------------------------------
+
+    @contextmanager
+    def trace(self):
+        """Collect the class names consulted while the context is active.
+
+        Traces nest: popping an inner trace merges its reads into the
+        enclosing one, so an outer consumer (a checked derivation) sees
+        the union of everything its sub-queries read.
+        """
+        reads: Set[str] = set()
+        stack = self._trace_stack
+        stack.append(reads)
+        try:
+            yield reads
+        finally:
+            stack.pop()
+            if stack:
+                stack[-1] |= reads
+
+    def _touch(self, name: str) -> None:
+        stack = self._trace_stack
+        if stack:
+            stack[-1].add(name)
+
+    def replay_reads(self, names) -> None:
+        """Merge a memoized read set into the active trace (if any)."""
+        stack = self._trace_stack
+        if stack:
+            stack[-1] |= names
+
+    # -- change notification -----------------------------------------------
+
+    def on_change(self, listener: Callable[[FrozenSet[str]], None]) -> None:
+        """Register a callback fired with the affected class-name set."""
+        self._listeners.append(listener)
+
+    def _changed(self, affected: Set[str]) -> None:
         self.version += 1
-        self._linearizations.clear()
-        self._ancestor_sets.clear()
-        self.subtype_cache.table.clear()
+        for name in affected:
+            self._linearizations.pop(name, None)
+            self._ancestor_sets.pop(name, None)
+        self.subtype_cache.invalidate_classes(affected)
+        frozen = frozenset(affected)
+        for listener in self._listeners:
+            listener(frozen)
+
+    def _classes_linearizing_through(self, name: str) -> Set[str]:
+        """Every class whose current linearization mentions ``name``
+        (computed *before* a mutation, to know whom it will affect)."""
+        affected = {name}
+        for cls in self._parent:
+            if cls == name or cls in affected:
+                continue
+            if name in self.linearization(cls):
+                affected.add(cls)
+        return affected
 
     # -- registration ------------------------------------------------------
 
@@ -78,7 +220,9 @@ class ClassHierarchy:
         """Register ``name`` with the given superclass and type variables.
 
         Re-registering with the same superclass is harmless (mirrors Ruby's
-        re-opening of classes); changing the superclass is an error.
+        re-opening of classes); changing the superclass is an error.  A new
+        class appears in no existing linearization, so only ``name`` itself
+        is reported as affected — warm caches for other classes survive.
         """
         if name in self._parent:
             existing = self._parent[name]
@@ -95,7 +239,7 @@ class ClassHierarchy:
         self._mixins.setdefault(name, [])
         if typevars:
             self._typevars[name] = tuple(typevars)
-        self._bump()
+        self._changed({name})
 
     def add_module(self, name: str) -> None:
         """Register a module (mixin); modules have no superclass."""
@@ -104,33 +248,43 @@ class ClassHierarchy:
         self._modules.add(name)
         self._mixins.setdefault(name, [])
         self._parent.setdefault(name, None)
-        self._bump()
+        self._changed({name})
 
     def include_module(self, cls: str, module: str) -> None:
-        """Mix ``module`` into ``cls`` (Ruby ``include``)."""
+        """Mix ``module`` into ``cls`` (Ruby ``include``).
+
+        This is the one mutation that rewrites *existing* linearizations:
+        ``cls``'s and that of every class inheriting through it.  Exactly
+        those classes are reported as affected.
+        """
         if cls not in self._parent:
             self.add_class(cls)
         if module not in self._modules:
             self.add_module(module)
         mixins = self._mixins.setdefault(cls, [])
         if module not in mixins:
+            affected = self._classes_linearizing_through(cls)
             mixins.insert(0, module)  # later includes take precedence
-            self._bump()
+            self._changed(affected)
 
     # -- queries -----------------------------------------------------------
 
     def is_known(self, name: str) -> bool:
+        self._touch(name)
         return name in self._parent
 
     def is_module(self, name: str) -> bool:
+        self._touch(name)
         return name in self._modules
 
     def superclass(self, name: str) -> Optional[str]:
+        self._touch(name)
         if name not in self._parent:
             raise UnknownClassError(name)
         return self._parent[name]
 
     def mixins(self, name: str) -> Tuple[str, ...]:
+        self._touch(name)
         return tuple(self._mixins.get(name, ()))
 
     def ancestors(self, name: str) -> Iterator[str]:
@@ -140,8 +294,10 @@ class ClassHierarchy:
 
     def linearization(self, name: str) -> Tuple[str, ...]:
         """The ancestor walk as a cached tuple (signature resolution and
-        subtyping are hot; the walk is rebuilt only after mutations)."""
-        lin = self._linearizations.get(name)
+        subtyping are hot; the walk is rebuilt only after mutations that
+        actually touched this class's ancestry)."""
+        self._touch(name)
+        lin = self._linearizations.get(name) if self.memo_enabled else None
         if lin is None:
             if name not in self._parent:
                 raise UnknownClassError(name)
@@ -152,32 +308,39 @@ class ClassHierarchy:
                 out.extend(self._mixins.get(current, ()))
                 current = self._parent.get(current)
             lin = tuple(out)
-            self._linearizations[name] = lin
+            if self.memo_enabled:
+                self._linearizations[name] = lin
         return lin
 
     def is_subclass(self, sub: str, sup: str) -> bool:
         """True when ``sup`` appears in ``sub``'s ancestor linearization."""
         if sub == sup:
             return True
+        self._touch(sub)
         if sub not in self._parent:
             return False
-        ancestors = self._ancestor_sets.get(sub)
+        ancestors = self._ancestor_sets.get(sub) if self.memo_enabled \
+            else None
         if ancestors is None:
             ancestors = frozenset(self.linearization(sub))
-            self._ancestor_sets[sub] = ancestors
+            if self.memo_enabled:
+                self._ancestor_sets[sub] = ancestors
         return sup in ancestors
 
     def typevars(self, name: str) -> Tuple[str, ...]:
+        self._touch(name)
         return self._typevars.get(name, ())
 
     def generic_arity(self, name: str) -> int:
+        self._touch(name)
         return len(self._typevars.get(name, ()))
 
     def class_names(self) -> Tuple[str, ...]:
         return tuple(self._parent)
 
     def snapshot(self) -> "ClassHierarchy":
-        """A deep copy, used by engines that must not mutate the default."""
+        """A deep copy, used by engines that must not mutate the default.
+        Listeners and memo state are deliberately not carried over."""
         out = ClassHierarchy()
         out._parent = dict(self._parent)
         out._mixins = {k: list(v) for k, v in self._mixins.items()}

@@ -39,9 +39,12 @@ def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
                resolver: Optional[MethodResolver] = None) -> bool:
     """True when ``s <= t`` under hierarchy ``hier``.
 
-    Memoized per hierarchy: answers are stored in ``hier.subtype_cache``
-    keyed ``(s, t, strict_nil)`` and dropped whenever the hierarchy
-    mutates, so the steady-state query is a dict hit.  This is safe
+    Memoized per hierarchy: answers live in ``hier.subtype_cache``, a
+    bounded LRU keyed ``(s, t, strict_nil)``.  Each line also records the
+    class names whose hierarchy placement the computation consulted, so
+    a structural mutation evicts exactly the lines it could have changed
+    (dependency-tracked invalidation) and an overflow evicts the
+    least-recently-used line instead of the whole table.  This is safe
     because types are immutable (and usually interned, making the key
     hash cheap).  Queries carrying a ``resolver`` bypass the cache —
     structural checks depend on which method table the resolver reads,
@@ -54,15 +57,20 @@ def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
         return _is_subtype(s, t, hier, strict_nil, resolver)
     key = (s, t, strict_nil)
     table = cache.table
-    hit = table.get(key)
-    if hit is not None:
+    line = table.get(key)
+    if line is not None:
         cache.hits += 1
-        return hit
+        table.move_to_end(key)
+        answer, reads = line
+        if reads:
+            # Keep enclosing read traces complete: a memo hit consulted
+            # (transitively) everything the original computation did.
+            hier.replay_reads(reads)
+        return answer
     cache.misses += 1
-    result = _is_subtype(s, t, hier, strict_nil, None)
-    if len(table) >= cache.max_entries:
-        table.clear()
-    table[key] = result
+    with hier.trace() as reads:
+        result = _is_subtype(s, t, hier, strict_nil, None)
+    cache.store(key, result, frozenset(reads))
     return result
 
 

@@ -34,6 +34,7 @@ def test_app_typechecks_with_no_errors(worlds, name):
     assert world.engine.stats.static_checks > 0
 
 
+@pytest.mark.requires_caches
 @pytest.mark.parametrize("name", APP_NAMES)
 def test_each_method_checked_once_with_caching(worlds, name):
     stats = worlds[name].engine.stats

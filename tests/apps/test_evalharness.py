@@ -71,6 +71,7 @@ class TestStats:
 
 
 class TestHarness:
+    @pytest.mark.requires_caches
     def test_engine_modes(self):
         assert engine_for("orig").config.intercept is False
         assert engine_for("nocache").config.caching is False
@@ -84,6 +85,7 @@ class TestHarness:
         assert world.workload()
         assert world.engine.stats.calls_intercepted == 0
 
+    @pytest.mark.requires_caches
     def test_measure_app_row(self):
         row = measure_app("cct", runs=1, repeats=3)
         assert isinstance(row, Table1Row)

@@ -22,12 +22,14 @@ def test_first_version_checks_everything(rows):
     assert first.checked_with_helpers >= 10
 
 
+@pytest.mark.requires_caches
 def test_updates_check_far_less_than_full_reload(rows):
     baseline = rows[0].checked_with_helpers
     for row in rows[1:]:
         assert row.checked_without_helpers < baseline
 
 
+@pytest.mark.requires_caches
 def test_chkd_accounting_mostly_exact(rows):
     """Paper: 'in almost all cases, the second number in Chk'd is equal to
     the sum of the three previous columns' — with one anomalous row."""

@@ -1,0 +1,32 @@
+"""Shared test plumbing: the cache-disabled differential mode.
+
+The ``REPRO_DISABLE_CACHES=1`` environment switch turns every engine into
+a cache-free oracle (no call plans, no check memoization, no subtype or
+linearization memos).  CI runs the whole tier-1 suite in that mode to
+prove cached and uncached engines produce identical judgments.
+
+Tests that assert *memoization-specific* observables — hit counters,
+"checked exactly once", entry-present-in-cache — are meaningless for the
+oracle and carry ``@pytest.mark.requires_caches``; every behavioral
+assertion (which errors are raised, what calls return) runs in both
+modes.
+"""
+
+import pytest
+
+from repro.core import caches_disabled_by_env
+
+CACHES_DISABLED = caches_disabled_by_env()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "requires_caches: asserts memoization-specific counters/state; "
+        "skipped when REPRO_DISABLE_CACHES=1 builds cache-free oracles")
+
+
+def pytest_runtest_setup(item):
+    if CACHES_DISABLED and item.get_closest_marker("requires_caches"):
+        pytest.skip("memoization observables absent under "
+                    "REPRO_DISABLE_CACHES=1")

@@ -28,6 +28,7 @@ def build_counter(engine):
 
 
 class TestFastPath:
+    @pytest.mark.requires_caches
     def test_warm_calls_hit_the_fast_path(self):
         engine = make_engine()
         c = build_counter(engine)()
@@ -40,6 +41,7 @@ class TestFastPath:
         assert engine.stats.cache_hits >= 10
         assert engine.stats.static_checks == 1
 
+    @pytest.mark.requires_caches
     def test_fast_path_disabled_by_config(self):
         engine = make_engine(call_plans=False)
         c = build_counter(engine)()
@@ -104,6 +106,7 @@ class TestFastPath:
 
 
 class TestPlanInvalidation:
+    @pytest.mark.requires_caches
     def test_body_redefinition_flushes_plans(self):
         engine = make_engine()
         Counter = build_counter(engine)
@@ -134,7 +137,11 @@ class TestPlanInvalidation:
         with pytest.raises(ArgumentTypeError):
             c.bump(7)
 
-    def test_new_class_registration_invalidates_plans(self):
+    @pytest.mark.requires_caches
+    def test_unrelated_class_registration_keeps_plans_warm(self):
+        """A new leaf class appears in no existing linearization, so the
+        dependency graph leaves every warm plan alone (the dev-mode
+        reload win; the old version-counter guard flushed everything)."""
         engine = make_engine()
         c = build_counter(engine)()
         for i in range(3):
@@ -145,7 +152,23 @@ class TestPlanInvalidation:
             pass
 
         engine.register_class(Unrelated)
-        c.bump(1)  # hierarchy version moved: this call rebuilds the plan
+        c.bump(1)
+        assert engine.stats.fast_path_hits == hits + 1
+
+    @pytest.mark.requires_caches
+    def test_mixin_into_receiver_ancestry_flushes_plans(self):
+        """``include_module`` rewrites the receiver's linearization — the
+        one hierarchy mutation that can redirect resolution — so plans
+        that resolved through it must fall (the ("lin", C) edge)."""
+        engine = make_engine()
+        c = build_counter(engine)()
+        for i in range(3):
+            c.bump(i)
+        hits = engine.stats.fast_path_hits
+        engine.hier.add_module("Mixin")
+        engine.hier.include_module("Counter", "Mixin")
+        assert engine.stats.plan_invalidations > 0
+        c.bump(1)  # slow call: the plan rebuilds under the new ancestry
         assert engine.stats.fast_path_hits == hits
         c.bump(2)
         assert engine.stats.fast_path_hits == hits + 1
@@ -193,6 +216,7 @@ class TestPlanInvalidation:
         with pytest.raises(StaticTypeError):
             loose.answer()
 
+    @pytest.mark.requires_caches
     def test_direct_cache_flush_cannot_leave_stale_fast_path(self):
         """Even clearing the check cache behind the engine's back (the
         full-flush ablation does this) must force rechecks: checked plans
@@ -209,6 +233,7 @@ class TestPlanInvalidation:
         c.bump(2)  # plan rebuilt by the recheck call; fast again
         assert engine.stats.fast_path_hits == hits + 1
 
+    @pytest.mark.requires_caches
     def test_field_type_change_flushes_reader_plans(self):
         engine = make_engine()
         hb = engine.api()

@@ -1,0 +1,356 @@
+"""The dependency-tracked invalidation subsystem: per-key plan flushing,
+ancestor-retype edges, hierarchy edges, and the new observability
+counters.
+
+The headline regression pinned here: redefining ONE method of a class
+must not evict the call plans of its other methods (nor plans for the
+same method name on unrelated classes) — the old version-counter guards
+flushed everything, which is what made dev-mode reload churn cold.
+"""
+
+import pytest
+
+from repro import Engine, EngineConfig, ReturnTypeError, StaticTypeError
+from repro.core.deps import DepGraph
+
+pytestmark = pytest.mark.requires_caches
+
+
+def fresh():
+    engine = Engine()
+    return engine, engine.api()
+
+
+# -- DepGraph unit -----------------------------------------------------------
+
+
+class TestDepGraph:
+    def test_record_and_invalidate(self):
+        g = DepGraph()
+        g.record("t1", [("sig", "A", "m"), ("lin", "A")])
+        g.record("t2", [("sig", "A", "m")])
+        assert g.dependents(("sig", "A", "m")) == {"t1", "t2"}
+        assert g.invalidate(("lin", "A")) == {"t1"}
+        # t1's other edges were severed with it:
+        assert g.dependents(("sig", "A", "m")) == {"t2"}
+
+    def test_record_replaces_edges(self):
+        g = DepGraph()
+        g.record("t", [("sig", "A", "m")])
+        g.record("t", [("sig", "B", "m")])
+        assert g.dependents(("sig", "A", "m")) == set()
+        assert g.dependents(("sig", "B", "m")) == {"t"}
+
+    def test_forget_and_clear(self):
+        g = DepGraph()
+        g.record("t", [("sig", "A", "m")])
+        g.forget("t")
+        assert g.invalidate(("sig", "A", "m")) == set()
+        g.record("u", [("field", "A", "v")])
+        g.clear()
+        assert len(g) == 0 and g.resource_count() == 0
+
+    def test_invalidate_pops_each_token_once(self):
+        g = DepGraph()
+        g.record("t", [("sig", "A", "m"), ("sig", "B", "m")])
+        popped = g.invalidate_many([("sig", "A", "m"), ("sig", "B", "m")])
+        assert popped == {"t"}
+
+
+# -- per-key plan flushing (the regression this PR pins) ---------------------
+
+
+class TestPerKeyPlanFlushing:
+    def build_service(self, engine, hb):
+        class Service:
+            @hb.typed("(Integer) -> Integer")
+            def alpha(self, n):
+                return n + 1
+
+            @hb.typed("(Integer) -> Integer")
+            def beta(self, n):
+                return n + 2
+
+            @hb.typed("(Integer) -> Integer")
+            def gamma(self, n):
+                return n + 3
+
+        return Service
+
+    def test_redefining_one_method_keeps_sibling_plans(self):
+        engine, hb = fresh()
+        Service = self.build_service(engine, hb)
+        s = Service()
+        for _ in range(2):
+            s.alpha(1), s.beta(1), s.gamma(1)
+        checks = engine.stats.static_checks
+        invalidations = engine.stats.plan_invalidations
+
+        def alpha(self, n):
+            return n + 10
+
+        engine.define_method(Service, "alpha", alpha)
+        # exactly alpha's plan fell — not beta's, not gamma's
+        assert engine.stats.plan_invalidations == invalidations + 1
+        hits = engine.stats.fast_path_hits
+        assert s.beta(1) == 3
+        assert s.gamma(1) == 4
+        assert engine.stats.fast_path_hits == hits + 2
+        # and the siblings were not re-checked either
+        assert engine.stats.static_checks == checks
+        assert s.alpha(1) == 11  # slow rebuild + fresh check for alpha only
+        assert engine.stats.static_checks == checks + 1
+
+    def test_same_method_name_on_unrelated_class_survives(self):
+        engine, hb = fresh()
+
+        class Left:
+            @hb.typed("(Integer) -> Integer")
+            def work(self, n):
+                return n + 1
+
+        class Right:
+            @hb.typed("(Integer) -> Integer")
+            def work(self, n):
+                return n + 2
+
+        left, right = Left(), Right()
+        for _ in range(2):
+            left.work(1), right.work(1)
+        invalidations = engine.stats.plan_invalidations
+
+        def work(self, n):
+            return n + 10
+
+        engine.define_method(Left, "work", work)
+        assert engine.stats.plan_invalidations == invalidations + 1
+        hits = engine.stats.fast_path_hits
+        assert right.work(1) == 3  # Right#work's plan is still warm
+        assert engine.stats.fast_path_hits == hits + 1
+
+    def test_retype_flushes_only_dependent_sites(self):
+        """types.replace on one method leaves unrelated warm sites alone
+        (the old scheme's table-version guard killed every plan)."""
+        engine, hb = fresh()
+        Service = self.build_service(engine, hb)
+        s = Service()
+        for _ in range(2):
+            s.alpha(1), s.beta(1), s.gamma(1)
+        engine.types.replace("Service", "alpha", "(String) -> Integer",
+                             check=False)
+        hits = engine.stats.fast_path_hits
+        assert s.beta(2) == 4
+        assert s.gamma(2) == 5
+        assert engine.stats.fast_path_hits == hits + 2
+
+
+# -- ancestor-retype and hierarchy edges -------------------------------------
+
+
+class TestExplicitEdges:
+    def test_ancestor_retype_invalidates_receiver_keyed_entry(self):
+        """The receiver-keyed derivation for a subclass checked the
+        *ancestor's* body; retyping the ancestor signature must remove it
+        via the explicit edge (per-key matching alone would miss it)."""
+        engine, hb = fresh()
+
+        class RBase:
+            @hb.typed("() -> Integer")
+            def num(self):
+                return 1
+
+        class RSub(RBase):
+            pass
+
+        engine.register_class(RSub)
+        r = RSub()
+        assert r.num() == 1
+        assert ("RSub", "num") in engine.cache
+        before = engine.stats.retype_edge_invalidations
+        engine.types.replace("RBase", "num", "() -> String", check=True)
+        assert ("RSub", "num") not in engine.cache
+        assert engine.stats.retype_edge_invalidations > before
+        with pytest.raises(StaticTypeError):
+            r.num()  # fresh check: body returns Integer, sig says String
+
+    def test_ancestor_body_redefinition_invalidates_receiver_keyed_entry(self):
+        engine, hb = fresh()
+
+        class BBase:
+            @hb.typed("() -> Integer")
+            def num(self):
+                return 1
+
+        class BSub(BBase):
+            pass
+
+        engine.register_class(BSub)
+        b = BSub()
+        assert b.num() == 1
+        assert ("BSub", "num") in engine.cache
+
+        def num(self):
+            return "broken"
+
+        engine.define_method(BBase, "num", num)
+        assert ("BSub", "num") not in engine.cache
+        with pytest.raises(StaticTypeError):
+            b.num()
+
+    def test_mixin_inclusion_invalidates_consulting_derivations(self):
+        """A derivation that resolved calls through a class's ancestry
+        records ("lin", C) edges; mixing a module into C removes it."""
+        engine, hb = fresh()
+
+        class HBase:
+            @hb.typed("() -> Integer")
+            def helper(self):
+                return 1
+
+            @hb.typed("() -> Integer")
+            def compute(self):
+                return self.helper() + 1
+
+        h = HBase()
+        assert h.compute() == 2
+        assert ("HBase", "compute") in engine.cache
+        before = engine.stats.hier_edge_invalidations
+        engine.hier.add_module("HMixin")
+        engine.hier.include_module("HBase", "HMixin")
+        assert ("HBase", "compute") not in engine.cache
+        assert engine.stats.hier_edge_invalidations > before
+        assert h.compute() == 2  # rechecks cleanly under the new ancestry
+
+    def test_unrelated_class_keeps_checked_entries(self):
+        engine, hb = fresh()
+
+        class Quiet:
+            @hb.typed("() -> Integer")
+            def calm(self):
+                return 1
+
+        q = Quiet()
+        q.calm()
+        assert ("Quiet", "calm") in engine.cache
+        checks = engine.stats.static_checks
+
+        class Noise:
+            pass
+
+        engine.register_class(Noise)
+        assert ("Quiet", "calm") in engine.cache
+        q.calm()
+        assert engine.stats.static_checks == checks
+
+
+# -- dynamic return checks and their plan profiles ---------------------------
+
+
+class TestReturnChecks:
+    def build_trusted(self, engine, hb, body):
+        class Teller:
+            @hb.trusted("() -> Integer")
+            def tell(self):
+                return body()
+
+        return Teller()
+
+    def test_lying_trusted_return_raises_in_always_mode(self):
+        engine = Engine(EngineConfig(dynamic_ret_checks="always"))
+        t = self.build_trusted(engine, engine.api(), lambda: "a lie")
+        with pytest.raises(ReturnTypeError):
+            t.tell()
+
+    def test_ret_profile_skips_warm_conformance_walks(self):
+        engine = Engine(EngineConfig(dynamic_ret_checks="always"))
+        t = self.build_trusted(engine, engine.api(), lambda: 5)
+        for _ in range(10):
+            assert t.tell() == 5
+        # slow call + one learning fast call, then profile hits
+        assert engine.stats.ret_profile_hits == 8
+        assert engine.stats.dynamic_ret_checks == 10
+
+    def test_ret_profile_still_rejects_new_bad_classes(self):
+        engine = Engine(EngineConfig(dynamic_ret_checks="always"))
+        hb = engine.api()
+        results = [1, 2, 3, "surprise"]
+
+        class Popper:
+            @hb.trusted("() -> Integer")
+            def pop(self):
+                return results.pop(0)
+
+        p = Popper()
+        for _ in range(3):
+            p.pop()
+        with pytest.raises(ReturnTypeError):
+            p.pop()
+
+    def test_boundary_mode_checks_only_under_checked_callers(self):
+        """"boundary" returns guard the trust edge: a statically checked
+        caller relied on the trusted return type, an unchecked caller did
+        not."""
+        engine = Engine(EngineConfig(dynamic_ret_checks="boundary"))
+        hb = engine.api()
+
+        class Mixed:
+            @hb.trusted("() -> Integer")
+            def trusted_lie(self):
+                return "not an integer"
+
+            @hb.typed("() -> Integer")
+            def checked_caller(self):
+                return self.trusted_lie()
+
+        m = Mixed()
+        # top-level (unchecked) caller: no return check, the lie passes
+        assert m.trusted_lie() == "not an integer"
+        # checked caller: its derivation trusted the signature, so the
+        # dynamic return check fires and catches the lie
+        with pytest.raises(ReturnTypeError):
+            m.checked_caller()
+
+    def test_checked_methods_never_ret_checked(self):
+        """Static checking already verified checked methods' returns; the
+        dynamic return check applies to trusted signatures only."""
+        engine = Engine(EngineConfig(dynamic_ret_checks="always"))
+        hb = engine.api()
+
+        class Honest:
+            @hb.typed("() -> Integer")
+            def value(self):
+                return 3
+
+        h = Honest()
+        for _ in range(3):
+            h.value()
+        assert engine.stats.dynamic_ret_checks == 0
+
+    def test_default_mode_is_never(self):
+        engine, hb = fresh()
+
+        class Liar:
+            @hb.trusted("() -> Integer")
+            def fib(self):
+                return "paper semantics: unchecked"
+
+        assert Liar().fib() == "paper semantics: unchecked"
+        assert engine.stats.dynamic_ret_checks == 0
+
+
+# -- subtype-memo LRU observability ------------------------------------------
+
+
+class TestSubtypeLruCounters:
+    def test_evictions_synced_into_snapshot(self):
+        engine, hb = fresh()
+        engine.hier.subtype_cache.max_entries = 4
+        from repro.rtypes import NominalType, is_subtype
+        names = ["Integer", "Float", "String", "Symbol", "Proc", "Time"]
+        for a in names:
+            for b in names:
+                is_subtype(NominalType(a), NominalType(b), engine.hier)
+        snap = engine.stats_snapshot()
+        assert snap["subtype_lru_evictions"] > 0
+        assert snap["subtype_lru_evictions"] == \
+            engine.hier.subtype_cache.evictions

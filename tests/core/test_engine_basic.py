@@ -17,6 +17,7 @@ def make_engine(**kwargs):
 
 
 class TestHappyPath:
+    @pytest.mark.requires_caches
     def test_first_call_checks_then_caches(self):
         engine = make_engine()
         hb = engine.api()
@@ -49,6 +50,7 @@ class TestHappyPath:
             g.greet("x")
         assert engine.stats.static_checks == 5
 
+    @pytest.mark.requires_caches
     def test_method_calling_typed_method(self):
         engine = make_engine()
         hb = engine.api()

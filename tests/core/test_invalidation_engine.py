@@ -28,6 +28,7 @@ class TestRedefinition:
 
         return Service
 
+    @pytest.mark.requires_caches
     def test_redefinition_invalidates_self_and_dependents(self):
         engine, hb = fresh()
         Service = self.build(engine, hb)
@@ -48,6 +49,7 @@ class TestRedefinition:
         assert s.quadruple() == 40
         assert engine.stats.static_checks == 5  # base + double rechecked
 
+    @pytest.mark.requires_caches
     def test_identical_redefinition_keeps_cache(self):
         """Dev-mode IR diff: re-installing a byte-identical body does not
         invalidate (the reloader's key behaviour)."""
@@ -99,6 +101,7 @@ class TestRedefinition:
         assert ("Service", "base") not in engine.cache
         assert ("Service", "double") not in engine.cache
 
+    @pytest.mark.requires_caches
     def test_field_type_change_invalidates_readers(self):
         engine, hb = fresh()
 

@@ -1,0 +1,145 @@
+"""Property-based invalidation stress test (hypothesis).
+
+Random interleavings of define / redefine / annotate / retype / subclass
+/ field-retype / call operations are replayed against two engines built
+from the same script: the normal cached engine and a cache-free oracle
+(``disable_caches=True`` — no plans, no check memoization, no subtype or
+linearization memos).  The cached engine must never report a stale
+judgment: every call's outcome (return value or error identity) must be
+identical to the oracle's, at every point of the interleaving.
+
+This is the adversarial companion to the deterministic differential
+harness: hypothesis searches for an operation order in which a
+dependency edge was *not* recorded and a cached judgment survives a
+mutation it should not have.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Engine
+
+CLASSES = ("StressA", "StressB")   # StressB subclasses StressA
+METHODS = ("m0", "m1", "m2")
+SIGS = ("(Integer) -> Integer", "(String) -> String",
+        "(Integer) -> String", "(Integer) -> Numeric")
+FIELD_TYPES = ("Integer", "String", "Numeric")
+CALL_ARGS = (0, 7, "word")
+
+#: method body sources, exec'd so dev-mode IR registration works.
+BODIES = {
+    "identity": "def {name}(self, n):\n    return n\n",
+    "inc": "def {name}(self, n):\n    return n + 1\n",
+    "stringify": "def {name}(self, n):\n    return 'x'\n",
+    "call_m0": "def {name}(self, n):\n    return self.m0(n)\n",
+    "read_field": "def {name}(self, n):\n    return self.value\n",
+}
+
+
+def _make_fn(body_key, name):
+    source = BODIES[body_key].format(name=name)
+    namespace = {}
+    exec(source, namespace)  # noqa: S102 - test-local, fixed templates
+    fn = namespace[name]
+    fn.__hb_source__ = source
+    return fn, source
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("def"), st.sampled_from(CLASSES),
+                  st.sampled_from(METHODS), st.sampled_from(sorted(BODIES))),
+        st.tuples(st.just("ann"), st.sampled_from(CLASSES),
+                  st.sampled_from(METHODS), st.sampled_from(SIGS)),
+        st.tuples(st.just("retype"), st.sampled_from(CLASSES),
+                  st.sampled_from(METHODS), st.sampled_from(SIGS)),
+        st.tuples(st.just("field"), st.sampled_from(CLASSES),
+                  st.sampled_from(FIELD_TYPES)),
+        st.tuples(st.just("subclass")),
+        st.tuples(st.just("call"), st.sampled_from(CLASSES + ("sub",)),
+                  st.sampled_from(METHODS), st.sampled_from(CALL_ARGS)),
+    ),
+    min_size=1, max_size=24)
+
+
+def _outcome(fn, *args, **kwargs):
+    try:
+        return ("ok", repr(fn(*args, **kwargs)))
+    except RecursionError:
+        # A self-recursive redefinition blows the host stack in both
+        # engines; the message varies with the exact trip point, so only
+        # the error identity is compared.
+        return ("err", "RecursionError")
+    except Exception as exc:  # noqa: BLE001 - error identity is the property
+        return ("err", type(exc).__name__, str(exc))
+
+
+def _replay(script, *, disable):
+    """Apply ``script`` to a fresh engine + fresh host classes; return the
+    stream of observable outcomes (one per op)."""
+    engine = Engine(disable_caches=disable)
+    hb = engine.api()
+
+    def init(self):
+        self.value = 0
+
+    base = type("StressA", (object,), {"__init__": init})
+    classes = {"StressA": base, "StressB": type("StressB", (base,), {})}
+    engine.register_class(classes["StressB"])
+
+    # Prelude: a checked m0 exists on the base, so "call_m0" bodies have a
+    # callee and retypes of m0 have dependents to invalidate.
+    fn, source = _make_fn("identity", "m0")
+    engine.define_method(base, "m0", fn, sig="(Integer) -> Integer",
+                         check=True, source=source)
+
+    sub_count = 0
+    instances = {}
+
+    def instance(cls_name):
+        if cls_name not in instances:
+            instances[cls_name] = classes[cls_name]()
+        return instances[cls_name]
+
+    outcomes = []
+    for op in script:
+        tag = op[0]
+        if tag == "def":
+            _, cls_name, meth, body_key = op
+            fn, source = _make_fn(body_key, meth)
+            outcomes.append(_outcome(
+                engine.define_method, classes[cls_name], meth, fn))
+            fn.__hb_source__ = source
+        elif tag == "ann":
+            _, cls_name, meth, sig = op
+            outcomes.append(_outcome(
+                hb.annotate, classes[cls_name], meth, sig, check=True))
+        elif tag == "retype":
+            _, cls_name, meth, sig = op
+            outcomes.append(_outcome(
+                engine.types.replace, cls_name, meth, sig, check=True))
+        elif tag == "field":
+            _, cls_name, ftype = op
+            outcomes.append(_outcome(
+                hb.field_type, classes[cls_name], "value", ftype))
+        elif tag == "subclass":
+            sub_count += 1
+            name = f"StressSub{sub_count}"
+            classes["sub"] = type(name, (classes["StressB"],), {})
+            instances.pop("sub", None)
+            outcomes.append(_outcome(engine.register_class, classes["sub"]))
+        elif tag == "call":
+            _, cls_name, meth, arg = op
+            if cls_name == "sub" and "sub" not in classes:
+                cls_name = "StressB"
+            recv = instance(cls_name)
+            outcomes.append(_outcome(
+                lambda r=recv, m=meth, a=arg: getattr(r, m)(a)))
+    return outcomes
+
+
+@given(ops)
+@settings(max_examples=40, deadline=None)
+def test_cached_engine_never_reports_a_stale_judgment(script):
+    cached = _replay(script, disable=False)
+    oracle = _replay(script, disable=True)
+    assert cached == oracle

@@ -1,11 +1,14 @@
 """The memoized subtype relation agrees with the uncached one, and its
 cache is invalidated by hierarchy mutations.
 
-The memo (``ClassHierarchy.subtype_cache``) is keyed ``(s, t,
-strict_nil)`` and cleared on every hierarchy bump; interning makes the
-keys cheap.  A wrong cache would silently corrupt both static checking and
-dynamic argument checks, so this file property-tests it against a
-cache-disabled twin hierarchy on randomized type pairs.
+The memo (``ClassHierarchy.subtype_cache``) is a bounded LRU keyed
+``(s, t, strict_nil)``; each line records the class names its computation
+consulted, and a hierarchy mutation evicts exactly the lines whose reads
+it touched (dependency-tracked invalidation).  A wrong cache would
+silently corrupt both static checking and dynamic argument checks, so
+this file property-tests it against a cache-disabled twin hierarchy on
+randomized type pairs and pins the LRU behavior (hot pairs stay resident
+across overflow; overflow evicts cold lines instead of clearing).
 """
 
 from hypothesis import given, settings, strategies as st
@@ -119,3 +122,52 @@ def test_bounded_cache_stays_correct_when_full():
     for _ in range(2):  # second sweep re-queries through evictions
         got = [is_subtype(s, t, h) for s, t in pairs]
         assert got == expected
+    assert h.subtype_cache.evictions > 0
+
+
+def test_lru_keeps_hot_pairs_resident_across_overflow():
+    """The old full-drop-on-overflow policy evicted the working set with
+    the garbage; the LRU keeps a repeatedly-queried pair cached while
+    cold churn flows through."""
+    h = _extended_hierarchy()
+    cache = h.subtype_cache
+    cache.max_entries = 16
+    hot_s, hot_t = NominalType("AdminUser"), NominalType("User")
+    assert is_subtype(hot_s, hot_t, h)
+    cold = [(NominalType(a), NominalType(b))
+            for a in _NOMINALS for b in _NOMINALS]
+    for s, t in cold:
+        is_subtype(s, t, h)
+        is_subtype(hot_s, hot_t, h)  # keep the hot pair recently used
+    assert cache.evictions > 0
+    before = cache.hits
+    assert is_subtype(hot_s, hot_t, h)
+    assert cache.hits == before + 1  # still resident: a hit, not a recompute
+
+
+def test_mutation_evicts_only_consulting_lines():
+    """Dependency-tracked eviction: registering a new class drops the
+    lines that observed its absence, not the unrelated working set."""
+    h = _extended_hierarchy()
+    ghost, user = NominalType("Ghost"), NominalType("User")
+    admin = NominalType("AdminUser")
+    assert not is_subtype(ghost, user, h)   # reads: Ghost (unknown)
+    assert is_subtype(admin, user, h)       # reads: AdminUser
+    h.add_class("Ghost", "User")
+    # the stale negative answer fell...
+    assert is_subtype(ghost, user, h)
+    # ...but the unrelated line survived as a live cache hit
+    before = h.subtype_cache.hits
+    assert is_subtype(admin, user, h)
+    assert h.subtype_cache.hits == before + 1
+
+
+def test_memo_hit_replays_reads_into_active_trace():
+    """An outer trace must see the classes a memoized sub-answer
+    consulted, or a derivation's hierarchy edges would be incomplete."""
+    h = _extended_hierarchy()
+    s, t = NominalType("AdminUser"), NominalType("User")
+    assert is_subtype(s, t, h)  # prime the memo
+    with h.trace() as reads:
+        assert is_subtype(s, t, h)  # pure memo hit
+    assert "AdminUser" in reads

@@ -222,6 +222,7 @@ class TestControllersAndRouting:
         with pytest.raises(ArgumentTypeError):
             app.request("GET", "/talks", params={"evil": object()})
 
+    @pytest.mark.requires_caches
     def test_second_request_hits_cache(self):
         app, User, Talk, _ = self.build()
         Talk.create(title="x")

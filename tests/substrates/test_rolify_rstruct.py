@@ -19,6 +19,7 @@ class TestRolify:
         engine.register_class(User)
         return engine, User
 
+    @pytest.mark.requires_caches
     def test_dynamic_method_created_and_checked(self):
         engine, User = self.build()
         u = User()
@@ -150,6 +151,7 @@ class TestStruct:
 
 
 class TestReloader:
+    @pytest.mark.requires_caches
     def test_reload_keeps_unchanged_cached(self):
         from repro.rails import AppVersion, RailsApp, Reloader
         from repro.rtypes import Sym
@@ -184,6 +186,7 @@ class TestReloader:
         assert c.volatile() == "two"    # redefined + re-checked
         assert app.engine.stats.static_checks == checks + 1
 
+    @pytest.mark.requires_caches
     def test_removed_method_invalidates_dependents(self):
         from repro.rails import AppVersion, RailsApp, Reloader
         from repro.rtypes import Sym
