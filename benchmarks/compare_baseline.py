@@ -1,0 +1,131 @@
+"""Benchmark-trend gate: compare fresh results against committed baselines.
+
+CI runs ``bench_hotpath.py`` and ``bench_concurrency.py``, writes their
+JSON reports to an artifacts directory, and then runs this script to
+compare each report against the committed ``BENCH_*.json`` baseline
+with the repo's *alarm-threshold* convention: shared runners are noisy,
+so CI alarms only when a metric falls below a conservative fraction of
+the committed number (or an absolute floor, whichever the metric spec
+says) — the full-strength numbers are enforced by local runs and by the
+committed baselines themselves.
+
+Usage::
+
+    python benchmarks/compare_baseline.py \
+        --baseline BENCH_hotpath.json --current out/hotpath.json \
+        --suite hotpath
+    python benchmarks/compare_baseline.py \
+        --baseline BENCH_concurrency.json --current out/concurrency.json \
+        --suite concurrency
+
+Exit code 0 = within thresholds, 1 = regression alarm, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, List, Tuple
+
+Metric = Tuple[str, Callable[[dict], float], Callable[[float, float], bool],
+               str]
+
+
+def _get(path: str):
+    def getter(report: dict) -> float:
+        node = report
+        for part in path.split("."):
+            node = node[part]
+        return float(node)
+    return getter
+
+
+def _absolute_floor(floor: float):
+    """Alarm when current < floor, whatever the baseline says."""
+    return lambda current, baseline: current >= floor
+
+
+def _floor_and_fraction(floor: float, fraction: float):
+    """The trend gate for dimensionless metrics (speedups, scalings,
+    hit rates port across machines): alarm when current drops below the
+    absolute floor *or* below ``fraction`` of the committed baseline —
+    the latter catches a slow slide that stays above the floor."""
+    return lambda current, baseline: (current >= floor
+                                      and current >= baseline * fraction)
+
+
+#: suite name -> [(metric path, getter, ok(current, baseline), description)]
+SUITES = {
+    "hotpath": [
+        ("speedup", _get("speedup"), _floor_and_fraction(2.0, 0.5),
+         "steady-state speedup vs legacy engine (alarm floor 2x, and "
+         "no sliding below half the committed baseline)"),
+        ("fast_path_hit_ratio",
+         lambda r: float(r["fast_path_hits"]) / float(r["calls"]),
+         _absolute_floor(1.0),
+         "every warm call must ride a plan (hits/calls, size-independent)"),
+        ("reload.warm_hit_rate", _get("reload.warm_hit_rate"),
+         _absolute_floor(0.9),
+         "dev-mode reload keeps >=90% of calls on warm plans"),
+    ],
+    "concurrency": [
+        ("scaling.scaling", _get("scaling.scaling"),
+         _floor_and_fraction(2.0, 0.5),
+         "8-thread vs 1-thread aggregate throughput (alarm floor 2x, "
+         "no sliding below half the committed baseline; local "
+         "acceptance is 3x)"),
+        ("scaling.warm_hit_rate", _get("scaling.warm_hit_rate"),
+         _absolute_floor(0.9),
+         "warm traffic must be served from call plans"),
+        ("churn.warm_hit_rate_under_churn",
+         _get("churn.warm_hit_rate_under_churn"), _absolute_floor(0.5),
+         "reload churn under load must not cold-start the world"),
+        ("churn.errors", lambda r: -float(r["churn"]["errors"]),
+         _absolute_floor(0.0), "no request errors under churn"),
+    ],
+}
+
+
+def compare(suite: str, baseline: dict, current: dict) -> List[str]:
+    failures = []
+    for name, getter, ok, description in SUITES[suite]:
+        try:
+            cur = getter(current)
+            base = getter(baseline)
+        except (KeyError, TypeError) as exc:
+            failures.append(f"{name}: missing from report ({exc!r})")
+            continue
+        verdict = "ok" if ok(cur, base) else "ALARM"
+        print(f"[{suite}] {name}: current={cur} baseline={base} "
+              f"-> {verdict}  ({description})")
+        if verdict != "ok":
+            failures.append(f"{name}: current={cur} baseline={base}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", required=True, choices=sorted(SUITES))
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    args = parser.parse_args(argv)
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.current) as handle:
+            current = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load reports: {exc}", file=sys.stderr)
+        return 2
+    failures = compare(args.suite, baseline, current)
+    if failures:
+        print("REGRESSION ALARM:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    print(f"[{args.suite}] all metrics within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

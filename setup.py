@@ -1,6 +1,8 @@
-"""Setup shim so `pip install -e .` works without the `wheel` package.
+"""Setup shim for legacy tooling (`python setup.py ...` invocations).
 
-All real metadata lives in pyproject.toml.
+All real metadata lives in pyproject.toml (PEP 621): name, version,
+the src/ package layout, and the `test`/`lint` extras that CI installs
+via `pip install -e .[test]`.
 """
 
 from setuptools import setup

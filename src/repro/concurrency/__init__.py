@@ -1,0 +1,38 @@
+"""``repro.concurrency`` — the multi-threaded request workload layer.
+
+The ROADMAP north star is a production-scale system serving heavy
+traffic, which means many request threads hitting the same engine — the
+same call plans, check cache, and subtype memo — concurrently.  The
+engine's locking discipline (lock-free warm reads, one writer lock,
+epoch-guarded memo stores; see ``docs/performance.md`` "Concurrency")
+makes that safe; this package makes it *drivable and measurable*:
+
+* :class:`~repro.concurrency.driver.ConcurrentDriver` — replays a
+  request mix through an app from N worker threads, optionally with a
+  dev-mode churn thread retyping/redefining methods mid-flight, and
+  reports aggregate throughput, per-request outcomes, and warm-path
+  hit rates;
+* :mod:`~repro.concurrency.workload` — the pubs/cct/talks request
+  mixes (read-only, so concurrent outcomes are deterministic and
+  comparable against a single-threaded oracle) and reload-churn
+  recipes.
+
+``benchmarks/bench_concurrency.py`` builds the committed
+``BENCH_concurrency.json`` baseline on top of these, and
+``tests/core/test_thread_safety.py`` uses the same driver for the
+threaded differential-soundness harness.
+"""
+
+from .driver import ConcurrentDriver, DriverRun, normalize_outcome
+from .workload import (
+    build_concurrent_world, churn_recipe, request_thunks,
+)
+
+__all__ = [
+    "ConcurrentDriver",
+    "DriverRun",
+    "normalize_outcome",
+    "build_concurrent_world",
+    "churn_recipe",
+    "request_thunks",
+]

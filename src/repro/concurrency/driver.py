@@ -1,0 +1,191 @@
+"""The multi-threaded request driver.
+
+Models the production shape the ROADMAP aims at: N worker threads pull
+requests from a shared schedule and push them through one engine, while
+an optional *churn* thread performs dev-mode reload mutations
+(retype/redefine) mid-flight.  Workers never take the engine's writer
+lock — a request's warm path is lock-free — so aggregate throughput
+should scale with threads whenever per-request I/O (database, network,
+template writes) dominates, which is exactly the Rails profile the
+paper measures.
+
+``io_wait_s`` simulates that per-request I/O with a sleep, which
+releases the GIL: it is the stand-in for the time a real request spends
+off-CPU.  With it at zero the driver measures pure interpreter
+throughput (GIL-bound by construction — useful for overhead and
+soundness runs, meaningless for scaling).
+
+Outcomes are recorded per request with :func:`normalize_outcome` — the
+same ``("ok", repr) | ("err", type, str)`` shape the differential
+cache-soundness harness uses — so a concurrent run can be compared
+against a single-threaded oracle replay of the same schedule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: a worker either completed every scheduled request or died; joins use
+#: a generous timeout so a deadlock fails the run instead of hanging it.
+JOIN_TIMEOUT_S = 120.0
+
+
+def normalize_outcome(thunk: Callable[[], object]) -> tuple:
+    """Run ``thunk``; normalize result-or-error exactly like the
+    differential harness (the *error identity* is part of the outcome)."""
+    try:
+        return ("ok", repr(thunk()))
+    except Exception as exc:  # noqa: BLE001 - identity is the point
+        return ("err", type(exc).__name__, str(exc))
+
+
+@dataclass
+class DriverRun:
+    """One driver execution: timings, outcomes, and error census."""
+
+    threads: int
+    requests: int
+    elapsed_s: float
+    #: requests that actually completed (== ``requests`` unless a worker
+    #: crashed); throughput is computed from this, never the schedule.
+    completed: int = 0
+    #: flat list of (thread index, schedule index, outcome tuple).
+    outcomes: List[Tuple[int, int, tuple]] = field(default_factory=list)
+    #: how many times the churn thread applied its mutation.
+    churn_applied: int = 0
+    #: exceptions that escaped a *worker loop* (not a request — request
+    #: errors are outcomes); always a bug when non-empty.
+    crashes: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def error_outcomes(self) -> List[Tuple[int, int, tuple]]:
+        return [o for o in self.outcomes if o[2][0] == "err"]
+
+    def outcome_multiset(self) -> Counter:
+        """Outcome tuple -> count, ignoring thread/schedule position —
+        the comparable view when requests interleave nondeterministically."""
+        return Counter(outcome for _, _, outcome in self.outcomes)
+
+
+class ConcurrentDriver:
+    """Replay ``thunks`` (zero-arg request callables) from worker threads.
+
+    The schedule is round-robin over the thunk list, ``requests`` total,
+    dealt to ``threads`` workers; each worker starts at a different
+    offset so concurrent traffic mixes request kinds (two threads are
+    rarely in the same controller action at once, like real traffic).
+    """
+
+    def __init__(self, thunks: Sequence[Callable[[], object]], *,
+                 threads: int = 8, requests: int = 400,
+                 io_wait_s: float = 0.0,
+                 churn: Optional[Callable[[int], object]] = None,
+                 churn_interval_s: float = 0.01,
+                 record_outcomes: bool = True) -> None:
+        if not thunks:
+            raise ValueError("need at least one request thunk")
+        self.thunks = list(thunks)
+        self.threads = threads
+        self.requests = requests
+        self.io_wait_s = io_wait_s
+        self.churn = churn
+        self.churn_interval_s = churn_interval_s
+        self.record_outcomes = record_outcomes
+
+    def schedule_for(self, worker: int) -> List[Tuple[int, Callable]]:
+        """Worker ``worker``'s (schedule index, thunk) list."""
+        per = self.requests // self.threads
+        extra = self.requests % self.threads
+        count = per + (1 if worker < extra else 0)
+        start = worker * per + min(worker, extra)
+        thunks = self.thunks
+        n = len(thunks)
+        return [(start + i, thunks[(start + i) % n]) for i in range(count)]
+
+    def run(self) -> DriverRun:
+        result = DriverRun(self.threads, self.requests, 0.0)
+        outcomes_lock = threading.Lock()
+        start_barrier = threading.Barrier(self.threads + 1)
+        stop_churn = threading.Event()
+        io_wait = self.io_wait_s
+
+        def worker(idx: int) -> None:
+            mine: List[Tuple[int, int, tuple]] = []
+            done = 0
+            try:
+                schedule = self.schedule_for(idx)
+                start_barrier.wait(timeout=JOIN_TIMEOUT_S)
+                for sched_idx, thunk in schedule:
+                    outcome = normalize_outcome(thunk)
+                    done += 1
+                    if io_wait:
+                        time.sleep(io_wait)
+                    if self.record_outcomes:
+                        mine.append((idx, sched_idx, outcome))
+            except Exception as exc:  # noqa: BLE001 - driver-level crash
+                result.crashes.append(f"worker {idx}: {exc!r}")
+            finally:
+                with outcomes_lock:
+                    result.completed += done
+                    if mine:
+                        result.outcomes.extend(mine)
+
+        def churner() -> None:
+            step = 0
+            try:
+                while not stop_churn.is_set():
+                    self.churn(step)
+                    step += 1
+                    result.churn_applied = step
+                    if stop_churn.wait(self.churn_interval_s):
+                        break
+            except Exception as exc:  # noqa: BLE001 - driver-level crash
+                result.crashes.append(f"churn step {step}: {exc!r}")
+
+        workers = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(self.threads)]
+        churn_thread = (threading.Thread(target=churner, daemon=True)
+                        if self.churn is not None else None)
+        for t in workers:
+            t.start()
+        if churn_thread is not None:
+            churn_thread.start()
+        start_barrier.wait(timeout=JOIN_TIMEOUT_S)
+        started = time.perf_counter()
+        # One shared deadline across all joins, so a multi-worker
+        # deadlock is reported after JOIN_TIMEOUT_S total — not
+        # threads * JOIN_TIMEOUT_S, which would outlive CI's
+        # faulthandler timeout and lose this curated diagnostic.
+        deadline = started + JOIN_TIMEOUT_S
+        for t in workers:
+            t.join(timeout=max(0.0, deadline - time.perf_counter()))
+        result.elapsed_s = time.perf_counter() - started
+        stop_churn.set()
+        if churn_thread is not None:
+            churn_thread.join(timeout=max(
+                1.0, deadline - time.perf_counter()))
+        hung = [i for i, t in enumerate(workers) if t.is_alive()]
+        if hung or (churn_thread is not None and churn_thread.is_alive()):
+            raise RuntimeError(
+                f"driver deadlock: workers {hung} (churn alive: "
+                f"{churn_thread.is_alive() if churn_thread else False}) "
+                f"did not finish within {JOIN_TIMEOUT_S}s")
+        result.outcomes.sort(key=lambda o: o[1])
+        return result
+
+    def run_single_threaded_oracle(self) -> DriverRun:
+        """The comparison baseline: the same total schedule, one thread,
+        no churn — deterministic outcomes for multiset comparison."""
+        single = ConcurrentDriver(
+            self.thunks, threads=1, requests=self.requests,
+            io_wait_s=0.0, churn=None,
+            record_outcomes=self.record_outcomes)
+        return single.run()

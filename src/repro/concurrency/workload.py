@@ -1,0 +1,125 @@
+"""Request mixes and churn recipes for the concurrent workloads.
+
+The three representative apps (pubs, cct, talks) get *read-only*
+request thunks: a GET never mutates the database, so every thunk's
+outcome is deterministic and a concurrent run's outcome multiset can be
+compared against a single-threaded oracle replay — the threaded
+extension of the differential cache-soundness harness.  (POSTs mutate
+shared app state and are exercised by the single-threaded suites; under
+concurrency the *mutations* come from the churn recipe instead, which
+is the interesting contention anyway.)
+
+Churn recipes model what a dev-mode reload does while traffic is in
+flight, exactly like ``bench_hotpath.measure_reload`` but concurrent:
+re-execute one method's annotation (``types.replace`` with the same
+signature — a real invalidation wave), register a fresh class, and
+re-run an identical ``field_type``.  Because the retype is
+*semantics-preserving*, every request outcome must still match the
+no-churn oracle — any divergence is a stale- or torn-cache bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..apps import World, all_builders
+
+#: per-app reduced workload knobs (the benchmark sizes).
+DEFAULT_CFG: Dict[str, dict] = {
+    "pubs": {"publications": 12},
+    "cct": {"repeats": 1},
+    "talks": {},
+}
+
+#: per-app (owner, method, signature) retyped by the churn recipe — a
+#: hot, statically-checked method whose plans/derivations are warm.
+CHURN_TARGETS: Dict[str, Tuple[str, str, str]] = {
+    "pubs": ("Author", "last_name", "() -> String"),
+    "cct": ("CardValidator", "masked", "(String) -> String"),
+    "talks": ("User", "display_name", "() -> String"),
+}
+
+
+def build_concurrent_world(app_name: str, engine=None,
+                           cfg: Optional[dict] = None) -> World:
+    """Build + seed one of the concurrent subject apps."""
+    if app_name not in DEFAULT_CFG:
+        raise ValueError(f"no concurrent workload for {app_name!r}; "
+                         f"pick one of {sorted(DEFAULT_CFG)}")
+    knobs = dict(DEFAULT_CFG[app_name])
+    knobs.update(cfg or {})
+    world = all_builders()[app_name](engine, **knobs)
+    world.seed()
+    return world
+
+
+def request_thunks(world: World) -> List[Callable[[], object]]:
+    """The read-only request mix for ``world`` (one thunk per request)."""
+    if world.name == "pubs":
+        return _pubs_thunks(world)
+    if world.name == "cct":
+        return _cct_thunks(world)
+    if world.name == "talks":
+        return _talks_thunks(world)
+    raise ValueError(f"no request mix for {world.name!r}")
+
+
+def _pubs_thunks(world: World) -> List[Callable[[], object]]:
+    app = world.extras["app"]
+
+    def get(path: str) -> Callable[[], object]:
+        return lambda: app.request("GET", path)
+
+    thunks = [get("/pubs"), get("/pubs/bibtex"), get("/venues")]
+    thunks += [get(f"/pubs/year/{year}")
+               for year in ("2008", "2010", "2012")]
+    thunks += [get(f"/pubs/{pub_id}") for pub_id in ("1", "3", "7")]
+    return thunks
+
+
+def _cct_thunks(world: World) -> List[Callable[[], object]]:
+    runner = world.extras["state"]["runner"]
+    # Runner methods build fresh locals per call (no shared mutable
+    # state), so many threads may share one runner.
+    return [
+        lambda: runner.process_transactions(),
+        lambda: runner.count_valid(),
+        lambda: runner.summary(),
+        lambda: runner.audit_lines(),
+    ]
+
+
+def _talks_thunks(world: World) -> List[Callable[[], object]]:
+    app = world.extras["app"]
+
+    def get(path: str) -> Callable[[], object]:
+        return lambda: app.request("GET", path)
+
+    thunks = [get("/talks"), get("/talks/upcoming"), get("/lists"),
+              get("/users")]
+    thunks += [get(f"/talks/{talk_id}") for talk_id in ("1", "2", "5")]
+    thunks += [get("/talks/by_owner/1"), get("/users/1/talks"),
+               get("/lists/2")]
+    return thunks
+
+
+def churn_recipe(world: World) -> Callable[[int], None]:
+    """A dev-mode reload step for ``world``: retype one hot method with
+    its unchanged signature (a full invalidation wave), register a fresh
+    class, and re-run an identical ``field_type`` — the same noise
+    ``bench_hotpath.measure_reload`` models, applied while N request
+    threads are mid-flight."""
+    engine = world.engine
+    owner, method, sig = CHURN_TARGETS[world.name]
+    counter = {"fresh": 0}
+
+    def step(step_index: int) -> None:
+        engine.types.replace(owner, method, sig, check=True)
+        if step_index % 4 == 0:
+            counter["fresh"] += 1
+            fresh = type(f"ReloadScratch{world.name.title()}"
+                         f"{counter['fresh']}", (object,), {})
+            engine.register_class(fresh)
+        engine.field_type(owner, "reload_scratch", "Integer")
+
+    return step

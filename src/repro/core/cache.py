@@ -32,6 +32,7 @@ valid under the new table and simply have their stamp refreshed.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from .deps import DepGraph, field_resource, lin_resource, sig_resource
@@ -86,12 +87,22 @@ class CacheEntry:
 
 
 class CheckCache:
-    """Memoized type-check derivations with dependency-based invalidation."""
+    """Memoized type-check derivations with dependency-based invalidation.
+
+    Thread discipline: membership and entry reads (the warm path) are
+    bare dict operations — no lock.  Mutations hold the internal lock so
+    the DepGraph's multi-step record/invalidate sequences are atomic.
+    Stores only ever happen under the engine's writer lock (inside
+    ``jit_check``), which also serializes them against the invalidation
+    waves; the internal lock additionally covers direct users such as
+    the dev-mode reloader's :meth:`remove` calls.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[Key, CacheEntry] = {}
         self._deps = DepGraph()
         self._stamp = _TableStamp(0)
+        self._lock = threading.RLock()
 
     def __contains__(self, key: Key) -> bool:
         return key in self._entries
@@ -106,46 +117,53 @@ class CheckCache:
               field_deps: Iterable[Key] = (),
               hier_deps: Iterable[str] = (),
               table_version: int = 0) -> CacheEntry:
-        entry = CacheEntry(key, deps, field_deps, hier_deps, table_version,
-                           stamp=self._stamp)
-        self._entries[key] = entry
-        resources = [sig_resource(*dep) for dep in entry.deps]
-        resources += [field_resource(*fdep) for fdep in entry.field_deps]
-        resources += [lin_resource(cls) for cls in entry.hier_deps]
-        self._deps.record(key, resources)
-        return entry
+        with self._lock:
+            entry = CacheEntry(key, deps, field_deps, hier_deps,
+                               table_version, stamp=self._stamp)
+            self._entries[key] = entry
+            resources = [sig_resource(*dep) for dep in entry.deps]
+            resources += [field_resource(*fdep) for fdep in entry.field_deps]
+            resources += [lin_resource(cls) for cls in entry.hier_deps]
+            self._deps.record(key, resources)
+            return entry
 
     def remove(self, key: Key) -> None:
-        if self._entries.pop(key, None) is not None:
-            self._deps.forget(key)
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self._deps.forget(key)
 
     def dependents(self, key: Key) -> Set[Key]:
         """Cached methods whose derivations consulted ``key``'s signature."""
-        return self._deps.dependents(sig_resource(*key))
+        with self._lock:
+            return self._deps.dependents(sig_resource(*key))
 
     def invalidate(self, key: Key) -> Set[Key]:
         """Definition 1: drop ``key`` and every entry that used it."""
-        removed = self._deps.invalidate(sig_resource(*key))
-        if key in self._entries:
-            removed.add(key)
-        for k in removed:
-            self.remove(k)
-        return removed
+        with self._lock:
+            removed = self._deps.invalidate(sig_resource(*key))
+            if key in self._entries:
+                removed.add(key)
+            for k in removed:
+                self.remove(k)
+            return removed
 
     def invalidate_field(self, owner: str, field_name: str) -> Set[Key]:
         """Drop entries whose derivations read the given field type."""
-        removed = self._deps.invalidate(field_resource(owner, field_name))
-        for k in removed:
-            self.remove(k)
-        return removed
+        with self._lock:
+            removed = self._deps.invalidate(field_resource(owner,
+                                                           field_name))
+            for k in removed:
+                self.remove(k)
+            return removed
 
     def invalidate_hier(self, class_name: str) -> Set[Key]:
         """Drop entries whose derivations consulted ``class_name``'s
         linearization (the hierarchy-edge flush rule)."""
-        removed = self._deps.invalidate(lin_resource(class_name))
-        for k in removed:
-            self.remove(k)
-        return removed
+        with self._lock:
+            removed = self._deps.invalidate(lin_resource(class_name))
+            for k in removed:
+                self.remove(k)
+            return removed
 
     def upgrade(self, table_version: int) -> None:
         """Definition 2: restamp surviving derivations with the new table.
@@ -155,12 +173,14 @@ class CheckCache:
         shared stamp is advanced; entries report the newer of their
         store-time version and the stamp.
         """
-        if table_version > self._stamp.version:
-            self._stamp.version = table_version
+        with self._lock:
+            if table_version > self._stamp.version:
+                self._stamp.version = table_version
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._deps.clear()
+        with self._lock:
+            self._entries.clear()
+            self._deps.clear()
 
     def keys(self) -> Set[Key]:
         return set(self._entries)

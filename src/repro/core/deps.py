@@ -35,6 +35,13 @@ resolution dependencies), the :class:`~repro.core.cache.CheckCache`
 (per-derivation signature/field/hierarchy edges), and — with class names
 as resources — the per-line read sets of the subtype memo
 (:class:`repro.rtypes.hierarchy.SubtypeCache`).
+
+Locking contract: a :class:`DepGraph` is **not** internally
+synchronized — ``record``/``forget``/``invalidate`` are multi-step
+mutations of two dicts.  Every owner wraps its graph in its own lock
+(the plan cache's and check cache's internal locks); keeping the graph
+lock-free avoids double-locking on the owners' already-serialized
+mutation paths.
 """
 
 from __future__ import annotations

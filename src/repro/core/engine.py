@@ -32,12 +32,32 @@ are "Hum".  Setting ``REPRO_DISABLE_CACHES=1`` in the environment (or
 plans off, check memoization off, subtype/linearization memos off — every
 judgment recomputed from scratch.  The differential soundness harness
 runs workloads in both modes and asserts identical outcomes.
+
+Concurrency discipline (lock-free read, locked write):
+
+* the **warm path** — plan lookup, check-cache membership, signature and
+  hierarchy reads, argument profiles — takes *no lock*: it is single
+  dict/set operations, each atomic under the GIL;
+* every **mutation** (define/redefine/retype/subclass/include/field
+  retype) runs under one per-engine writer :attr:`~Engine.write_lock`
+  (re-entrant; shared with the type registry and the hierarchy), so a
+  mutation's DepGraph invalidation wave is atomic with respect to every
+  other mutation *and* every in-flight ``jit_check`` (which takes the
+  same lock);
+* cold-path **memo stores** that run outside the writer lock (call
+  plans, subtype-memo lines, linearization memos) are *epoch-guarded*:
+  the builder snapshots an epoch before resolving, and the store is
+  discarded if any invalidation wave ran in between — a judgment
+  resolved against a half-mutated world is never memoized;
+* per-call mutable state (the checked-frame stack, hierarchy read
+  traces, hot stats counters) is **thread-local**.
 """
 
 from __future__ import annotations
 
 import inspect
 import os
+import threading
 import weakref
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -65,6 +85,24 @@ from .plans import (
 from .stats import Stats
 
 Key = Tuple[str, str]
+
+
+class _PerThreadState(threading.local):
+    """Each thread's engine-call state: the stack of "is the active
+    frame statically checked?" flags (the section 4 boundary-check
+    bookkeeping) plus the thread's hot-counter shard.  One engine serves
+    many request threads, and a caller's checkedness must never leak
+    into another thread's frames.  Bundling the counters here keeps the
+    warm path at a single thread-local fetch per intercepted call.
+
+    ``threading.local`` re-runs ``__init__`` (with these constructor
+    arguments) in every thread that touches the object — that is what
+    makes ``stats.local()`` register exactly one shard per thread.
+    """
+
+    def __init__(self, stats: Stats) -> None:
+        self.stack: List[bool] = []
+        self.counters = stats.local()
 
 
 def caches_disabled_by_env() -> bool:
@@ -115,17 +153,28 @@ class Engine:
         if disable_caches:
             self.config = dc_replace(self.config, caching=False,
                                      call_plans=False)
+        #: the single writer lock: every mutation path (and every cold
+        #: jit_check) serializes on it; warm reads never touch it.  It is
+        #: re-entrant because mutations nest (annotate -> registry notify
+        #: -> invalidate) and is *shared* with the registry and hierarchy
+        #: so direct mutations of either serialize with engine mutations.
+        self.write_lock = threading.RLock()
         self.hier = default_hierarchy()
+        self.hier.lock = self.write_lock
         if disable_caches:
             self.hier.subtype_cache.enabled = False
             self.hier.memo_enabled = False
         self.types = TypeRegistry()
+        self.types.lock = self.write_lock
         self.cfgs = CFGRegistry()
         self.cache = CheckCache()
         self.stats = Stats()
         self.checker = Checker(self)
-        self._stack: List[bool] = []  # is each active frame statically checked?
+        self._tls = _PerThreadState(self.stats)  # frames + counter shard
         self._app_classes: Dict[str, type] = {}
+        #: names mid-registration (guarded by write_lock); membership in
+        #: _app_classes is deferred until registration completes.
+        self._registering: Set[str] = set()
         self._pending_wraps: Set[Tuple[str, str, str]] = set()
         #: warm call-site inline caches; None disables the fast path.
         self._plans: Optional[CallPlanCache] = (
@@ -171,26 +220,46 @@ class Engine:
         modules.
         """
         name = pycls.__name__
+        # Lock-free fast path: safe because _register_class_locked
+        # publishes into _app_classes *last*, after the hierarchy entry
+        # and mixin edges exist — membership implies fully registered.
         if name in self._app_classes:
             return name
-        self._app_classes[name] = pycls
-        bases = [b for b in pycls.__bases__ if b is not object]
-        for base in bases:
-            self.register_class(base)
-        # Module-ness must not be inherited: a class mixing a module in is
-        # still a class, so consult the class's own __dict__ only.
-        is_module = module or bool(pycls.__dict__.get("__hb_module__"))
-        if is_module:
-            self.hier.add_module(name)
-        else:
-            supers = [b for b in bases
-                      if not b.__dict__.get("__hb_module__")]
-            parent = supers[0].__name__ if supers else "Object"
-            if not self.hier.is_known(name):
-                self.hier.add_class(name, parent)
-        for base in bases:
-            if base.__dict__.get("__hb_module__"):
-                self.hier.include_module(name, base.__name__)
+        with self.write_lock:
+            return self._register_class_locked(pycls, name, module)
+
+    def _register_class_locked(self, pycls: type, name: str,
+                               module: bool) -> str:
+        if name in self._app_classes:  # lost the registration race
+            return name
+        if name in self._registering:  # re-entrant cycle guard
+            return name
+        self._registering.add(name)
+        try:
+            bases = [b for b in pycls.__bases__ if b is not object]
+            for base in bases:
+                self.register_class(base)
+            # Module-ness must not be inherited: a class mixing a module
+            # in is still a class, so consult the class's own __dict__
+            # only.
+            is_module = module or bool(pycls.__dict__.get("__hb_module__"))
+            if is_module:
+                self.hier.add_module(name)
+            else:
+                supers = [b for b in bases
+                          if not b.__dict__.get("__hb_module__")]
+                parent = supers[0].__name__ if supers else "Object"
+                if not self.hier.is_known(name):
+                    self.hier.add_class(name, parent)
+            for base in bases:
+                if base.__dict__.get("__hb_module__"):
+                    self.hier.include_module(name, base.__name__)
+            # Publish only now: a concurrent thread that sees the class
+            # in _app_classes may immediately resolve signatures through
+            # its (complete) linearization.
+            self._app_classes[name] = pycls
+        finally:
+            self._registering.discard(name)
         self._rewrap_pending(name)
         return name
 
@@ -212,6 +281,15 @@ class Engine:
         (:meth:`define_method`), exactly like the formalism's independent
         ``type`` and ``def`` expressions.
         """
+        with self.write_lock:
+            return self._annotate_locked(owner, name, sig, kind=kind,
+                                         check=check, generated=generated,
+                                         app_level=app_level, wrap=wrap,
+                                         fn=fn)
+
+    def _annotate_locked(self, owner, name: str, sig, *, kind: str,
+                         check: bool, generated: bool, app_level: bool,
+                         wrap: bool, fn) -> MethodSig:
         pycls = owner if isinstance(owner, type) else self._app_classes.get(
             owner)
         owner_name = owner.__name__ if isinstance(owner, type) else owner
@@ -243,10 +321,11 @@ class Engine:
 
     def field_type(self, owner, field_name: str, type_text) -> None:
         """Record an instance-field type (Fig. 3's ``field_type``)."""
-        owner_name = owner.__name__ if isinstance(owner, type) else owner
-        if isinstance(owner, type):
-            self.register_class(owner)
-        self.types.add_field(owner_name, field_name, type_text)
+        with self.write_lock:
+            owner_name = owner.__name__ if isinstance(owner, type) else owner
+            if isinstance(owner, type):
+                self.register_class(owner)
+            self.types.add_field(owner_name, field_name, type_text)
 
     def define_method(self, owner: type, name: str, fn, *, sig=None,
                       kind: str = INSTANCE, check: bool = False,
@@ -259,27 +338,29 @@ class Engine:
         the cache when an existing body actually changed (the IR diff used
         by dev-mode reloading).
         """
-        self.register_class(owner)
-        owner_name = owner.__name__
-        if source is not None:
-            fn.__hb_source__ = source
-        old = self.cfgs.lookup(owner_name, name)
-        setattr(owner, name, classmethod(fn) if kind == CLASS else fn)
-        if sig is not None:
-            self.annotate(owner, name, sig, kind=kind, check=check,
-                          generated=generated, fn=fn)
-        else:
-            existing = self.types.lookup(owner_name, name, kind)
-            if existing is not None:
-                self._install_wrapper(owner, name, kind, fn)
-        new = self.cfgs.lookup(owner_name, name)
-        if old is not None and (new is None or bodies_differ(old, new)):
-            self.invalidate(owner_name, name)
+        with self.write_lock:
+            self.register_class(owner)
+            owner_name = owner.__name__
+            if source is not None:
+                fn.__hb_source__ = source
+            old = self.cfgs.lookup(owner_name, name)
+            setattr(owner, name, classmethod(fn) if kind == CLASS else fn)
+            if sig is not None:
+                self.annotate(owner, name, sig, kind=kind, check=check,
+                              generated=generated, fn=fn)
+            else:
+                existing = self.types.lookup(owner_name, name, kind)
+                if existing is not None:
+                    self._install_wrapper(owner, name, kind, fn)
+            new = self.cfgs.lookup(owner_name, name)
+            if old is not None and (new is None or bodies_differ(old, new)):
+                self.invalidate(owner_name, name)
 
     def method_removed(self, owner_name: str, name: str) -> None:
         """Ruby's ``method_removed`` hook: drop IR and invalidate."""
-        self.cfgs.forget(owner_name, name)
-        self.invalidate(owner_name, name)
+        with self.write_lock:
+            self.cfgs.forget(owner_name, name)
+            self.invalidate(owner_name, name)
 
     # -- signature resolution -------------------------------------------------------
 
@@ -330,7 +411,8 @@ class Engine:
         the check cache) protects against direct ``cache.clear()`` calls
         that bypass ``Engine.invalidate``.
         """
-        stats = self.stats
+        tls = self._tls
+        stats = tls.counters
         stats.calls_intercepted += 1
         if kind == CLASS:
             owner = recv.__name__ if isinstance(recv, type) else \
@@ -349,7 +431,7 @@ class Engine:
                 stats.fast_path_hits += 1
                 checked = plan.checked
                 sig = plan.sig
-                stack = self._stack
+                stack = tls.stack
                 do_ret = False
                 if sig is not None:
                     if checked:
@@ -409,8 +491,15 @@ class Engine:
     def _invoke_slow(self, def_owner: str, owner: str, name: str, kind: str,
                      fn, recv, args: tuple, kwargs: dict):
         """Cold call path: full resolution, then memoize a CallPlan along
-        with the dependency edges the resolution consulted."""
-        plannable = self._plans is not None
+        with the dependency edges the resolution consulted.
+
+        Runs without the writer lock (only ``jit_check`` inside takes
+        it), so the plan store is epoch-guarded: if any invalidation wave
+        runs between the epoch snapshot below and the store, the plan is
+        discarded — it may have resolved through a half-mutated world."""
+        plans = self._plans
+        plannable = plans is not None
+        epoch = plans.epoch if plannable else 0
         trace: Optional[List[Resource]] = [] if plannable else None
         resolved = self.resolve_sig(owner, name, kind, trace=trace)
         if resolved is None:
@@ -419,7 +508,9 @@ class Engine:
         sig_owner: Optional[str] = None
         sig: Optional[MethodSig] = None
         do_ret = False
-        stack = self._stack
+        tls = self._tls
+        stack = tls.stack
+        hot = tls.counters
         if resolved is not None:
             sig_owner, sig = resolved
             key = (owner, name)
@@ -434,9 +525,9 @@ class Engine:
             if self._should_check_args(sig):
                 self._dynamic_arg_check(sig, fn, recv, args, kwargs, owner,
                                         name, kind)
-                self.stats.dynamic_arg_checks += 1
+                hot.dynamic_arg_checks += 1
             else:
-                self.stats.dynamic_arg_checks_skipped += 1
+                hot.dynamic_arg_checks_skipped += 1
             ret_mode = self._ret_mode
             if ret_mode != ARG_CHECK_NEVER and not checked:
                 do_ret = (ret_mode == ARG_CHECK_ALWAYS
@@ -449,7 +540,8 @@ class Engine:
                 sig is not None and _profile_eligible(sig),
                 self._ret_mode if ret_checking else ARG_CHECK_NEVER,
                 ret_checking and _ret_profile_eligible(sig))
-            self._plans.store((def_owner, owner, name, kind), plan, trace)
+            plans.store((def_owner, owner, name, kind), plan, trace,
+                        epoch=epoch)
         stack.append(checked)
         try:
             result = fn(recv, *args, **kwargs)
@@ -457,7 +549,7 @@ class Engine:
             stack.pop()
         if do_ret:
             self._dynamic_ret_check(sig, result, owner, name)
-            self.stats.dynamic_ret_checks += 1
+            hot.dynamic_ret_checks += 1
         return result
 
     def jit_check(self, key: Key, sig: MethodSig, def_owner: str,
@@ -472,38 +564,50 @@ class Engine:
         ancestor-retype edges: redefining or retyping the ancestor now
         invalidates exactly the descendants that checked its body, which
         the per-key ``(owner, name)`` match alone would miss.
+
+        Cold checks run under the writer lock, which gives invalidation
+        atomicity for free: a mutation wave can never interleave between
+        a derivation and the store of its dependency edges, and two
+        threads racing to check the same cold body serialize (the loser
+        re-reads the cache and returns a hit).
         """
         if self.config.caching and key in self.cache:
-            self.stats.cache_hits += 1
+            self.stats.local().cache_hits += 1
             return
-        self.stats.cache_misses += 1
-        mir = self.cfgs.lookup(def_owner, key[1])
-        mir_owner = def_owner
-        if mir is None:
-            mir = self.cfgs.lookup(key[0], key[1])
-            mir_owner = key[0]
-        if mir is None:
-            raise NoMethodBodyError(
-                f"{key[0]}#{key[1]} has a type signature but no method "
-                f"body is registered for checking")
-        self_type: Type = (ClassObjectType(key[0]) if kind == CLASS
-                           else self._self_type(key[0]))
-        with self.hier.trace() as hier_reads:
-            outcome = self.checker.check_method(mir, sig.intersection(),
-                                                self_type)
-        self.stats.record_static_check(key)
-        self.stats.record_consulted(outcome.deps)
-        for used in outcome.used_generated:
-            self.stats.record_generated_use(used)
-        self.stats.cast_sites |= outcome.cast_sites
-        if self.config.caching:
-            deps = set(outcome.deps)
-            deps.add((mir_owner, key[1]))
-            if sig_owner is not None:
-                deps.add((sig_owner, key[1]))
-            deps.discard(key)  # no self-loops; invalidate(key) covers it
-            self.cache.store(key, deps, outcome.field_deps, hier_reads,
-                             self.types.version)
+        with self.write_lock:
+            # Double-checked: another thread may have completed this very
+            # check while we waited for the lock.
+            if self.config.caching and key in self.cache:
+                self.stats.local().cache_hits += 1
+                return
+            self.stats.local().cache_misses += 1
+            mir = self.cfgs.lookup(def_owner, key[1])
+            mir_owner = def_owner
+            if mir is None:
+                mir = self.cfgs.lookup(key[0], key[1])
+                mir_owner = key[0]
+            if mir is None:
+                raise NoMethodBodyError(
+                    f"{key[0]}#{key[1]} has a type signature but no method "
+                    f"body is registered for checking")
+            self_type: Type = (ClassObjectType(key[0]) if kind == CLASS
+                               else self._self_type(key[0]))
+            with self.hier.trace() as hier_reads:
+                outcome = self.checker.check_method(mir, sig.intersection(),
+                                                    self_type)
+            self.stats.record_static_check(key)
+            self.stats.record_consulted(outcome.deps)
+            for used in outcome.used_generated:
+                self.stats.record_generated_use(used)
+            self.stats.cast_sites |= outcome.cast_sites
+            if self.config.caching:
+                deps = set(outcome.deps)
+                deps.add((mir_owner, key[1]))
+                if sig_owner is not None:
+                    deps.add((sig_owner, key[1]))
+                deps.discard(key)  # no self-loops; invalidate(key) covers it
+                self.cache.store(key, deps, outcome.field_deps, hier_reads,
+                                 self.types.version)
 
     def _self_type(self, owner: str) -> Type:
         arity = self.hier.generic_arity(owner) if self.hier.is_known(owner) \
@@ -534,7 +638,8 @@ class Engine:
             return False
         # "boundary": skip when the immediate caller was statically checked
         # (section 4's optimization).
-        return not (self._stack and self._stack[-1])
+        stack = self._tls.stack
+        return not (stack and stack[-1])
 
     def _dynamic_arg_check(self, sig: MethodSig, fn, recv, args, kwargs,
                            owner: str, name: str, kind: str) -> None:
@@ -587,7 +692,7 @@ class Engine:
         in section 4.
         """
         t = parse_type(type_text)
-        self.stats.casts += 1
+        self.stats.local().casts += 1
         if not value_conforms(value, t, self.hier,
                               strict_nil=self.config.strict_nil):
             raise CastError(
@@ -615,35 +720,46 @@ class Engine:
         methods — and for the same method name on unrelated classes —
         stay warm.
         """
-        key = (owner, name)
-        removed = self.cache.invalidate(key)
-        if removed:
-            self.stats.record_invalidation(removed)
-            self.stats.retype_edge_invalidations += len(removed - {key})
-        if self._plans is not None:
-            flushed = self._plans.invalidate_resources(
-                (sig_resource(owner, name, INSTANCE),
-                 sig_resource(owner, name, CLASS)))
-            flushed += self._plans.invalidate_cache_keys(removed | {key})
-            self.stats.plan_invalidations += flushed
-        self.cache.upgrade(self.types.version)
-        return removed
-
-    def _on_type_change(self, owner: str, name: str, kind: str) -> None:
-        if kind == "field":
-            removed = self.cache.invalidate_field(owner, name)
+        with self.write_lock:
+            key = (owner, name)
+            removed = self.cache.invalidate(key)
             if removed:
                 self.stats.record_invalidation(removed)
-                self.stats.retype_edge_invalidations += len(removed)
-                if self._plans is not None:
-                    # Plans never read field types directly; flushing the
-                    # ones whose derivation just fell keeps the counterable
-                    # invariant "removed entry => no plan replays it".
-                    self.stats.plan_invalidations += \
-                        self._plans.invalidate_cache_keys(removed)
+                self.stats.retype_edge_invalidations += len(removed - {key})
+            if self._plans is not None:
+                flushed = self._plans.invalidate_resources(
+                    (sig_resource(owner, name, INSTANCE),
+                     sig_resource(owner, name, CLASS)))
+                flushed += self._plans.invalidate_cache_keys(removed | {key})
+                self.stats.plan_invalidations += flushed
             self.cache.upgrade(self.types.version)
-            return
-        self.invalidate(owner, name)
+            return removed
+
+    def _on_type_change(self, owner: str, name: str, kind: str) -> None:
+        # Fired by the registry while it holds the shared writer lock
+        # (acquiring it again here is a no-op re-entry, but keeps the
+        # invariant visible if a future registry drops the sharing).
+        with self.write_lock:
+            if kind == "field":
+                removed = self.cache.invalidate_field(owner, name)
+                if removed:
+                    self.stats.record_invalidation(removed)
+                    self.stats.retype_edge_invalidations += len(removed)
+                    if self._plans is not None:
+                        # Plans never read field types directly; flushing
+                        # the ones whose derivation just fell keeps the
+                        # counterable invariant "removed entry => no plan
+                        # replays it".
+                        self.stats.plan_invalidations += \
+                            self._plans.invalidate_cache_keys(removed)
+                if self._plans is not None:
+                    # Even a flush that dropped nothing is a mutation wave:
+                    # in-flight plan builds must not memoize against the
+                    # pre-mutation world.
+                    self._plans.bump_epoch()
+                self.cache.upgrade(self.types.version)
+                return
+            self.invalidate(owner, name)
 
     def _on_hier_change(self, affected: FrozenSet[str]) -> None:
         """A structural hierarchy mutation changed exactly ``affected``
@@ -651,18 +767,19 @@ class Engine:
         derivations consulted them and the plans that resolved through
         them.  A new leaf class affects only itself, so warm caches for
         everything else survive (the dev-mode reload win)."""
-        removed: Set[Key] = set()
-        for cls in affected:
-            removed |= self.cache.invalidate_hier(cls)
-        if removed:
-            self.stats.record_invalidation(removed)
-            self.stats.hier_edge_invalidations += len(removed)
-        if self._plans is not None:
-            flushed = self._plans.invalidate_resources(
-                [lin_resource(cls) for cls in affected])
+        with self.write_lock:
+            removed: Set[Key] = set()
+            for cls in affected:
+                removed |= self.cache.invalidate_hier(cls)
             if removed:
-                flushed += self._plans.invalidate_cache_keys(removed)
-            self.stats.plan_invalidations += flushed
+                self.stats.record_invalidation(removed)
+                self.stats.hier_edge_invalidations += len(removed)
+            if self._plans is not None:
+                flushed = self._plans.invalidate_resources(
+                    [lin_resource(cls) for cls in affected])
+                if removed:
+                    flushed += self._plans.invalidate_cache_keys(removed)
+                self.stats.plan_invalidations += flushed
 
     # -- wrapping ---------------------------------------------------------------------------
 
@@ -728,8 +845,11 @@ def _find_callable(pycls: type, name: str, kind: str):
 #: fn -> inspect.Signature.  Building a Signature object is far more
 #: expensive than binding one; kwargs-carrying calls reuse it per function.
 #: Weak keys: superseded functions (dev-mode redefinitions) must not be
-#: pinned for process lifetime by their memo entry.
+#: pinned for process lifetime by their memo entry.  Reads are plain dict
+#: gets (GIL-atomic); writes take a lock because WeakKeyDictionary
+#: insertion is a multi-step pure-Python operation.
 _SIGNATURE_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SIGNATURE_MEMO_LOCK = threading.Lock()
 
 
 def _positional_view(fn, recv, args: tuple, kwargs: dict) -> list:
@@ -744,7 +864,8 @@ def _positional_view(fn, recv, args: tuple, kwargs: dict) -> list:
         except (TypeError, ValueError):
             return list(args) + list(kwargs.values())
         try:
-            _SIGNATURE_MEMO[fn] = sig
+            with _SIGNATURE_MEMO_LOCK:
+                _SIGNATURE_MEMO[fn] = sig
         except TypeError:
             pass  # non-weakref-able callable; just don't memoize it
     try:

@@ -44,6 +44,7 @@ of the same class skip the walk (``Stats.ret_profile_hits``).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from .deps import DepGraph, Resource
@@ -106,11 +107,25 @@ class CallPlan:
 
 class CallPlanCache:
     """Per-engine map of call sites to :class:`CallPlan`, with the
-    dependency edges that invalidate them."""
+    dependency edges that invalidate them.
+
+    Thread discipline: :meth:`get` (the warm path) is a bare dict read —
+    no lock.  Every mutation (store, the invalidation waves, clear)
+    holds the internal lock, and each invalidation wave bumps
+    :attr:`epoch`.  A slow-path plan build snapshots the epoch *before*
+    resolving and passes it to :meth:`store`; if any wave ran in
+    between, the store is discarded — otherwise a plan resolved against
+    the pre-mutation world could be memoized *after* the wave that
+    should have flushed it (the lost-invalidation race).
+    """
 
     def __init__(self) -> None:
         self._plans: Dict[PlanKey, CallPlan] = {}
         self._deps = DepGraph()
+        self._lock = threading.Lock()
+        #: bumped (under the lock) by every invalidation wave; stale
+        #: epoch => a concurrent mutation => the plan must not be stored.
+        self.epoch = 0
         #: (receiver, method) -> plan keys; Definition-1 removal sets are
         #: check-cache keys, so this index makes their flush O(set size).
         self._by_cache_key: Dict[CacheKey, Set[PlanKey]] = {}
@@ -124,10 +139,23 @@ class CallPlanCache:
         return self._plans.get(key)
 
     def store(self, key: PlanKey, plan: CallPlan,
-              resources: Iterable[Resource] = ()) -> None:
-        self._plans[key] = plan
-        self._deps.record(key, resources)
-        self._by_cache_key.setdefault((key[1], key[2]), set()).add(key)
+              resources: Iterable[Resource] = (),
+              epoch: Optional[int] = None) -> bool:
+        """Memoize ``plan`` unless an invalidation wave ran since the
+        caller snapshotted ``epoch``.  Returns whether it was stored."""
+        with self._lock:
+            if epoch is not None and epoch != self.epoch:
+                return False
+            self._plans[key] = plan
+            self._deps.record(key, resources)
+            self._by_cache_key.setdefault((key[1], key[2]), set()).add(key)
+            return True
+
+    def bump_epoch(self) -> None:
+        """Mark a mutation wave that flushed nothing: in-flight plan
+        builds must still discard (they may have read mid-mutation)."""
+        with self._lock:
+            self.epoch += 1
 
     def _drop(self, key: PlanKey) -> bool:
         if self._plans.pop(key, None) is None:
@@ -142,30 +170,36 @@ class CallPlanCache:
 
     def invalidate_resources(self, resources: Iterable[Resource]) -> int:
         """Drop every plan depending on any of ``resources`` (per key)."""
-        dropped = 0
-        for key in self._deps.invalidate_many(resources):
-            if self._drop(key):
-                dropped += 1
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            self.epoch += 1
+            dropped = 0
+            for key in self._deps.invalidate_many(resources):
+                if self._drop(key):
+                    dropped += 1
+            self.invalidations += dropped
+            return dropped
 
     def invalidate_cache_keys(self, cache_keys: Iterable[CacheKey]) -> int:
         """Drop plans whose *(receiver, method)* check-cache key is in
         ``cache_keys`` — Definition 1's removal set, per key not per name."""
-        stale: Set[PlanKey] = set()
-        for ckey in cache_keys:
-            stale |= self._by_cache_key.get(ckey, set())
-        dropped = 0
-        for key in stale:
-            if self._drop(key):
-                dropped += 1
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            self.epoch += 1
+            stale: Set[PlanKey] = set()
+            for ckey in cache_keys:
+                stale |= self._by_cache_key.get(ckey, set())
+            dropped = 0
+            for key in stale:
+                if self._drop(key):
+                    dropped += 1
+            self.invalidations += dropped
+            return dropped
 
     def clear(self) -> int:
-        dropped = len(self._plans)
-        self._plans.clear()
-        self._deps.clear()
-        self._by_cache_key.clear()
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            self.epoch += 1
+            dropped = len(self._plans)
+            self._plans.clear()
+            self._deps.clear()
+            self._by_cache_key.clear()
+            self.invalidations += dropped
+            return dropped

@@ -10,14 +10,51 @@
   checks with no intervening annotations" — computed from the event stream;
 * cache hits/misses, per-method check counts (Table 2 "Chk'd", and the
   no-cache recheck claim for Pubs), invalidation counts.
+
+Concurrency discipline: the counters bumped on the *unlocked* hot path
+(every intercepted call) are sharded per thread — ``Stats.local()``
+returns the calling thread's :class:`HotCounters` shard, and the public
+attributes aggregate across shards on read.  A plain ``self.x += 1``
+from many threads loses updates (the read-modify-write is three
+bytecodes, and the GIL can switch between them); per-thread shards make
+every total *exact* with no lock and no contention.  Counters mutated
+only under the engine's writer lock (annotation records, check counts,
+invalidation sets) stay plain attributes.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections import Counter
 from typing import List, Set, Tuple
 
 Key = Tuple[str, str]
+
+#: counters bumped on the lock-free intercepted-call path; these live in
+#: per-thread shards and are summed on read.
+HOT_COUNTER_FIELDS = (
+    "calls_intercepted",
+    "fast_path_hits",
+    "cache_hits",
+    "cache_misses",
+    "dynamic_arg_checks",
+    "dynamic_arg_checks_skipped",
+    "dynamic_ret_checks",
+    "ret_profile_hits",
+    "casts",
+)
+
+
+class HotCounters:
+    """One thread's shard of the hot-path counters (plain ints, no lock:
+    only the owning thread ever writes them)."""
+
+    __slots__ = HOT_COUNTER_FIELDS
+
+    def __init__(self) -> None:
+        for field in HOT_COUNTER_FIELDS:
+            setattr(self, field, 0)
 
 
 class PhaseTracker:
@@ -47,9 +84,22 @@ class PhaseTracker:
 
 
 class Stats:
-    """Mutable counters owned by one engine."""
+    """Mutable counters owned by one engine.
+
+    Hot-path counters (:data:`HOT_COUNTER_FIELDS`) are per-thread shards
+    reached through :meth:`local`; everything else is mutated only while
+    the engine's writer lock is held.
+    """
 
     def __init__(self) -> None:
+        #: (thread weakref, shard) pairs for live threads; dead threads'
+        #: shards are folded into ``_folded`` so a long-lived server with
+        #: request-thread churn does not accumulate a shard per thread
+        #: ever created.
+        self._shards: List[tuple] = []
+        self._folded = HotCounters()
+        self._shard_lock = threading.Lock()
+        self._shard_tl = threading.local()
         self.phase = PhaseTracker()
         # annotations
         self.annotations_total = 0
@@ -61,23 +111,16 @@ class Stats:
         self.app_annotation_keys: Set[Key] = set()
         self.consulted_keys: Set[Key] = set()  # sigs looked up during checks
         self.cast_sites: Set[Tuple[str, str, int]] = set()
-        # checking
+        # checking (cache_hits / cache_misses live in the thread shards)
         self.static_checks = 0
         self.check_counts: Counter = Counter()   # key -> times checked
-        self.cache_hits = 0
-        self.cache_misses = 0
         self.invalidations = 0
         self.invalidated_keys: Set[Key] = set()
-        # dynamic checks
-        self.casts = 0
-        self.dynamic_arg_checks = 0
-        self.dynamic_arg_checks_skipped = 0
-        self.dynamic_ret_checks = 0
-        self.calls_intercepted = 0
-        # hot path: call-plan inline caches + memoized subtyping
-        self.fast_path_hits = 0          # calls served by a warm CallPlan
+        # dynamic checks and the call-plan fast path are all sharded:
+        # casts, dynamic_arg_checks(_skipped), dynamic_ret_checks,
+        # calls_intercepted, fast_path_hits, ret_profile_hits are
+        # aggregate properties over the per-thread HotCounters.
         self.plan_invalidations = 0      # plans dropped by invalidation
-        self.ret_profile_hits = 0        # return checks skipped via profile
         self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
         self.subtype_cache_misses = 0
         # dependency-tracked invalidation (the deps.DepGraph subsystem)
@@ -90,6 +133,38 @@ class Stats:
         self.subtype_lru_evictions = 0
         #: cache entries removed because a consulted linearization changed.
         self.hier_edge_invalidations = 0
+
+    # -- per-thread hot counters ----------------------------------------------
+
+    def local(self) -> HotCounters:
+        """The calling thread's hot-counter shard (created on first use).
+
+        Shard creation doubles as the pruning point: dead threads'
+        shards are folded into the base counters then dropped, bounding
+        the shard list by the number of *concurrently live* threads.
+        """
+        shard = getattr(self._shard_tl, "shard", None)
+        if shard is None:
+            shard = HotCounters()
+            ref = weakref.ref(threading.current_thread())
+            with self._shard_lock:
+                self._fold_dead_locked()
+                self._shards.append((ref, shard))
+            self._shard_tl.shard = shard
+        return shard
+
+    def _fold_dead_locked(self) -> None:
+        alive = []
+        folded = self._folded
+        for ref, shard in self._shards:
+            thread = ref()
+            if thread is None or not thread.is_alive():
+                for field in HOT_COUNTER_FIELDS:
+                    setattr(folded, field,
+                            getattr(folded, field) + getattr(shard, field))
+            else:
+                alive.append((ref, shard))
+        self._shards[:] = alive
 
     # -- recording -----------------------------------------------------------
 
@@ -187,3 +262,22 @@ class Stats:
             "retype_edge_invalidations": self.retype_edge_invalidations,
             "hier_edge_invalidations": self.hier_edge_invalidations,
         }
+
+
+def _aggregate(field: str) -> property:
+    def total(self: Stats) -> int:
+        # Under the shard lock so a concurrent fold (dead shard moving
+        # into the base counters) can neither double-count nor drop it.
+        # Aggregate reads are snapshot/assertion paths, never the
+        # per-call hot path, so the lock costs nothing that matters.
+        with self._shard_lock:
+            return getattr(self._folded, field) + sum(
+                getattr(shard, field) for _, shard in self._shards)
+    total.__name__ = field
+    total.__doc__ = f"Total {field} across live shards + folded dead ones."
+    return property(total)
+
+
+for _field in HOT_COUNTER_FIELDS:
+    setattr(Stats, _field, _aggregate(_field))
+del _field

@@ -10,10 +10,20 @@ instance/class field types (Hummingbird's addition to RDL).
 Mutations bump a version counter and notify listeners; the engine listens
 to drive cache invalidation (the formalism's (EType) rule) and phase
 accounting.
+
+Concurrency discipline: lookups are bare dict reads (atomic under the
+GIL, no lock).  Mutations hold :attr:`TypeRegistry.lock` — re-entrant,
+and replaced by the engine with its own writer lock so that a direct
+``engine.types.replace(...)`` serializes with every other engine
+mutation (listeners fire while the lock is held, and the engine's
+listener re-enters the same lock).  :meth:`replace` installs the new
+entry with a single dict assignment so concurrent readers see the old
+or the new signature, never a gap.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -51,6 +61,9 @@ class TypeRegistry:
         self._sigs: Dict[Key, MethodSig] = {}
         self._fields: Dict[Tuple[str, str], Type] = {}
         self.version = 0
+        #: writer lock; the engine replaces it with its shared writer
+        #: lock so direct registry mutations serialize with the engine.
+        self.lock = threading.RLock()
         self._listeners: List[Callable[[str, str, str], None]] = []
 
     # -- mutation ------------------------------------------------------------
@@ -66,28 +79,36 @@ class TypeRegistry:
         mt = parse_method_type(sig) if isinstance(sig, str) else sig
         if not isinstance(mt, MethodType):
             raise TypeError(f"not a method type: {sig!r}")
-        key = (owner, name, kind)
-        entry = self._sigs.get(key)
-        if entry is None:
-            entry = MethodSig(owner, name, kind, check=check,
-                              generated=generated)
-            self._sigs[key] = entry
-        if mt in entry.arms:
-            if check and not entry.check:
-                # Upgrading a trusted signature to a checked one is a real
-                # table change even though the arm is a duplicate: bump and
-                # notify so caches (and call plans) can't keep skipping the
-                # static check.
-                entry.check = True
+        with self.lock:
+            key = (owner, name, kind)
+            entry = self._sigs.get(key)
+            if entry is None:
+                # Built fully before the dict insert: a lock-free reader
+                # must never observe a published signature with no arms
+                # (an empty-armed entry turns a correct call into a
+                # spurious ArgumentTypeError).
+                entry = MethodSig(owner, name, kind, arms=[mt], check=check,
+                                  generated=generated)
+                self._sigs[key] = entry
                 self.version += 1
                 self._notify(owner, name, kind)
+                return entry
+            if mt in entry.arms:
+                if check and not entry.check:
+                    # Upgrading a trusted signature to a checked one is a
+                    # real table change even though the arm is a duplicate:
+                    # bump and notify so caches (and call plans) can't keep
+                    # skipping the static check.
+                    entry.check = True
+                    self.version += 1
+                    self._notify(owner, name, kind)
+                return entry
+            entry.arms.append(mt)
+            entry.check = entry.check or check
+            entry.generated = entry.generated or generated
+            self.version += 1
+            self._notify(owner, name, kind)
             return entry
-        entry.arms.append(mt)
-        entry.check = entry.check or check
-        entry.generated = entry.generated or generated
-        self.version += 1
-        self._notify(owner, name, kind)
-        return entry
 
     def replace(self, owner: str, name: str, sig: "MethodType | str", *,
                 kind: str = INSTANCE, check: bool = False,
@@ -96,12 +117,21 @@ class TypeRegistry:
 
         The paper notes full invalidation support "will likely require an
         explicit mechanism for replacing earlier type definitions" — this
-        is that mechanism.
+        is that mechanism.  The new entry lands in one dict assignment:
+        a concurrent reader resolves the old signature or the new one,
+        never a missing slot.
         """
-        key = (owner, name, kind)
-        self._sigs.pop(key, None)
-        return self.add(owner, name, sig, kind=kind, check=check,
-                        generated=generated)
+        mt = parse_method_type(sig) if isinstance(sig, str) else sig
+        if not isinstance(mt, MethodType):
+            raise TypeError(f"not a method type: {sig!r}")
+        with self.lock:
+            key = (owner, name, kind)
+            entry = MethodSig(owner, name, kind, arms=[mt], check=check,
+                              generated=generated)
+            self._sigs[key] = entry
+            self.version += 1
+            self._notify(owner, name, kind)
+            return entry
 
     def add_field(self, owner: str, field_name: str,
                   t: "Type | str") -> None:
@@ -114,12 +144,13 @@ class TypeRegistry:
         judgment, so it must not invalidate anything.
         """
         ty = parse_type(t) if isinstance(t, str) else t
-        key = (owner, field_name)
-        if self._fields.get(key) == ty:
-            return
-        self._fields[key] = ty
-        self.version += 1
-        self._notify(owner, field_name, "field")
+        with self.lock:
+            key = (owner, field_name)
+            if self._fields.get(key) == ty:
+                return
+            self._fields[key] = ty
+            self.version += 1
+            self._notify(owner, field_name, "field")
 
     # -- queries -------------------------------------------------------------
 

@@ -31,11 +31,31 @@ query records the class names it consulted — including *negative*
 lookups, so registering a previously-unknown class invalidates answers
 that observed its absence.  The subtype memo stores each line's read set
 and replays it into the active trace on a hit, keeping outer read sets
-complete without re-walking.
+complete without re-walking.  Trace stacks are **thread-local**: one
+hierarchy serves many request threads, and an inner trace must merge
+into *its own thread's* enclosing trace, never another's.
+
+Concurrency discipline (lock-free read, locked write):
+
+* queries read the edge dicts with bare ``dict.get`` — atomic under the
+  GIL, no lock;
+* structural mutations hold :attr:`ClassHierarchy.lock` (re-entrant;
+  the engine replaces it with its own writer lock so hierarchy
+  mutations serialize with every other engine mutation) and mutate
+  copy-on-write, so a concurrent reader sees the old edges or the new
+  edges, never a half-rewritten list;
+* the linearization/ancestor-set memos are *version-guarded*: a reader
+  that rebuilt a walk stores it only if no mutation ran meanwhile
+  (otherwise the stale walk would be memoized *after* the mutation's
+  memo flush — the lost-invalidation race);
+* the subtype memo's store path is epoch-guarded the same way, and its
+  LRU bookkeeping takes an internal leaf lock (never held while calling
+  back out).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from typing import (
@@ -65,37 +85,65 @@ class SubtypeCache:
     """
 
     __slots__ = ("table", "hits", "misses", "evictions", "enabled",
-                 "max_entries", "_by_class")
+                 "max_entries", "_by_class", "_lock", "epoch")
 
     def __init__(self, max_entries: int = 16384) -> None:
         #: key -> (answer, reads); ordered oldest-first for LRU eviction.
         self.table: "OrderedDict[tuple, Tuple[bool, FrozenSet[str]]]" = \
             OrderedDict()
+        #: hit/miss counters are bumped on the unlocked read path, so
+        #: under concurrency they are monotonic but may undercount
+        #: (approximate observability; the engine Stats shards are the
+        #: exact ones).
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.enabled = True
         self.max_entries = max_entries
+        #: leaf lock for stores/evictions/invalidation; never held while
+        #: calling out, so it cannot participate in a lock cycle.
+        self._lock = threading.Lock()
+        #: bumped by every invalidation; :meth:`store` discards lines
+        #: computed before a concurrent invalidation wave.
+        self.epoch = 0
         #: class name -> keys of lines whose reads include it.
         self._by_class: Dict[str, Set[tuple]] = {}
 
-    def store(self, key: tuple, answer: bool,
-              reads: FrozenSet[str]) -> None:
-        table = self.table
-        if key in table:
-            self._unindex(key)
-        while len(table) >= self.max_entries:
-            old_key, (_, old_reads) = table.popitem(last=False)
-            self.evictions += 1
-            self._unindex(old_key, old_reads)
-        table[key] = (answer, reads)
-        by_class = self._by_class
-        for name in reads:
-            bucket = by_class.get(name)
-            if bucket is None:
-                by_class[name] = {key}
-            else:
-                bucket.add(key)
+    def store(self, key: tuple, answer: bool, reads: FrozenSet[str],
+              epoch: Optional[int] = None) -> bool:
+        """Insert a memo line unless the hierarchy was mutated since the
+        caller snapshotted ``epoch``.  Returns whether it was stored."""
+        with self._lock:
+            if epoch is not None and epoch != self.epoch:
+                return False
+            table = self.table
+            if key in table:
+                self._unindex(key)
+            while len(table) >= self.max_entries:
+                old_key, (_, old_reads) = table.popitem(last=False)
+                self.evictions += 1
+                self._unindex(old_key, old_reads)
+            table[key] = (answer, reads)
+            by_class = self._by_class
+            for name in reads:
+                bucket = by_class.get(name)
+                if bucket is None:
+                    by_class[name] = {key}
+                else:
+                    bucket.add(key)
+            return True
+
+    def touch(self, key: tuple) -> None:
+        """Opportunistic LRU recency bump for a hit: contended attempts
+        are simply skipped (recency is a heuristic; a read must never
+        block on the memo's bookkeeping)."""
+        lock = self._lock
+        if lock.acquire(blocking=False):
+            try:
+                if key in self.table:
+                    self.table.move_to_end(key)
+            finally:
+                lock.release()
 
     def _unindex(self, key: tuple,
                  reads: Optional[FrozenSet[str]] = None) -> None:
@@ -114,19 +162,23 @@ class SubtypeCache:
 
     def invalidate_classes(self, names) -> int:
         """Evict every line whose reads mention any of ``names``."""
-        stale: Set[tuple] = set()
-        by_class = self._by_class
-        for name in names:
-            stale |= by_class.pop(name, set())
-        for key in stale:
-            line = self.table.pop(key, None)
-            if line is not None:
-                self._unindex(key, line[1])
-        return len(stale)
+        with self._lock:
+            self.epoch += 1
+            stale: Set[tuple] = set()
+            by_class = self._by_class
+            for name in names:
+                stale |= by_class.pop(name, set())
+            for key in stale:
+                line = self.table.pop(key, None)
+                if line is not None:
+                    self._unindex(key, line[1])
+            return len(stale)
 
     def clear(self) -> None:
-        self.table.clear()
-        self._by_class.clear()
+        with self._lock:
+            self.epoch += 1
+            self.table.clear()
+            self._by_class.clear()
 
 
 class ClassHierarchy:
@@ -143,8 +195,14 @@ class ClassHierarchy:
         self._mixins: Dict[str, List[str]] = {"Object": []}
         self._modules: set = set()
         self._typevars: Dict[str, Tuple[str, ...]] = {}
-        #: bumped on every structural change (new class/module/mixin edge).
+        #: bumped on every structural change (new class/module/mixin edge);
+        #: doubles as the version guard for the walk memos below.
         self.version = 0
+        #: writer lock for structural mutations and memo stores.  Public
+        #: and replaceable: the engine assigns its own re-entrant writer
+        #: lock here so hierarchy mutations serialize with every other
+        #: engine mutation under a single lock (no ordering cycles).
+        self.lock = threading.RLock()
         self.subtype_cache = SubtypeCache()
         #: memoize linearizations/ancestor sets; the cache-disabled
         #: differential oracle turns this off to recompute every walk.
@@ -152,21 +210,28 @@ class ClassHierarchy:
         self._linearizations: Dict[str, Tuple[str, ...]] = {}
         self._ancestor_sets: Dict[str, frozenset] = {}
         self._listeners: List[Callable[[FrozenSet[str]], None]] = []
-        #: stack of active read-trace sets (see :meth:`trace`).
-        self._trace_stack: List[Set[str]] = []
+        #: per-thread stacks of active read-trace sets (see :meth:`trace`).
+        self._trace_tl = threading.local()
 
     # -- read tracing ------------------------------------------------------
+
+    def _trace_frames(self) -> List[Set[str]]:
+        frames = getattr(self._trace_tl, "frames", None)
+        if frames is None:
+            frames = self._trace_tl.frames = []
+        return frames
 
     @contextmanager
     def trace(self):
         """Collect the class names consulted while the context is active.
 
-        Traces nest: popping an inner trace merges its reads into the
-        enclosing one, so an outer consumer (a checked derivation) sees
-        the union of everything its sub-queries read.
+        Traces nest *per thread*: popping an inner trace merges its reads
+        into the same thread's enclosing one, so an outer consumer (a
+        checked derivation) sees the union of everything its sub-queries
+        read — and never another thread's reads.
         """
         reads: Set[str] = set()
-        stack = self._trace_stack
+        stack = self._trace_frames()
         stack.append(reads)
         try:
             yield reads
@@ -176,13 +241,13 @@ class ClassHierarchy:
                 stack[-1] |= reads
 
     def _touch(self, name: str) -> None:
-        stack = self._trace_stack
+        stack = getattr(self._trace_tl, "frames", None)
         if stack:
             stack[-1].add(name)
 
     def replay_reads(self, names) -> None:
         """Merge a memoized read set into the active trace (if any)."""
-        stack = self._trace_stack
+        stack = getattr(self._trace_tl, "frames", None)
         if stack:
             stack[-1] |= names
 
@@ -224,31 +289,33 @@ class ClassHierarchy:
         class appears in no existing linearization, so only ``name`` itself
         is reported as affected — warm caches for other classes survive.
         """
-        if name in self._parent:
-            existing = self._parent[name]
-            if existing != superclass and name != "Object":
-                raise ValueError(
-                    f"class {name} already registered with superclass "
-                    f"{existing}, cannot change to {superclass}")
-            return
-        if superclass not in self._parent:
-            # Auto-register unknown superclasses under Object so load order
-            # does not matter (Ruby-style open-world loading).
-            self.add_class(superclass)
-        self._parent[name] = superclass
-        self._mixins.setdefault(name, [])
-        if typevars:
-            self._typevars[name] = tuple(typevars)
-        self._changed({name})
+        with self.lock:
+            if name in self._parent:
+                existing = self._parent[name]
+                if existing != superclass and name != "Object":
+                    raise ValueError(
+                        f"class {name} already registered with superclass "
+                        f"{existing}, cannot change to {superclass}")
+                return
+            if superclass not in self._parent:
+                # Auto-register unknown superclasses under Object so load
+                # order does not matter (Ruby-style open-world loading).
+                self.add_class(superclass)
+            self._parent[name] = superclass
+            self._mixins.setdefault(name, [])
+            if typevars:
+                self._typevars[name] = tuple(typevars)
+            self._changed({name})
 
     def add_module(self, name: str) -> None:
         """Register a module (mixin); modules have no superclass."""
-        if name in self._modules:
-            return
-        self._modules.add(name)
-        self._mixins.setdefault(name, [])
-        self._parent.setdefault(name, None)
-        self._changed({name})
+        with self.lock:
+            if name in self._modules:
+                return
+            self._modules.add(name)
+            self._mixins.setdefault(name, [])
+            self._parent.setdefault(name, None)
+            self._changed({name})
 
     def include_module(self, cls: str, module: str) -> None:
         """Mix ``module`` into ``cls`` (Ruby ``include``).
@@ -257,15 +324,19 @@ class ClassHierarchy:
         ``cls``'s and that of every class inheriting through it.  Exactly
         those classes are reported as affected.
         """
-        if cls not in self._parent:
-            self.add_class(cls)
-        if module not in self._modules:
-            self.add_module(module)
-        mixins = self._mixins.setdefault(cls, [])
-        if module not in mixins:
-            affected = self._classes_linearizing_through(cls)
-            mixins.insert(0, module)  # later includes take precedence
-            self._changed(affected)
+        with self.lock:
+            if cls not in self._parent:
+                self.add_class(cls)
+            if module not in self._modules:
+                self.add_module(module)
+            mixins = self._mixins.setdefault(cls, [])
+            if module not in mixins:
+                affected = self._classes_linearizing_through(cls)
+                # Copy-on-write (later includes take precedence): a
+                # concurrent reader walking the old list sees old-or-new
+                # atomically, never a list mutated mid-iteration.
+                self._mixins[cls] = [module] + mixins
+                self._changed(affected)
 
     # -- queries -----------------------------------------------------------
 
@@ -301,6 +372,7 @@ class ClassHierarchy:
         if lin is None:
             if name not in self._parent:
                 raise UnknownClassError(name)
+            ver = self.version
             out: List[str] = []
             current: Optional[str] = name
             while current is not None:
@@ -309,7 +381,12 @@ class ClassHierarchy:
                 current = self._parent.get(current)
             lin = tuple(out)
             if self.memo_enabled:
-                self._linearizations[name] = lin
+                # Version-guarded store: if a mutation ran while we
+                # walked, this walk may predate the mutation's memo flush
+                # and must not be memoized after it.
+                with self.lock:
+                    if ver == self.version:
+                        self._linearizations[name] = lin
         return lin
 
     def is_subclass(self, sub: str, sup: str) -> bool:
@@ -322,9 +399,12 @@ class ClassHierarchy:
         ancestors = self._ancestor_sets.get(sub) if self.memo_enabled \
             else None
         if ancestors is None:
+            ver = self.version
             ancestors = frozenset(self.linearization(sub))
             if self.memo_enabled:
-                self._ancestor_sets[sub] = ancestors
+                with self.lock:  # same version guard as linearization
+                    if ver == self.version:
+                        self._ancestor_sets[sub] = ancestors
         return sup in ancestors
 
     def typevars(self, name: str) -> Tuple[str, ...]:
@@ -340,14 +420,16 @@ class ClassHierarchy:
 
     def snapshot(self) -> "ClassHierarchy":
         """A deep copy, used by engines that must not mutate the default.
-        Listeners and memo state are deliberately not carried over."""
-        out = ClassHierarchy()
-        out._parent = dict(self._parent)
-        out._mixins = {k: list(v) for k, v in self._mixins.items()}
-        out._modules = set(self._modules)
-        out._typevars = dict(self._typevars)
-        out.version = self.version
-        return out
+        Listeners, memo state, and the lock are deliberately not carried
+        over (the copy gets a fresh lock of its own)."""
+        with self.lock:
+            out = ClassHierarchy()
+            out._parent = dict(self._parent)
+            out._mixins = {k: list(v) for k, v in self._mixins.items()}
+            out._modules = set(self._modules)
+            out._typevars = dict(self._typevars)
+            out.version = self.version
+            return out
 
 
 def default_hierarchy() -> ClassHierarchy:

@@ -56,11 +56,10 @@ def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
     if resolver is not None or not cache.enabled:
         return _is_subtype(s, t, hier, strict_nil, resolver)
     key = (s, t, strict_nil)
-    table = cache.table
-    line = table.get(key)
+    line = cache.table.get(key)
     if line is not None:
-        cache.hits += 1
-        table.move_to_end(key)
+        cache.hits += 1      # approximate under threads (monotonic)
+        cache.touch(key)     # opportunistic LRU recency; never blocks
         answer, reads = line
         if reads:
             # Keep enclosing read traces complete: a memo hit consulted
@@ -68,9 +67,13 @@ def is_subtype(s: Type, t: Type, hier: ClassHierarchy, *,
             hier.replay_reads(reads)
         return answer
     cache.misses += 1
+    # Epoch-guarded store: if a hierarchy mutation invalidates lines
+    # while we compute, this answer may predate the mutation and must
+    # not be memoized after its eviction wave (lost-invalidation race).
+    epoch = cache.epoch
     with hier.trace() as reads:
         result = _is_subtype(s, t, hier, strict_nil, None)
-    cache.store(key, result, frozenset(reads))
+    cache.store(key, result, frozenset(reads), epoch=epoch)
     return result
 
 

@@ -45,8 +45,10 @@ class Sym:
             return existing
         sym = super().__new__(cls)
         object.__setattr__(sym, "name", name)
-        cls._interned[name] = sym
-        return sym
+        # setdefault is atomic under the GIL: if two threads race to
+        # intern the same name, both get the single winner — identity
+        # (which Sym equality and dict keys rely on) stays an invariant.
+        return cls._interned.setdefault(name, sym)
 
     def __setattr__(self, *_args) -> None:
         raise AttributeError("Sym is immutable")
@@ -67,7 +69,9 @@ _SAMPLE_LIMIT = 50
 # host class -> RDL class name.  class_name_of runs on every intercepted
 # call (the engine keys checking by the receiver's class), and its answer
 # depends only on the value's exact class, so one isinstance cascade per
-# distinct host class suffices.
+# distinct host class suffices.  Lock-free under threads: the mapping is
+# idempotent (racing writers store the same value), and dict get/set are
+# each atomic under the GIL.
 _CLASS_NAME_MEMO: dict = {}
 
 

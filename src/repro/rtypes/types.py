@@ -35,14 +35,18 @@ _INTERN: dict = {}
 def _intern(cls, key, args):
     """Return the canonical instance for ``cls(*args)``, allocating one on
     first use.  Falls back to a fresh instance when ``key`` is unhashable
-    (e.g. a caller passed a list where a tuple was expected)."""
+    (e.g. a caller passed a list where a tuple was expected).
+
+    Thread-safe without a lock: ``dict.setdefault`` is atomic under the
+    GIL, so two threads racing to intern the same key both get the one
+    winning instance (identity stays stable, keeping ``s is t`` fast
+    paths and memo keys honest)."""
     try:
         cached = _INTERN.get(key)
     except TypeError:
         return object.__new__(cls)
     if cached is None:
-        cached = object.__new__(cls)
-        _INTERN[key] = cached
+        cached = _INTERN.setdefault(key, object.__new__(cls))
     return cached
 
 

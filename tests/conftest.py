@@ -10,7 +10,17 @@ Tests that assert *memoization-specific* observables — hit counters,
 oracle and carry ``@pytest.mark.requires_caches``; every behavioral
 assertion (which errors are raised, what calls return) runs in both
 modes.
+
+The analogous ``REPRO_DISABLE_THREADS=1`` switch skips tests carrying
+``@pytest.mark.requires_threads`` — the multi-threaded soundness and
+stress suites — for single-threaded debugging runs (e.g. bisecting a
+failure that threads would only make noisier).  CI runs the threaded
+suite in a dedicated job with ``faulthandler`` timeouts so a deadlock
+dumps every thread's stack and fails fast instead of hanging the
+runner.
 """
+
+import os
 
 import pytest
 
@@ -18,15 +28,25 @@ from repro.core import caches_disabled_by_env
 
 CACHES_DISABLED = caches_disabled_by_env()
 
+THREADS_DISABLED = os.environ.get("REPRO_DISABLE_THREADS", "") not in (
+    "", "0", "false", "no")
+
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "requires_caches: asserts memoization-specific counters/state; "
         "skipped when REPRO_DISABLE_CACHES=1 builds cache-free oracles")
+    config.addinivalue_line(
+        "markers",
+        "requires_threads: spawns worker threads; skipped when "
+        "REPRO_DISABLE_THREADS=1 forces a single-threaded run")
 
 
 def pytest_runtest_setup(item):
     if CACHES_DISABLED and item.get_closest_marker("requires_caches"):
         pytest.skip("memoization observables absent under "
                     "REPRO_DISABLE_CACHES=1")
+    if THREADS_DISABLED and item.get_closest_marker("requires_threads"):
+        pytest.skip("threaded suites disabled under "
+                    "REPRO_DISABLE_THREADS=1")
