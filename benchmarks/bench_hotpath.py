@@ -3,7 +3,11 @@
 The tentpole claim: once a call site is warm, the JIT protocol collapses to
 a guard + dict hit (call plan) instead of signature resolution + jit_check
 + mode dispatch, and the supporting caches (interned types, memoized
-subtyping, class-name memo) keep the remaining dynamic work flat.
+subtyping, class-name memo) keep the remaining dynamic work flat.  PR 4
+adds tier 2 on top: hot plans compile into per-site specialized wrappers
+(``repro.core.specialize``), so the default-engine ``fast_*`` figures now
+measure the tiered engine and the ``tier2`` block isolates specialization
+against a plans-only (``specialize=False``) engine.
 
 Two ways to run:
 
@@ -33,11 +37,17 @@ CALLS = 100_000
 
 
 def fast_engine() -> Engine:
+    """The default engine: tier-1 call plans + tier-2 specialization."""
     return Engine()
 
 
+def tier1_engine() -> Engine:
+    """Call plans only — the pre-specialization (PR 1-3) fast path."""
+    return Engine(EngineConfig(specialize=False))
+
+
 def legacy_engine() -> Engine:
-    engine = Engine(EngineConfig(call_plans=False))
+    engine = Engine(EngineConfig(call_plans=False, specialize=False))
     engine.hier.subtype_cache.enabled = False
     return engine
 
@@ -57,6 +67,8 @@ def steady_state_seconds(engine, calls: int = CALLS) -> float:
     """Time ``calls`` warm intercepted calls on one typed method."""
     counter = _build_hot_class(engine)
     counter.bump(0)  # warm: static check runs, plan (if any) is built
+    for i in range(120):
+        counter.bump(i)  # cross the tier-2 promotion threshold first
     start = time.perf_counter()
     for i in range(calls):
         counter.bump(i)
@@ -64,18 +76,37 @@ def steady_state_seconds(engine, calls: int = CALLS) -> float:
 
 
 def measure(calls: int = CALLS) -> dict:
-    """The committed-baseline measurement: fast vs legacy steady state."""
+    """The committed-baseline measurement: tiered vs tier-1 vs legacy.
+
+    ``fast_*`` is the *default* engine — tier-2 specialization included
+    — so the headline ``fast_calls_per_sec`` tracks what a real
+    deployment gets.  The ``tier2`` block isolates the specializer's
+    contribution against a plans-only engine.
+    """
     fast = fast_engine()
     fast_s = steady_state_seconds(fast, calls)
+    tier1 = tier1_engine()
+    tier1_s = steady_state_seconds(tier1, calls)
     legacy_s = steady_state_seconds(legacy_engine(), calls)
+    fast_stats = fast.stats
     return {
         "calls": calls,
         "fast_s": round(fast_s, 4),
+        "tier1_s": round(tier1_s, 4),
         "legacy_s": round(legacy_s, 4),
         "fast_calls_per_sec": round(calls / fast_s),
+        "tier1_calls_per_sec": round(calls / tier1_s),
         "legacy_calls_per_sec": round(calls / legacy_s),
         "speedup": round(legacy_s / fast_s, 2),
-        "fast_path_hits": fast.stats.fast_path_hits,
+        "fast_path_hits": fast_stats.fast_path_hits,
+        "tier2": {
+            "speedup_vs_tier1": round(tier1_s / fast_s, 2),
+            "promotions": fast_stats.promotions,
+            "deopts": fast_stats.deopts,
+            "specialized_hits": fast_stats.specialized_hits,
+            "specialized_hit_ratio": round(
+                fast_stats.specialized_hits / fast_stats.fast_path_hits, 4),
+        },
         "reload": measure_reload(),
     }
 
@@ -147,6 +178,17 @@ def measure_reload(methods: int = RELOAD_METHODS,
 
 # -- pytest entry points -----------------------------------------------------
 
+#: measure() is three 100k-call timing loops plus the reload sweep; the
+#: pytest assertions below all judge one measurement, so share it.
+_MEASURED = None
+
+
+def _measured() -> dict:
+    global _MEASURED
+    if _MEASURED is None:
+        _MEASURED = measure()
+    return _MEASURED
+
 
 def test_steady_state_speedup_at_least_3x():
     """Acceptance criterion: >= 3x on the warm intercepted-call loop.
@@ -155,9 +197,23 @@ def test_steady_state_speedup_at_least_3x():
     alarm threshold while local runs enforce the full 3x.
     """
     floor = float(os.environ.get("HOTPATH_MIN_SPEEDUP", "3.0"))
-    result = measure()
+    result = _measured()
     assert result["fast_path_hits"] >= result["calls"]
     assert result["speedup"] >= floor, result
+
+
+def test_tier2_beats_tier1():
+    """PR 4 acceptance: the specialized wrapper beats the generic plan
+    path on the same loop (locally >= 1.5x; CI alarms at 1.2x via
+    HOTPATH_MIN_TIER2 because shared runners are noisy), and promotion
+    actually happened with the steady state riding specialized code.
+    """
+    floor = float(os.environ.get("HOTPATH_MIN_TIER2", "1.5"))
+    result = _measured()
+    tier2 = result["tier2"]
+    assert tier2["promotions"] >= 1, result
+    assert tier2["specialized_hit_ratio"] > 0.99, result
+    assert tier2["speedup_vs_tier1"] >= floor, result
 
 
 def test_warm_workloads_take_the_fast_path():
@@ -178,7 +234,7 @@ def test_reload_churn_keeps_plans_warm():
     """Acceptance criterion: after redefining an unrelated method, the
     warm call-plan hit rate stays above 90% (dependency-tracked
     invalidation; the old per-version flush dropped to 0%)."""
-    result = measure_reload()
+    result = _measured()["reload"]
     assert result["warm_hit_rate"] > 0.9, result
     # only the churned method's site rebuilt
     assert result["plans_invalidated_by_churn"] == 1, result

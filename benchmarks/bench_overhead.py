@@ -1,0 +1,149 @@
+"""Per-call interception overhead: unwrapped vs generic vs specialized.
+
+The paper's deployment question is "what does leaving Hummingbird on in
+production cost per call?".  This benchmark answers it in nanoseconds on
+a trivial typed method, at each execution tier:
+
+* **unwrapped** — the plain Python method, no interception (the floor
+  any wrapper overhead is measured against);
+* **generic** — the tier-1 wrapper: ``rdl.wrap``'s generic closure into
+  ``Engine.invoke`` riding a warm :class:`~repro.core.plans.CallPlan`
+  (``EngineConfig(specialize=False)``);
+* **specialized** — the tier-2 wrapper: the same plan compiled into an
+  exec-generated per-site function (:mod:`repro.core.specialize`).
+
+Two ways to run:
+
+* ``python -m pytest benchmarks/bench_overhead.py -q`` — asserts the
+  specialized wrapper cuts the interception overhead (wrapper ns minus
+  unwrapped ns) to at most ``OVERHEAD_MAX_FRACTION`` of the generic
+  wrapper's (CI relaxes via the env var);
+* ``python benchmarks/bench_overhead.py [--smoke]`` — prints the JSON
+  report committed as ``BENCH_overhead.json`` and compared by
+  ``benchmarks/compare_baseline.py --suite overhead`` in the CI
+  bench-trend job.
+"""
+
+import json
+import os
+import sys
+import time
+
+from repro import Engine, EngineConfig
+
+#: calls per timed loop (--smoke shrinks).
+CALLS = 200_000
+
+#: local acceptance: specialized overhead <= this fraction of generic
+#: overhead (CI alarms at the env-provided fraction instead).
+OVERHEAD_MAX_FRACTION = 0.65
+
+
+class _Plain:
+    """The unwrapped control: same body, no engine anywhere near it."""
+
+    def bump(self, n):
+        return n + 1
+
+
+def _typed_counter(engine):
+    hb = engine.api()
+
+    class OverheadCounter:
+        @hb.typed("(Integer) -> Integer")
+        def bump(self, n):
+            return n + 1
+
+    return OverheadCounter()
+
+
+def _ns_per_call(obj, calls: int) -> float:
+    for i in range(150):
+        obj.bump(i)  # warm: checks cached, plan built, tier-2 promoted
+    # Bind *after* warming: tier-2 promotion rebinds the class
+    # attribute, and a bound method hoisted before promotion would keep
+    # dispatching through the displaced generic wrapper (sound — the
+    # liveness guard covers the reverse case — but it would measure
+    # tier 1 twice).
+    bump = obj.bump
+    start = time.perf_counter()
+    for i in range(calls):
+        bump(i)
+    return (time.perf_counter() - start) / calls * 1e9
+
+
+def measure(calls: int = CALLS) -> dict:
+    unwrapped_ns = _ns_per_call(_Plain(), calls)
+    generic_engine = Engine(EngineConfig(specialize=False))
+    generic_ns = _ns_per_call(_typed_counter(generic_engine), calls)
+    spec_engine = Engine()
+    spec_obj = _typed_counter(spec_engine)
+    specialized_ns = _ns_per_call(spec_obj, calls)
+    generic_overhead = generic_ns - unwrapped_ns
+    specialized_overhead = specialized_ns - unwrapped_ns
+    return {
+        "calls": calls,
+        "unwrapped_ns": round(unwrapped_ns, 1),
+        "generic_ns": round(generic_ns, 1),
+        "specialized_ns": round(specialized_ns, 1),
+        "generic_overhead_ns": round(generic_overhead, 1),
+        "specialized_overhead_ns": round(specialized_overhead, 1),
+        #: the headline: how much of the interception tax tier 2 removes.
+        "overhead_reduction": round(
+            generic_overhead / specialized_overhead, 2),
+        "promotions": spec_engine.stats.promotions,
+    }
+
+
+# -- pytest entry points -----------------------------------------------------
+
+
+def test_specialized_wrapper_cuts_interception_overhead():
+    """PR 4 acceptance: tier 2 removes a large constant fraction of the
+    per-call interception tax (locally the specialized overhead must be
+    <= 65% of the generic overhead; CI relaxes via env because shared
+    runners are noisy)."""
+    fraction = float(os.environ.get("OVERHEAD_MAX_FRACTION",
+                                    str(OVERHEAD_MAX_FRACTION)))
+    result = measure()
+    assert result["promotions"] >= 1, result
+    assert result["specialized_ns"] < result["generic_ns"], result
+    assert (result["specialized_overhead_ns"]
+            <= fraction * result["generic_overhead_ns"]), result
+
+
+def test_benchmark_unwrapped(benchmark):
+    obj = _Plain()
+    benchmark(obj.bump, 1)
+
+
+def test_benchmark_generic_wrapper(benchmark):
+    obj = _typed_counter(Engine(EngineConfig(specialize=False)))
+    for i in range(150):
+        obj.bump(i)
+    benchmark(obj.bump, 1)
+
+
+def test_benchmark_specialized_wrapper(benchmark):
+    obj = _typed_counter(Engine())
+    for i in range(150):
+        obj.bump(i)
+    benchmark(obj.bump, 1)
+
+
+# -- baseline script ---------------------------------------------------------
+
+
+def main(argv) -> int:
+    calls = 20_000 if "--smoke" in argv else CALLS
+    result = measure(calls)
+    print(json.dumps(result, indent=2))
+    if result["specialized_ns"] >= result["generic_ns"]:
+        print("FAIL: specialized wrapper not faster than generic",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -65,9 +65,26 @@ SUITES = {
          lambda r: float(r["fast_path_hits"]) / float(r["calls"]),
          _absolute_floor(1.0),
          "every warm call must ride a plan (hits/calls, size-independent)"),
+        ("tier2.speedup_vs_tier1", _get("tier2.speedup_vs_tier1"),
+         _floor_and_fraction(1.2, 0.6),
+         "specialized wrappers must beat the generic plan path (alarm "
+         "floor 1.2x on shared runners; local acceptance is 1.5x)"),
+        ("tier2.specialized_hit_ratio",
+         _get("tier2.specialized_hit_ratio"), _absolute_floor(0.99),
+         "the warm loop must actually ride tier 2 (promotion fired and "
+         "stuck)"),
         ("reload.warm_hit_rate", _get("reload.warm_hit_rate"),
          _absolute_floor(0.9),
          "dev-mode reload keeps >=90% of calls on warm plans"),
+    ],
+    "overhead": [
+        ("overhead_reduction", _get("overhead_reduction"),
+         _floor_and_fraction(1.3, 0.5),
+         "tier 2 must remove a large fraction of the per-call "
+         "interception tax vs the generic wrapper (alarm floor 1.3x; "
+         "the committed baseline records the full local reduction)"),
+        ("promotions", _get("promotions"), _absolute_floor(1.0),
+         "the measured site must actually have been promoted"),
     ],
     "concurrency": [
         ("scaling.scaling", _get("scaling.scaling"),

@@ -14,12 +14,14 @@ from .errors import (
     ArgumentTypeError, CastError, HummingbirdError, NoMethodBodyError,
     ReturnTypeError, StaticTypeError, TypeSignatureError,
 )
+from .specialize import Specializer, specialize_disabled_by_env
 from .stats import PhaseTracker, Stats
 
 __all__ = [
     "Api", "ArgumentTypeError", "CacheEntry", "CastError", "CheckCache",
     "CheckOutcome", "Checker", "DepGraph", "Engine", "EngineConfig",
     "HummingbirdError", "NoMethodBodyError", "PhaseTracker",
-    "ReturnTypeError", "StaticTypeError", "Stats", "TypedMethod",
-    "TypeSignatureError", "caches_disabled_by_env",
+    "ReturnTypeError", "Specializer", "StaticTypeError", "Stats",
+    "TypedMethod", "TypeSignatureError", "caches_disabled_by_env",
+    "specialize_disabled_by_env",
 ]

@@ -51,6 +51,16 @@ Concurrency discipline (lock-free read, locked write):
   resolved against a half-mutated world is never memoized;
 * per-call mutable state (the checked-frame stack, hierarchy read
   traces, hot stats counters) is **thread-local**.
+
+Tiered execution: once a call plan has served ``specialize_threshold``
+warm hits with a stable shape, the engine promotes the site to **tier
+2** — an exec-generated wrapper with the plan's guards compiled to
+straight-line code (:mod:`repro.core.specialize`).  Every invalidation
+wave that drops a plan deoptimizes its specialized wrapper before the
+wave returns, and any guard failure inside a specialized wrapper falls
+back into :meth:`Engine.invoke` rather than raising.  Setting
+``REPRO_DISABLE_SPECIALIZE=1`` (or ``EngineConfig(specialize=False)``)
+pins every site to tier 1 — the ``tier1-nospec`` differential mode.
 """
 
 from __future__ import annotations
@@ -80,8 +90,9 @@ from .errors import (
 )
 from .plans import (
     ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_CHECK_NEVER, ARG_MODES,
-    MAX_PROFILES, RET_MODES, CallPlan, CallPlanCache,
+    RET_MODES, CallPlan, CallPlanCache,
 )
+from .specialize import Specializer, specialize_disabled_by_env
 from .stats import Stats
 
 Key = Tuple[str, str]
@@ -137,6 +148,13 @@ class EngineConfig:
     #: memoize warm call sites as CallPlans (the steady-state fast path);
     #: False falls back to full per-call resolution (perf ablation).
     call_plans: bool = True
+    #: tier-2: compile stable warm plans into exec-generated per-site
+    #: wrappers (:mod:`repro.core.specialize`).  False (or the
+    #: ``REPRO_DISABLE_SPECIALIZE=1`` environment switch) stays on the
+    #: tier-1 generic path — the ``tier1-nospec`` differential mode.
+    specialize: bool = True
+    #: warm hits a call plan must serve before promotion to tier 2.
+    specialize_threshold: int = 50
 
 
 class Engine:
@@ -179,6 +197,16 @@ class Engine:
         #: warm call-site inline caches; None disables the fast path.
         self._plans: Optional[CallPlanCache] = (
             CallPlanCache() if self.config.call_plans else None)
+        #: tier-2 specializer; None keeps every site on the generic
+        #: wrapper (config off, env off, plans off, or oracle mode).
+        self._specializer: Optional[Specializer] = None
+        if (self._plans is not None and self.config.specialize
+                and not specialize_disabled_by_env()):
+            self._specializer = Specializer(self)
+            # Deopt hook: any wave that drops a plan swaps the generic
+            # wrapper back in before the wave returns.
+            self._plans.on_drop = self._specializer.deoptimize_keys
+        self._spec_threshold: int = max(1, self.config.specialize_threshold)
         self._arg_mode: int = ARG_MODES.get(self.config.dynamic_arg_checks,
                                             ARG_CHECK_BOUNDARY)
         if self.config.dynamic_ret_checks not in RET_MODES:
@@ -404,7 +432,11 @@ class Engine:
         :class:`~repro.core.plans.CallPlan` built by a previous slow call
         replays the resolved dispatch decision, so the steady state is a
         dict hit plus (at most) an argument-profile check instead of
-        signature resolution + jit_check + mode dispatch.  There are no
+        signature resolution + jit_check + mode dispatch.  Hot plans are
+        further promoted to tier 2 — a specialized per-site wrapper that
+        bypasses this method entirely until deoptimized (specialized
+        wrappers re-enter here only on guard failure, so this path also
+        serves as their fallback).  There are no
         version guards: the dependency graph flushed the plan *eagerly*
         if anything it resolved through changed; the one remaining guard
         (checked plans require their memoized derivation to still be in
@@ -429,6 +461,15 @@ class Engine:
                     # fast path.
                     and (not plan.checked or (owner, name) in self.cache)):
                 stats.fast_path_hits += 1
+                spec = self._specializer
+                if spec is not None and not plan.promoted:
+                    # Tiering: count warm hits; at the threshold, try to
+                    # compile this plan into a per-site wrapper.  The
+                    # racy increment only ever delays the threshold.
+                    plan.hits = hits = plan.hits + 1
+                    if hits >= self._spec_threshold:
+                        spec.maybe_promote((def_owner, owner, name, kind),
+                                           plan, fn, recv)
                 checked = plan.checked
                 sig = plan.sig
                 stack = tls.stack
@@ -444,13 +485,11 @@ class Engine:
                     if do_check:
                         if plan.profile_eligible and not kwargs:
                             profile = tuple(map(type, args))
-                            profiles = plan.profiles
-                            if profile not in profiles:
+                            if profile not in plan.profiles:
                                 self._dynamic_arg_check(
                                     sig, fn, recv, args, kwargs, owner,
                                     name, kind)
-                                if len(profiles) < MAX_PROFILES:
-                                    profiles.add(profile)
+                                plan.learn_profile(profile)
                         else:
                             self._dynamic_arg_check(sig, fn, recv, args,
                                                     kwargs, owner, name,
@@ -473,14 +512,12 @@ class Engine:
                 if do_ret:
                     if plan.ret_profile_eligible:
                         rcls = type(result)
-                        ret_profiles = plan.ret_profiles
-                        if rcls in ret_profiles:
+                        if rcls in plan.ret_profiles:
                             stats.ret_profile_hits += 1
                         else:
                             self._dynamic_ret_check(sig, result, owner,
                                                     name)
-                            if len(ret_profiles) < MAX_PROFILES:
-                                ret_profiles.add(rcls)
+                            plan.learn_ret_profile(rcls)
                     else:
                         self._dynamic_ret_check(sig, result, owner, name)
                     stats.dynamic_ret_checks += 1

@@ -40,12 +40,29 @@ for *trusted* (unchecked) signatures can likewise profile the dynamic
 return check (``EngineConfig.dynamic_ret_checks``): once a result class
 passed conformance against a class-determined return type, repeat results
 of the same class skip the walk (``Stats.ret_profile_hits``).
+
+Profiles are **copy-on-write frozensets**: the lock-free warm path reads
+``plan.profiles`` (one attribute load of an immutable set) and learners
+publish ``plan.profiles = profiles | {new}`` — an atomic reference swap.
+Concurrent learners may lose each other's update (the next identical
+call just re-runs the conformance walk and re-learns), but no thread
+can ever observe a set mid-mutation, which a shared ``set.add`` from
+many threads would permit.
+
+Tiering: a plan also carries the tier-2 promotion state — ``hits``, a
+heuristic warm-call counter (racy increments only delay promotion), and
+``promoted``, set once the specializer has attempted to compile the
+site (:mod:`repro.core.specialize`).  The cache's ``on_drop`` callback
+reports every explicitly dropped plan key so the engine can deoptimize
+the specialized wrappers riding those plans before the wave returns.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import (
+    Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple,
+)
 
 from .deps import DepGraph, Resource
 
@@ -77,7 +94,8 @@ class CallPlan:
 
     __slots__ = ("sig_owner", "sig", "checked", "arg_mode",
                  "profile_eligible", "profiles", "ret_mode",
-                 "ret_profile_eligible", "ret_profiles")
+                 "ret_profile_eligible", "ret_profiles", "hits",
+                 "promoted")
 
     def __init__(self, sig_owner: Optional[str], sig, checked: bool,
                  arg_mode: int, profile_eligible: bool,
@@ -92,13 +110,34 @@ class CallPlan:
         self.checked = checked
         self.arg_mode = arg_mode
         self.profile_eligible = profile_eligible
-        self.profiles: Set[tuple] = set()
+        #: copy-on-write: always reassigned (never mutated in place) so
+        #: lock-free readers see a complete set or the previous one.
+        self.profiles: FrozenSet[tuple] = frozenset()
         #: ARG_CHECK_NEVER unless this plan performs dynamic return checks
         #: (trusted signature + engine mode), so the fast path pays one
         #: attribute compare when the feature is off.
         self.ret_mode = ret_mode
         self.ret_profile_eligible = ret_profile_eligible
-        self.ret_profiles: Set[type] = set()
+        self.ret_profiles: FrozenSet[type] = frozenset()
+        #: warm-hit counter driving tier-2 promotion; bumped lock-free,
+        #: so lost increments merely postpone the threshold.
+        self.hits = 0
+        #: the specializer attempted (or declined) to compile this plan;
+        #: one attempt per plan generation — a dropped-and-rebuilt plan
+        #: starts fresh.
+        self.promoted = False
+
+    def learn_profile(self, profile: tuple) -> None:
+        """COW-publish a passing argument-class tuple (capped)."""
+        profiles = self.profiles
+        if len(profiles) < MAX_PROFILES:
+            self.profiles = profiles | {profile}
+
+    def learn_ret_profile(self, rcls: type) -> None:
+        """COW-publish a passing result class (capped)."""
+        ret_profiles = self.ret_profiles
+        if len(ret_profiles) < MAX_PROFILES:
+            self.ret_profiles = ret_profiles | {rcls}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CallPlan(owner={self.sig_owner!r}, checked={self.checked}, "
@@ -117,6 +156,12 @@ class CallPlanCache:
     between, the store is discarded — otherwise a plan resolved against
     the pre-mutation world could be memoized *after* the wave that
     should have flushed it (the lost-invalidation race).
+
+    :attr:`on_drop` (set by the engine) is called with the plan keys an
+    invalidation wave explicitly dropped, *after* the internal lock is
+    released but before the wave returns — the tier-2 deopt hook: any
+    specialized wrapper compiled from a dropped plan is swapped back to
+    the generic wrapper before the mutation wave completes.
     """
 
     def __init__(self) -> None:
@@ -131,6 +176,9 @@ class CallPlanCache:
         self._by_cache_key: Dict[CacheKey, Set[PlanKey]] = {}
         #: total plans dropped by explicit invalidation.
         self.invalidations = 0
+        #: deopt listener: called (outside the lock) with each wave's
+        #: dropped plan keys, and with a replaced key on store overwrite.
+        self.on_drop: Optional[Callable[[Tuple[PlanKey, ...]], None]] = None
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -142,14 +190,25 @@ class CallPlanCache:
               resources: Iterable[Resource] = (),
               epoch: Optional[int] = None) -> bool:
         """Memoize ``plan`` unless an invalidation wave ran since the
-        caller snapshotted ``epoch``.  Returns whether it was stored."""
+        caller snapshotted ``epoch``.  Returns whether it was stored.
+
+        Overwriting a live plan (a checked plan whose derivation was
+        removed behind the cache's back gets rebuilt here) reports the
+        key through :attr:`on_drop`: a specialized wrapper compiled from
+        the displaced plan must not keep serving the site while the
+        generic path consults the replacement.
+        """
         with self._lock:
             if epoch is not None and epoch != self.epoch:
                 return False
+            replaced = (key in self._plans
+                        and self._plans[key] is not plan)
             self._plans[key] = plan
             self._deps.record(key, resources)
             self._by_cache_key.setdefault((key[1], key[2]), set()).add(key)
-            return True
+        if replaced and self.on_drop is not None:
+            self.on_drop((key,))
+        return True
 
     def bump_epoch(self) -> None:
         """Mark a mutation wave that flushed nothing: in-flight plan
@@ -172,12 +231,13 @@ class CallPlanCache:
         """Drop every plan depending on any of ``resources`` (per key)."""
         with self._lock:
             self.epoch += 1
-            dropped = 0
+            dropped = []
             for key in self._deps.invalidate_many(resources):
                 if self._drop(key):
-                    dropped += 1
-            self.invalidations += dropped
-            return dropped
+                    dropped.append(key)
+            self.invalidations += len(dropped)
+        self._notify_drop(dropped)
+        return len(dropped)
 
     def invalidate_cache_keys(self, cache_keys: Iterable[CacheKey]) -> int:
         """Drop plans whose *(receiver, method)* check-cache key is in
@@ -187,19 +247,28 @@ class CallPlanCache:
             stale: Set[PlanKey] = set()
             for ckey in cache_keys:
                 stale |= self._by_cache_key.get(ckey, set())
-            dropped = 0
+            dropped = []
             for key in stale:
                 if self._drop(key):
-                    dropped += 1
-            self.invalidations += dropped
-            return dropped
+                    dropped.append(key)
+            self.invalidations += len(dropped)
+        self._notify_drop(dropped)
+        return len(dropped)
 
     def clear(self) -> int:
         with self._lock:
             self.epoch += 1
-            dropped = len(self._plans)
+            dropped = list(self._plans)
             self._plans.clear()
             self._deps.clear()
             self._by_cache_key.clear()
-            self.invalidations += dropped
-            return dropped
+            self.invalidations += len(dropped)
+        self._notify_drop(dropped)
+        return len(dropped)
+
+    def _notify_drop(self, keys) -> None:
+        """Fire the deopt listener outside the internal lock (the
+        listener rebinds class attributes; keeping it lock-free here
+        rules out lock-order cycles with the specializer's own lock)."""
+        if keys and self.on_drop is not None:
+            self.on_drop(tuple(keys))

@@ -1,0 +1,453 @@
+"""Tier-2 specialization — compiling warm call plans into per-site wrappers.
+
+Tier 1 (:mod:`repro.core.plans`) made the steady state "a guard plus a
+cache hit", but the guard itself is still ~30 lines of interpreted Python
+per call inside ``Engine.invoke``: build the plan key tuple, run
+``class_name_of``, fetch thread-locals, branch on the arg/ret modes,
+push/pop the checked frame.  Lazy basic block versioning
+(Chevalier-Boisvert & Feeley) and "Transient Typechecks are (Almost)
+Free" (Roberts et al.) both make the same observation: type guards only
+become near-free when they are *compiled into the call site* as
+straight-line code.  This module is that move for the CPython substrate.
+
+**Promotion.**  Once a :class:`~repro.core.plans.CallPlan` has served
+``EngineConfig.specialize_threshold`` warm hits (default 50) and its
+shape is stable — a monomorphic receiver class, and either a
+class-determined argument profile or a check-free configuration — the
+:class:`Specializer` generates a wrapper function specialized to exactly
+that plan: the receiver-class identity guard, the dominant
+argument-profile test, the checked-frame push/pop, and (when the plan
+performs them) the dynamic return check are emitted as straight-line
+local-variable operations, ``exec``-compiled once, closing over the
+original function, the plan (whose COW profile sets it re-reads each
+call), and the engine's per-thread state.  ``rdl.wrap``'s generic
+wrapper is then atomically displaced: one ``setattr`` rebinds the class
+attribute, so promotion needs no cooperation from in-flight calls.
+
+**Guard failure falls back, never raises.**  Any situation the
+straight-line code does not cover — a different receiver class, keyword
+arguments, an unseen argument-class tuple, a missing check-cache entry —
+bails into ``Engine.invoke`` *before touching any counter*, so the
+generic tier observes exactly the call it would have seen without
+specialization (including raising the right ``ArgumentTypeError`` and
+learning new profiles).  A specialized wrapper is therefore a pure
+fast-path overlay: it can be wrong about the future, never about the
+call it accepts.
+
+**Deoptimization.**  Soundness rides the PR 2 dependency machinery: a
+specialized wrapper lives exactly as long as the plan it was compiled
+from.  Every invalidation wave that drops a plan
+(:meth:`CallPlanCache.invalidate_resources`,
+:meth:`~repro.core.plans.CallPlanCache.invalidate_cache_keys`,
+:meth:`~repro.core.plans.CallPlanCache.clear`, and store-overwrites)
+reports the dropped keys through ``CallPlanCache.on_drop``, and the
+engine swaps the generic wrapper back in *before the wave returns* —
+so by the time a mutation's caller regains control, no specialized code
+embodying the pre-mutation world is reachable from the class.  Epoch
+bumps that drop nothing (e.g. a field-type wave whose removal set is
+empty) deoptimize nothing: a surviving plan's dependencies were, by
+construction of the wave, untouched, so its compiled form is still
+valid.  Three further guards close the remaining corners:
+
+* every specialized wrapper carries a per-call **liveness guard** — a
+  constant-key identity probe that its plan is still the one in the
+  plan cache.  Rebinding the class attribute cannot reach bound methods
+  Python callers hoisted before the swap; the liveness guard makes
+  those references self-invalidating, so deopt-by-rebinding is purely a
+  performance recovery, never load-bearing for soundness;
+* checked wrappers additionally test their ``(receiver, method)``
+  membership in the check cache per call, so even a direct
+  ``CheckCache.clear()`` that bypasses ``Engine.invalidate`` degrades
+  the site to the generic path instead of replaying a removed
+  derivation — mirroring the tier-1 plan guard;
+* promotion re-verifies (after publishing the wrapper) that its plan is
+  still live, self-deoptimizing if a wave raced the install through a
+  direct cache call that did not hold the engine's writer lock.
+
+Contracts (``rdl.wrap`` pre/post hooks) always run in the generic
+wrapper; registering any contract deoptimizes every site and blocks
+further promotion while contracts exist.
+
+``REPRO_DISABLE_SPECIALIZE=1`` (or ``EngineConfig(specialize=False)``)
+turns the tier off — the ``tier1-nospec`` CI job runs the whole suite
+that way, and the differential harnesses prove outcome equality between
+tier-2, tier-1, and the cache-free oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import TYPE_CHECKING, Dict, Iterable, Tuple
+
+from ..rdl.registry import CLASS
+from .plans import (
+    ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_CHECK_NEVER, CallPlan, PlanKey,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+
+def specialize_disabled_by_env() -> bool:
+    """True when ``REPRO_DISABLE_SPECIALIZE`` forces tier-1-only mode."""
+    return os.environ.get("REPRO_DISABLE_SPECIALIZE", "") not in (
+        "", "0", "false", "no")
+
+
+class _Site:
+    """One promoted call site: what was displaced and what displaced it."""
+
+    __slots__ = ("key", "def_cls", "name", "generic", "specialized",
+                 "was_classmethod")
+
+    def __init__(self, key: PlanKey, def_cls: type, name: str, generic,
+                 specialized, was_classmethod: bool) -> None:
+        self.key = key
+        self.def_cls = def_cls
+        self.name = name
+        self.generic = generic
+        self.specialized = specialized
+        self.was_classmethod = was_classmethod
+
+
+class Specializer:
+    """The tier-2 compiler + deopt registry for one engine.
+
+    Locking: :meth:`maybe_promote` runs under the engine's writer lock
+    (promotion is a mutation of the class, and serializing with
+    invalidation waves makes the is-my-plan-still-live check race-free);
+    the internal lock additionally serializes the site registry against
+    deopt callbacks arriving from direct ``CallPlanCache`` calls that
+    bypass the writer lock.  The specializer never acquires any other
+    lock while holding its own.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._lock = threading.Lock()
+        self._sites: Dict[PlanKey, _Site] = {}
+        #: (defining class, method name) -> plan key, so wrapper-slot
+        #: rebinds (re-wrap, unwrap) can discard the registration that
+        #: watched the displaced slot.
+        self._by_slot: Dict[Tuple[type, str], PlanKey] = {}
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    # -- promotion ----------------------------------------------------------
+
+    def maybe_promote(self, key: PlanKey, plan: CallPlan, fn, recv) -> bool:
+        """Compile ``plan`` into a specialized wrapper and install it.
+
+        Called from the warm path when the plan crosses the hit
+        threshold.  Marks the plan ``promoted`` whatever happens — one
+        attempt per plan generation; a plan dropped by invalidation and
+        rebuilt cold gets a fresh attempt.
+        """
+        plan.promoted = True
+        engine = self.engine
+        if engine._contracts:
+            return False  # contracts only run in the generic wrapper
+        if not _plan_specializable(plan):
+            return False
+        def_owner, recv_owner, name, kind = key
+        if kind == CLASS:
+            if not isinstance(recv, type):
+                return False
+            guard_cls: type = recv
+        else:
+            guard_cls = type(recv)
+        def_cls = engine.host_class(def_owner)
+        if def_cls is None:
+            return False
+        raw = def_cls.__dict__.get(name)
+        was_classmethod = isinstance(raw, classmethod)
+        inner = raw.__func__ if was_classmethod else raw
+        # Only displace the current-generation generic wrapper for this
+        # very function: a stale fn, an already-specialized slot (another
+        # receiver class won the monomorphic slot), or a foreign wrapper
+        # all refuse.
+        if (inner is None
+                or getattr(inner, "__hb_specialized__", False)
+                or getattr(inner, "__hb_original__", None) is not fn):
+            return False
+        with engine.write_lock:
+            if engine._contracts:
+                # Re-validated under the lock: a contract registered
+                # between the lock-free probe above and here must win —
+                # contract registration serializes on the same lock.
+                return False
+            plans = engine._plans
+            if plans is None or plans.get(key) is not plan:
+                return False  # a wave dropped the plan while we raced here
+            if def_cls.__dict__.get(name) is not raw:
+                return False  # the slot changed under us; stay generic
+            with self._lock:
+                if key in self._sites or (def_cls, name) in self._by_slot:
+                    return False
+                wrapper = _compile_wrapper(engine, key, plan, fn, guard_cls)
+                site = _Site(key, def_cls, name, inner, wrapper,
+                             was_classmethod)
+                setattr(def_cls, name,
+                        classmethod(wrapper) if was_classmethod else wrapper)
+                self._sites[key] = site
+                self._by_slot[(def_cls, name)] = key
+            engine.stats.promotions += 1
+            stale = plans.get(key) is not plan
+        if stale:
+            # A direct cache call (no writer lock) dropped the plan
+            # between our liveness check and the install racing its
+            # on_drop callback; undo — the callback may have run before
+            # the site existed.
+            self.deoptimize_keys((key,))
+            return False
+        return True
+
+    # -- deoptimization -----------------------------------------------------
+
+    def deoptimize_keys(self, keys: Iterable[PlanKey]) -> int:
+        """Swap the generic wrapper back in for each promoted ``key``.
+
+        Restores the slot only when it still holds our specialized
+        wrapper — a slot rebound by a re-wrap or unwrap in the meantime
+        must not be clobbered with a resurrected generic.
+        """
+        restored = 0
+        with self._lock:
+            for key in keys:
+                site = self._sites.pop(key, None)
+                if site is None:
+                    continue
+                self._by_slot.pop((site.def_cls, site.name), None)
+                raw = site.def_cls.__dict__.get(site.name)
+                inner = raw.__func__ if isinstance(raw, classmethod) else raw
+                if inner is site.specialized:
+                    setattr(site.def_cls, site.name,
+                            classmethod(site.generic) if site.was_classmethod
+                            else site.generic)
+                restored += 1
+            if restored:
+                self.engine.stats.deopts += restored
+        return restored
+
+    def deoptimize_all(self) -> int:
+        """Deoptimize every promoted site (contract registration, tests)."""
+        with self._lock:
+            keys = tuple(self._sites)
+        return self.deoptimize_keys(keys)
+
+    def discard_slot(self, def_cls: type, name: str) -> None:
+        """Forget (without restoring) the site watching ``def_cls.name``.
+
+        Called by ``wrap_method``/``unwrap_method`` just before they
+        rebind the slot themselves: the displaced generic wrapper is
+        obsolete, so restoring it later would resurrect a superseded
+        function.
+        """
+        with self._lock:
+            key = self._by_slot.pop((def_cls, name), None)
+            if key is not None:
+                self._sites.pop(key, None)
+                self.engine.stats.deopts += 1
+
+    def is_promoted(self, key: PlanKey) -> bool:
+        return key in self._sites
+
+
+def _plan_specializable(plan: CallPlan) -> bool:
+    """Shape stability: every per-call decision must either fold into
+    straight-line code or have a sound bail-to-generic exit.
+
+    A dynamic check with no class profile to guard on (arg) or no result
+    profile to guard on (ret) in ``always`` mode would bail or re-walk
+    conformance on *every* call — promotion would only add overhead."""
+    if plan.sig is None:
+        return True
+    if plan.arg_mode == ARG_CHECK_ALWAYS and not plan.profile_eligible:
+        return False
+    if plan.ret_mode == ARG_CHECK_ALWAYS and not plan.ret_profile_eligible:
+        return False
+    return True
+
+
+#: synthetic filename stem for compiled wrappers (visible in tracebacks).
+_CODEGEN_FILE = "<hb-specialized {owner}#{name}>"
+
+
+def _compile_wrapper(engine: "Engine", key: PlanKey, plan: CallPlan, fn,
+                     guard_cls: type):
+    """``exec``-compile the straight-line wrapper for ``plan``.
+
+    The emitted code is the tier-1 warm path partially evaluated against
+    the plan: every mode branch is resolved at compile time, every
+    engine attribute chase becomes a closed-over local, and the counter
+    updates match the generic path bump for bump (the stats-exactness
+    suite runs with promotion active).
+    """
+    def_owner, recv_owner, name, kind = key
+    sig = plan.sig
+    checked = plan.checked
+    bail = ("return _invoke(_def_owner, _name, _kind, _fn, recv, "
+            "args, kwargs)")
+    recv_guard = "recv is not _cls" if kind == CLASS \
+        else "type(recv) is not _cls"
+    lines = [
+        "def _specialized(recv, *args, **kwargs):",
+        f"    if kwargs or {recv_guard}:",
+        f"        {bail}",
+        # Liveness guard: the wrapper is only valid while the exact plan
+        # it was compiled from is still in the plan cache.  Deopt swaps
+        # the class attribute, but Python callers may have *hoisted* a
+        # bound method before the swap — those references bypass the
+        # rebinding, and without this per-call identity probe they would
+        # replay the dropped plan's assumptions (e.g. admit an argument
+        # profile a retype just outlawed).  One constant-key dict get.
+        "    if _live.get(_key) is not _plan:",
+        f"        {bail}",
+    ]
+    if checked:
+        # Mirrors the tier-1 guard against direct CheckCache flushes
+        # that bypass Engine.invalidate: no entry, no fast path.
+        lines += [
+            "    if _ckey not in _entries:",
+            f"        {bail}",
+        ]
+    lines += [
+        "    tls = _tls",
+        "    stack = tls.stack",
+    ]
+    profile_test, guard_classes = _profile_test_lines(plan, bail)
+    if sig is None:
+        arg_counters = []
+    elif plan.arg_mode == ARG_CHECK_BOUNDARY:
+        lines += [
+            "    if stack and stack[-1]:",
+            "        checked_args = False",
+            "    else:",
+            *["        " + ln for ln in profile_test],
+            "        checked_args = True",
+        ]
+        arg_counters = [
+            "    if checked_args:",
+            "        c.dynamic_arg_checks += 1",
+            "    else:",
+            "        c.dynamic_arg_checks_skipped += 1",
+        ]
+    elif plan.arg_mode == ARG_CHECK_ALWAYS:
+        lines += ["    " + ln for ln in profile_test]
+        arg_counters = ["    c.dynamic_arg_checks += 1"]
+    else:  # ARG_CHECK_NEVER
+        arg_counters = ["    c.dynamic_arg_checks_skipped += 1"]
+    do_ret = sig is not None and plan.ret_mode != ARG_CHECK_NEVER
+    if do_ret:
+        # Decided from the *caller's* frame, before ours pushes —
+        # identical to the tier-1 ordering.
+        if plan.ret_mode == ARG_CHECK_ALWAYS:
+            lines.append("    do_ret = True")
+        else:
+            lines.append("    do_ret = True if stack and stack[-1] "
+                         "else False")
+    lines += [
+        "    c = tls.counters",
+        "    c.calls_intercepted += 1",
+        "    c.fast_path_hits += 1",
+        "    c.specialized_hits += 1",
+    ]
+    if checked:
+        lines.append("    c.cache_hits += 1")
+    lines += arg_counters
+    lines += [
+        f"    stack.append({checked})",
+        "    try:",
+        "        result = _fn(recv, *args)" if do_ret
+        else "        return _fn(recv, *args)",
+        "    finally:",
+        "        stack.pop()",
+    ]
+    if do_ret:
+        if plan.ret_profile_eligible:
+            lines += [
+                "    if do_ret:",
+                "        if type(result) in _plan.ret_profiles:",
+                "            c.ret_profile_hits += 1",
+                "        else:",
+                "            _ret_slow(result)",
+                "        c.dynamic_ret_checks += 1",
+            ]
+        else:
+            lines += [
+                "    if do_ret:",
+                "        _ret_check(_sig, result, _recv_owner, _name)",
+                "        c.dynamic_ret_checks += 1",
+            ]
+        lines.append("    return result")
+    source = "\n".join(lines) + "\n"
+    namespace = {
+        "_cls": guard_cls,
+        "_fn": fn,
+        "_tls": engine._tls,
+        "_plan": plan,
+        "_invoke": engine.invoke,
+        "_def_owner": def_owner,
+        "_recv_owner": recv_owner,
+        "_name": name,
+        "_kind": kind,
+        "_ckey": (recv_owner, name),
+        "_entries": engine.cache._entries,
+        "_key": key,
+        "_live": engine._plans._plans,
+        "_sig": sig,
+        "_ret_check": engine._dynamic_ret_check,
+    }
+    namespace.update(guard_classes)
+    if do_ret and plan.ret_profile_eligible:
+        def _ret_slow(result, _engine=engine, _plan=plan,
+                      _owner=recv_owner, _name=name):
+            _engine._dynamic_ret_check(_plan.sig, result, _owner, _name)
+            _plan.learn_ret_profile(type(result))
+        namespace["_ret_slow"] = _ret_slow
+    filename = _CODEGEN_FILE.format(owner=recv_owner, name=name)
+    exec(compile(source, filename, "exec"), namespace)  # noqa: S102
+    wrapper = namespace["_specialized"]
+    wrapper.__name__ = getattr(fn, "__name__", name)
+    wrapper.__qualname__ = getattr(fn, "__qualname__", name)
+    wrapper.__doc__ = getattr(fn, "__doc__", None)
+    wrapper.__module__ = getattr(fn, "__module__", __name__)
+    wrapper.__hb_original__ = fn
+    wrapper.__hb_engine__ = engine
+    wrapper.__hb_specialized__ = True
+    wrapper.__hb_source__ = source  # introspection for tests/debugging
+    return wrapper
+
+
+def _profile_test_lines(plan: CallPlan, bail: str) -> Tuple[list, dict]:
+    """The membership test against the plan's COW profile set, fronted
+    by an identity guard on the *dominant* profile (the one observed at
+    promotion time): the steady state is a ``len``/``type``/``is``
+    chain with no tuple allocation.  Returns the (unindented) lines and
+    the ``_d<i>`` guard classes to close over.
+
+    Misses bail to the generic tier, which runs the real conformance
+    walk (raising on genuinely bad arguments) and COW-learns passing
+    tuples into ``plan.profiles`` — which this code re-reads per call,
+    so the specialized site keeps profiting from post-promotion
+    learning without recompilation."""
+    if not plan.profile_eligible:
+        # No sound class guard exists; a check-path call must run the
+        # full conformance walk — in the generic tier.
+        return [bail], {}
+    dominant = next(iter(plan.profiles), None)
+    fallback = [
+        "if tuple(map(type, args)) not in _plan.profiles:",
+        f"    {bail}",
+    ]
+    if dominant is None:
+        return fallback, {}
+    guard = [f"len(args) == {len(dominant)}"]
+    guard += [f"type(args[{i}]) is _d{i}" for i in range(len(dominant))]
+    lines = [
+        f"if not ({' and '.join(guard)}):",
+        *["    " + ln for ln in fallback],
+    ]
+    return lines, {f"_d{i}": cls for i, cls in enumerate(dominant)}

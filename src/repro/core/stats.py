@@ -36,6 +36,7 @@ Key = Tuple[str, str]
 HOT_COUNTER_FIELDS = (
     "calls_intercepted",
     "fast_path_hits",
+    "specialized_hits",
     "cache_hits",
     "cache_misses",
     "dynamic_arg_checks",
@@ -121,6 +122,11 @@ class Stats:
         # calls_intercepted, fast_path_hits, ret_profile_hits are
         # aggregate properties over the per-thread HotCounters.
         self.plan_invalidations = 0      # plans dropped by invalidation
+        # tiered execution (the tier-2 specializer); promotions happen
+        # under the writer lock and deopts under the specializer's lock,
+        # so plain attributes suffice (specialized_hits is sharded).
+        self.promotions = 0              # call sites compiled to tier 2
+        self.deopts = 0                  # specialized wrappers swapped out
         self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
         self.subtype_cache_misses = 0
         # dependency-tracked invalidation (the deps.DepGraph subsystem)
@@ -253,6 +259,9 @@ class Stats:
             "cache_misses": self.cache_misses,
             "calls_intercepted": self.calls_intercepted,
             "fast_path_hits": self.fast_path_hits,
+            "specialized_hits": self.specialized_hits,
+            "promotions": self.promotions,
+            "deopts": self.deopts,
             "plan_invalidations": self.plan_invalidations,
             "ret_profile_hits": self.ret_profile_hits,
             "dynamic_ret_checks": self.dynamic_ret_checks,

@@ -12,7 +12,19 @@ including class (the paper's module-handling strategy).
 
 ``pre``/``post`` contracts (the RDL feature Figs. 1 and 2 use to generate
 types when metaprogramming runs) are implemented here too: contracts run
-inside the wrapper, before and after the original body.
+inside the wrapper, before and after the original body.  Contract
+*resolution* (which ``(class, name)`` entry applies to a receiver) is
+memoized per ``(defining owner, receiver class, name)`` and flushed
+whenever a contract store is created — contracted metaprogramming calls
+no longer re-walk the receiver MRO with per-class dict probes.
+
+Tier-2 interplay: the engine's specializer
+(:mod:`repro.core.specialize`) may displace a generic wrapper installed
+here with a compiled per-site wrapper.  Both :func:`wrap_method` and
+:func:`unwrap_method` therefore notify the specializer before rebinding
+a slot themselves, so a stale deopt can never resurrect a superseded
+wrapper; and registering any contract deoptimizes every promoted site —
+contracts only run in the generic wrapper.
 """
 
 from __future__ import annotations
@@ -31,6 +43,9 @@ class ContractViolation(Exception):
 _PRE_KEY = "__hb_pres__"
 _POST_KEY = "__hb_posts__"
 
+#: memo-miss sentinel (None is a legitimate negative resolution).
+_UNRESOLVED = object()
+
 
 def wrap_method(engine, pycls: type, name: str, *, kind: str = INSTANCE,
                 fn=None) -> None:
@@ -38,6 +53,7 @@ def wrap_method(engine, pycls: type, name: str, *, kind: str = INSTANCE,
     def_cls = _defining_class(pycls, name)
     if def_cls is None:
         def_cls = pycls
+    _discard_specialization(engine, def_cls, name)
     raw = def_cls.__dict__.get(name)
     was_classmethod = isinstance(raw, classmethod)
     if fn is None:
@@ -77,7 +93,18 @@ def unwrap_method(pycls: type, name: str) -> None:
     fn = raw.__func__ if isinstance(raw, (classmethod, staticmethod)) else raw
     original = getattr(fn, "__hb_original__", None)
     if original is not None:
+        engine = getattr(fn, "__hb_engine__", None)
+        if engine is not None:
+            _discard_specialization(engine, def_cls, name)
         setattr(def_cls, name, original)
+
+
+def _discard_specialization(engine, def_cls: type, name: str) -> None:
+    """Tell the engine's specializer this slot is being rebound by hand:
+    its record of the displaced generic wrapper is now obsolete."""
+    specializer = getattr(engine, "_specializer", None)
+    if specializer is not None:
+        specializer.discard_slot(def_cls, name)
 
 
 def is_wrapped(pycls: type, name: str) -> bool:
@@ -104,27 +131,53 @@ def add_post(engine, pycls: type, name: str, contract: Callable) -> None:
 
 
 def _contracts_on(engine, pycls: type, name: str) -> Dict[str, List]:
-    store = engine.__dict__.setdefault("_contracts", {})
-    key = (pycls.__name__, name)
-    if key not in store:
-        store[key] = {}
-        # Contracts are Hummingbird instrumentation: in "Orig" mode
-        # (intercept=False) nothing is wrapped and no hooks run.
-        if engine.config.intercept and not is_wrapped(pycls, name):
-            wrap_method(engine, pycls, name)
-    return store[key]
+    # Contract registration is a mutation wave: it runs under the
+    # engine's writer lock so it serializes with tier-2 promotion (which
+    # re-validates contracts-empty under the same lock) — otherwise a
+    # promotion in flight could install a specialized wrapper, which
+    # never runs contract hooks, after deoptimize_all() below ran.
+    with engine.write_lock:
+        store = engine.__dict__.setdefault("_contracts", {})
+        # Any contract mutation invalidates memoized resolutions (a new
+        # (class, name) entry can shadow an ancestor's for some
+        # receivers) and deoptimizes every tier-2 site: specialized
+        # wrappers never run contract hooks, so contracts force the
+        # generic wrapper everywhere.
+        engine.__dict__["_contract_memo"] = {}
+        specializer = getattr(engine, "_specializer", None)
+        if specializer is not None:
+            specializer.deoptimize_all()
+        key = (pycls.__name__, name)
+        if key not in store:
+            store[key] = {}
+            # Contracts are Hummingbird instrumentation: in "Orig" mode
+            # (intercept=False) nothing is wrapped and no hooks run.
+            if engine.config.intercept and not is_wrapped(pycls, name):
+                wrap_method(engine, pycls, name)
+        return store[key]
 
 
 def _run_contracts(engine, recv, owner: str, name: str, which: str,
                    args, kwargs, result=None) -> None:
     store = engine.__dict__.get("_contracts", {})
-    entry = store.get((owner, name))
-    if not entry:
-        cls = type(recv) if not isinstance(recv, type) else recv
-        for klass in getattr(cls, "__mro__", ()):
-            entry = store.get((klass.__name__, name))
-            if entry:
-                break
+    cls = type(recv) if not isinstance(recv, type) else recv
+    # Resolution memo: the (owner-probe, MRO walk) below depends only on
+    # the defining owner, the receiver's class, and the method name.
+    # Reads and the idempotent insert are GIL-atomic dict ops; the memo
+    # dict is replaced wholesale when contracts change.
+    memo = engine.__dict__.get("_contract_memo")
+    if memo is None:
+        memo = engine.__dict__.setdefault("_contract_memo", {})
+    memo_key = (owner, cls, name)
+    entry = memo.get(memo_key, _UNRESOLVED)
+    if entry is _UNRESOLVED:
+        entry = store.get((owner, name))
+        if not entry:
+            for klass in getattr(cls, "__mro__", ()):
+                entry = store.get((klass.__name__, name))
+                if entry:
+                    break
+        memo[memo_key] = entry if entry else None
     if not entry:
         return
     for contract in entry.get(which, ()):  # pragma: no branch

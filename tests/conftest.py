@@ -24,12 +24,16 @@ import os
 
 import pytest
 
-from repro.core import caches_disabled_by_env
+from repro.core import caches_disabled_by_env, specialize_disabled_by_env
 
 CACHES_DISABLED = caches_disabled_by_env()
 
 THREADS_DISABLED = os.environ.get("REPRO_DISABLE_THREADS", "") not in (
     "", "0", "false", "no")
+
+#: tier-2 specialization rides the call-plan machinery, so both the
+#: explicit nospec switch and the cache-free oracle turn it off.
+SPECIALIZE_DISABLED = specialize_disabled_by_env() or CACHES_DISABLED
 
 
 def pytest_configure(config):
@@ -41,6 +45,12 @@ def pytest_configure(config):
         "markers",
         "requires_threads: spawns worker threads; skipped when "
         "REPRO_DISABLE_THREADS=1 forces a single-threaded run")
+    config.addinivalue_line(
+        "markers",
+        "requires_specialization: asserts tier-2 promotion/deopt "
+        "observables; skipped when REPRO_DISABLE_SPECIALIZE=1 (the "
+        "tier1-nospec job) or REPRO_DISABLE_CACHES=1 pins sites to "
+        "the generic path")
 
 
 def pytest_runtest_setup(item):
@@ -50,3 +60,7 @@ def pytest_runtest_setup(item):
     if THREADS_DISABLED and item.get_closest_marker("requires_threads"):
         pytest.skip("threaded suites disabled under "
                     "REPRO_DISABLE_THREADS=1")
+    if SPECIALIZE_DISABLED and item.get_closest_marker(
+            "requires_specialization"):
+        pytest.skip("tier-2 specialization observables absent under "
+                    "REPRO_DISABLE_SPECIALIZE=1 / REPRO_DISABLE_CACHES=1")

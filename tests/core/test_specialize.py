@@ -1,0 +1,506 @@
+"""Tier-2 specialization: promotion, guard fallbacks, and deopt soundness.
+
+The contract under test (see ``docs/performance.md`` "Tiered execution"):
+
+* a stable warm call plan is promoted to an exec-generated per-site
+  wrapper after ``specialize_threshold`` hits, and the wrapper's
+  outcomes — return values, raised errors, stats invariants — are
+  indistinguishable from the generic tier's;
+* every guard failure (wrong receiver class, kwargs, unseen argument
+  classes, missing check-cache entry) **falls back** into the generic
+  ``Engine.invoke``, never raises through the fast path, and never
+  skips a failing dynamic check;
+* every invalidation wave that drops the underlying plan — retype,
+  redefinition, hierarchy mutation, field retype, plan-cache clear —
+  **deoptimizes**: the generic wrapper is back on the class before the
+  wave returns, so the next call re-resolves against the mutated world
+  (the error-flipping retype is the stale-specialization smoking gun);
+* deopt is not a one-way door: a re-warmed site re-promotes.
+
+The hypothesis stress at the bottom replays random
+promote/deopt/re-promote interleavings differentially against the
+cache-free oracle with a tiny threshold, so every script crosses the
+promotion boundary many times.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ArgumentTypeError, Engine, EngineConfig, StaticTypeError,
+)
+from repro.rdl.wrap import add_pre, is_wrapped, unwrap_method
+
+THRESHOLD = 5  # tiny, so tests cross the promotion boundary quickly
+
+
+def spec_engine(**overrides) -> Engine:
+    return Engine(EngineConfig(specialize_threshold=THRESHOLD, **overrides))
+
+
+_BUMP = "def bump(self, n):\n    return n + 1\n"
+_BASE = "def base(self, n):\n    return n\n"
+_DOUBLE = "def double(self, n):\n    return self.base(n) + n\n"
+
+
+def _define(engine, cls, name, body, sig, check=True):
+    namespace = {}
+    exec(body, namespace)  # noqa: S102 - fixed test templates
+    engine.define_method(cls, name, namespace[name], sig=sig, check=check,
+                         source=body)
+
+
+def _hot_world(engine):
+    cls = type("SpecHot", (object,), {})
+    _define(engine, cls, "bump", _BUMP, "(Integer) -> Integer")
+    return cls
+
+
+def _warm(obj, name="bump", calls=THRESHOLD + 5):
+    for i in range(calls):
+        getattr(obj, name)(i)
+
+
+def _slot_is_specialized(cls, name) -> bool:
+    raw = cls.__dict__.get(name)
+    fn = raw.__func__ if isinstance(raw, classmethod) else raw
+    return getattr(fn, "__hb_specialized__", False)
+
+
+# -- promotion ---------------------------------------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_promotion_after_threshold():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    for i in range(THRESHOLD + 10):
+        assert obj.bump(i) == i + 1
+    stats = engine.stats
+    assert stats.promotions == 1
+    assert stats.specialized_hits > 0
+    assert _slot_is_specialized(cls, "bump")
+    assert is_wrapped(cls, "bump")  # still reads as an intercepted method
+
+
+@pytest.mark.requires_specialization
+def test_specialized_stats_stay_exact():
+    """Counter-for-counter parity with the generic tier: the warm-call
+    invariants that the stats suite asserts must survive promotion."""
+    engine = spec_engine()
+    obj = _hot_world(engine)()
+    calls = THRESHOLD + 40
+    _warm(obj, calls=calls)
+    stats = engine.stats
+    assert stats.calls_intercepted == calls
+    assert stats.fast_path_hits == calls - 1  # first call is the cold build
+    assert (stats.dynamic_arg_checks + stats.dynamic_arg_checks_skipped
+            == stats.calls_intercepted)
+    assert stats.specialized_hits == stats.fast_path_hits - THRESHOLD
+
+
+@pytest.mark.requires_specialization
+def test_no_promotion_when_disabled_by_config():
+    engine = Engine(EngineConfig(specialize=False, specialize_threshold=2))
+    obj = _hot_world(engine)()
+    _warm(obj, calls=50)
+    assert engine.stats.promotions == 0
+    assert engine.stats.specialized_hits == 0
+
+
+@pytest.mark.requires_caches
+def test_no_promotion_when_disabled_by_env(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_SPECIALIZE", "1")
+    engine = spec_engine()
+    obj = _hot_world(engine)()
+    _warm(obj, calls=50)
+    assert engine.stats.promotions == 0
+
+
+@pytest.mark.requires_specialization
+def test_classmethod_site_promotes():
+    """CLASS-kind sites specialize too: the guard is identity on the
+    receiver class object, and the classmethod binding is preserved."""
+    engine = spec_engine()
+    hb = engine.api()
+
+    class SpecClassKind:
+        @hb.typed("(Integer) -> Integer")
+        @classmethod
+        def tally(cls, n):
+            return n + 2
+
+    for i in range(THRESHOLD + 10):
+        assert SpecClassKind.tally(i) == i + 2
+    stats = engine.stats
+    assert stats.promotions == 1
+    assert stats.specialized_hits > 0
+    raw = SpecClassKind.__dict__["tally"]
+    assert isinstance(raw, classmethod)
+    assert getattr(raw.__func__, "__hb_specialized__", False)
+    with pytest.raises(ArgumentTypeError):
+        SpecClassKind.tally("nope")
+
+
+# -- guard failures fall back, never raise -----------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_wrong_receiver_class_falls_back_to_generic():
+    """The monomorphic guard: a subclass receiver takes the generic path
+    (and gets its own receiver-keyed check) while the promoted class
+    keeps its fast path."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    sub = type("SpecHotSub", (cls,), {})
+    engine.register_class(sub)
+    sub_obj = sub()
+    assert sub_obj.bump(3) == 4  # falls back, no error
+    assert obj.bump(3) == 4
+
+
+@pytest.mark.requires_specialization
+def test_specialized_site_still_rejects_bad_arguments():
+    """Inline-cache soundness survives tier 2: the profile guard only
+    accepts classes that passed; anything else re-runs the real check."""
+    engine = spec_engine()
+    obj = _hot_world(engine)()
+    _warm(obj)
+    with pytest.raises(ArgumentTypeError):
+        obj.bump("not an integer")
+    assert obj.bump(7) == 8  # site still healthy afterwards
+
+
+@pytest.mark.requires_specialization
+def test_kwargs_calls_fall_back():
+    engine = spec_engine()
+    obj = _hot_world(engine)()
+    _warm(obj)
+    assert obj.bump(n=3) == 4
+
+
+@pytest.mark.requires_specialization
+def test_new_argument_classes_learned_after_promotion():
+    """Post-promotion learning: the generic fallback COW-publishes new
+    passing profiles that the compiled wrapper then reads per call."""
+    engine = spec_engine()
+    cls = type("SpecNum", (object,), {})
+    _define(engine, cls, "same", "def same(self, n):\n    return n\n",
+            "(Numeric) -> Numeric")
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        obj.same(i)  # promote with an int-only profile
+    assert engine.stats.promotions == 1
+    assert obj.same(1.5) == 1.5  # float: profile miss -> fallback -> learn
+    plan = engine._plans.get(("SpecNum", "SpecNum", "same", "instance"))
+    assert (float,) in plan.profiles
+    before = engine.stats.specialized_hits
+    assert obj.same(2.5) == 2.5  # now a specialized hit via the COW set
+    assert engine.stats.specialized_hits == before + 1
+
+
+# -- deoptimization ----------------------------------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_error_flipping_retype_deoptimizes():
+    """The smoking gun: retyping the callee's return makes the promoted
+    caller's derivation ill-typed; a stale specialized wrapper would
+    keep returning successes."""
+    engine = spec_engine()
+    cls = type("SpecPair", (object,), {})
+    _define(engine, cls, "base", _BASE, "(Integer) -> Integer")
+    _define(engine, cls, "double", _DOUBLE, "(Integer) -> Integer")
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        assert obj.double(i) == 2 * i
+    assert engine.stats.promotions >= 1
+    engine.types.replace("SpecPair", "base", "(Integer) -> String",
+                         check=True)
+    assert engine.stats.deopts >= 1
+    assert not _slot_is_specialized(cls, "double")
+    with pytest.raises(StaticTypeError):
+        obj.double(3)
+
+
+@pytest.mark.requires_specialization
+def test_redefinition_deoptimizes_and_new_body_runs():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    _define(engine, cls, "bump", "def bump(self, n):\n    return n + 10\n",
+            "(Integer) -> Integer")
+    assert obj.bump(1) == 11  # the *new* body, not the compiled-in old fn
+    assert engine.stats.deopts >= 1
+
+
+@pytest.mark.requires_specialization
+def test_hierarchy_mutation_deoptimizes_dependent_sites():
+    """A structural mutation of the receiver's linearization drops the
+    plans that resolved through it — and must deopt their wrappers."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    module = type("SpecMixin", (object,), {"__hb_module__": True})
+    engine.register_class(module)
+    engine.hier.include_module("SpecHot", "SpecMixin")
+    assert not _slot_is_specialized(cls, "bump")
+    assert obj.bump(2) == 3  # re-resolves and still works
+
+
+@pytest.mark.requires_specialization
+def test_field_retype_deoptimizes_field_reading_site():
+    engine = spec_engine()
+    cls = type("SpecField", (object,), {"__init__":
+               lambda self: setattr(self, "value", 1)})
+    engine.register_class(cls)
+    engine.field_type(cls, "value", "Integer")
+    _define(engine, cls, "read",
+            "def read(self, n):\n    return self.value + n\n",
+            "(Integer) -> Integer")
+    obj = cls()
+    _warm(obj, name="read")
+    assert _slot_is_specialized(cls, "read")
+    engine.field_type(cls, "value", "String")  # derivation now ill-typed
+    assert not _slot_is_specialized(cls, "read")
+    with pytest.raises(StaticTypeError):
+        obj.read(1)
+
+
+@pytest.mark.requires_specialization
+def test_plan_cache_clear_deoptimizes_everything():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    engine._plans.clear()
+    assert not _slot_is_specialized(cls, "bump")
+    assert obj.bump(4) == 5
+
+
+@pytest.mark.requires_specialization
+def test_direct_check_cache_clear_degrades_not_stales():
+    """Even a CheckCache.clear() that bypasses Engine.invalidate (so no
+    deopt fires) must not replay the removed derivation: the per-call
+    membership guard bails to the generic tier, which re-checks."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    checks_before = engine.stats.static_checks
+    engine.cache.clear()
+    assert obj.bump(5) == 6
+    assert engine.stats.static_checks == checks_before + 1  # re-derived
+
+
+@pytest.mark.requires_specialization
+def test_repromotion_after_deopt():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert engine.stats.promotions == 1
+    engine.types.replace("SpecHot", "bump", "(Integer) -> Integer",
+                         check=True)  # same-signature reload churn
+    assert engine.stats.deopts >= 1
+    _warm(obj)
+    assert engine.stats.promotions == 2
+    assert _slot_is_specialized(cls, "bump")
+
+
+@pytest.mark.requires_specialization
+def test_unwrap_restores_the_original_function():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    unwrap_method(cls, "bump")
+    assert not is_wrapped(cls, "bump")
+    calls_before = engine.stats.calls_intercepted
+    assert obj.bump(1) == 2      # plain python call
+    assert engine.stats.calls_intercepted == calls_before
+
+
+@pytest.mark.requires_specialization
+def test_contract_registration_deoptimizes_and_contracts_run():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    seen = []
+    add_pre(engine, cls, "bump", lambda recv, *a, **k: seen.append(a) or True)
+    assert not _slot_is_specialized(cls, "bump")
+    assert obj.bump(1) == 2
+    assert seen == [(1,)]  # the hook actually ran
+    _warm(obj, calls=THRESHOLD * 4)
+    assert not _slot_is_specialized(cls, "bump")  # no re-promotion
+
+
+@pytest.mark.requires_specialization
+def test_hoisted_bound_method_cannot_outlive_its_plan():
+    """A bound method hoisted while the site was specialized bypasses
+    deopt-by-rebinding; the per-call liveness guard must make it fall
+    back once the plan is dropped — even after the site re-warms under
+    a new signature whose checks the old plan would have skipped."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+    hoisted = obj.bump  # captures the specialized wrapper
+    # Outlaw Integer arguments; the old plan's profile admitted them.
+    engine.types.replace("SpecHot", "bump", "(String) -> Integer",
+                         check=True)
+    with pytest.raises(Exception):  # noqa: B017 - ill-typed body OR bad arg
+        hoisted(1)
+    # And through a full re-derivation cycle back to the original
+    # signature the hoisted reference still re-validates per call: the
+    # rebuilt plan is a *different object*, so the old wrapper's
+    # liveness guard keeps bailing to the generic path.
+    engine.types.replace("SpecHot", "bump", "(Integer) -> Integer",
+                         check=True)
+    assert obj.bump(2) == 3  # rebuilt plan, maybe re-promoted
+    assert hoisted(3) == 4   # old wrapper: liveness guard -> generic path
+    before = engine.stats.calls_intercepted
+    hoisted(4)
+    assert engine.stats.calls_intercepted == before + 1
+
+
+# -- trusted signatures and return checks ------------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_trusted_signature_site_promotes_and_checks_args():
+    engine = spec_engine()
+    cls = type("SpecTrusted", (object,), {})
+    _define(engine, cls, "bump", _BUMP, "(Integer) -> Integer", check=False)
+    obj = cls()
+    _warm(obj)
+    assert engine.stats.promotions == 1
+    with pytest.raises(ArgumentTypeError):
+        obj.bump([])
+
+
+@pytest.mark.requires_specialization
+def test_dynamic_ret_checks_survive_promotion():
+    """An always-mode return check on a trusted lying signature must
+    keep firing from the specialized wrapper."""
+    from repro import ReturnTypeError
+
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD,
+                                 dynamic_ret_checks="always"))
+    cls = type("SpecLiar", (object,), {})
+    _define(engine, cls, "greet", "def greet(self, n):\n    return n + 1\n",
+            "(Integer) -> Integer", check=False)
+    _define(engine, cls, "lie", "def lie(self, n):\n    return 'x'\n",
+            "(Integer) -> Integer", check=False)
+    obj = cls()
+    _warm(obj, name="greet")
+    assert engine.stats.promotions >= 1
+    assert engine.stats.dynamic_ret_checks > 0
+    with pytest.raises(ReturnTypeError):
+        obj.lie(1)
+    ret_checks = engine.stats.dynamic_ret_checks
+    assert obj.greet(3) == 4
+    assert engine.stats.dynamic_ret_checks == ret_checks + 1
+
+
+# -- promote/deopt/re-promote stress (hypothesis) ----------------------------
+
+_STRESS_SIGS = ("(Integer) -> Integer", "(Integer) -> String",
+                "(Integer) -> Numeric")
+_STRESS_BODIES = {
+    "inc": "def {name}(self, n):\n    return n + 1\n",
+    "ident": "def {name}(self, n):\n    return n\n",
+    "chain": "def {name}(self, n):\n    return self.m0(n)\n",
+}
+
+stress_ops = st.lists(
+    st.one_of(
+        # call bursts long enough to cross the tiny promotion threshold
+        st.tuples(st.just("burst"), st.sampled_from(("m0", "m1")),
+                  st.integers(min_value=1, max_value=12)),
+        st.tuples(st.just("retype"), st.sampled_from(("m0", "m1")),
+                  st.sampled_from(_STRESS_SIGS)),
+        st.tuples(st.just("redefine"), st.sampled_from(("m0", "m1")),
+                  st.sampled_from(sorted(_STRESS_BODIES))),
+        st.tuples(st.just("badcall"), st.sampled_from(("m0", "m1"))),
+    ),
+    min_size=2, max_size=16)
+
+
+def _stress_outcome(thunk):
+    try:
+        return ("ok", repr(thunk()))
+    except RecursionError:
+        return ("err", "RecursionError")
+    except Exception as exc:  # noqa: BLE001 - error identity is the property
+        return ("err", type(exc).__name__, str(exc))
+
+
+def _stress_replay(script, *, disable):
+    engine = Engine(EngineConfig(specialize_threshold=2),
+                    disable_caches=disable)
+    cls = type("SpecStress", (object,), {})
+    for name in ("m0", "m1"):
+        _define(engine, cls, name,
+                _STRESS_BODIES["inc"].format(name=name),
+                "(Integer) -> Integer")
+    obj = cls()
+    outcomes = []
+    for op in script:
+        if op[0] == "burst":
+            _, name, count = op
+            for i in range(count):
+                outcomes.append(_stress_outcome(
+                    lambda n=name, a=i: getattr(obj, n)(a)))
+        elif op[0] == "retype":
+            _, name, sig = op
+            outcomes.append(_stress_outcome(
+                lambda: engine.types.replace("SpecStress", name, sig,
+                                             check=True)))
+        elif op[0] == "redefine":
+            _, name, body_key = op
+            body = _STRESS_BODIES[body_key].format(name=name)
+            namespace = {}
+            exec(body, namespace)  # noqa: S102 - fixed test templates
+            fn = namespace[name]
+            fn.__hb_source__ = body
+            outcomes.append(_stress_outcome(
+                lambda: engine.define_method(cls, name, fn, source=body)))
+        else:  # badcall: must raise identically in both engines
+            outcomes.append(_stress_outcome(
+                lambda n=op[1]: getattr(obj, n)("wrong")))
+    return outcomes, engine
+
+
+@given(stress_ops)
+@settings(max_examples=40, deadline=None)
+def test_promote_deopt_repromote_matches_oracle(script):
+    """Random promote/deopt/re-promote interleavings never change a
+    single observable outcome versus the cache-free oracle."""
+    tiered, _ = _stress_replay(script, disable=False)
+    oracle, _ = _stress_replay(script, disable=True)
+    assert tiered == oracle
+
+
+@pytest.mark.requires_specialization
+def test_stress_scenarios_actually_promote():
+    """The stress harness is not vacuous: a plain call burst promotes."""
+    script = [("burst", "m0", 12), ("retype", "m0", _STRESS_SIGS[0]),
+              ("burst", "m0", 12)]
+    _, engine = _stress_replay(script, disable=False)
+    assert engine.stats.promotions >= 2
+    assert engine.stats.deopts >= 1

@@ -24,7 +24,7 @@ import threading
 
 import pytest
 
-from repro import Engine
+from repro import Engine, EngineConfig
 from repro.concurrency import (
     ConcurrentDriver, build_concurrent_world, churn_recipe, request_thunks,
 )
@@ -315,6 +315,108 @@ def test_concurrent_mutation_converges_to_final_state():
 
     for name in ("m0", "m1", "m2"):
         assert outcome(obj, name) == outcome(oracle_obj, name)
+
+
+# -- tier-2 specialization under concurrent invalidation ---------------------
+
+
+@pytest.mark.requires_threads
+@pytest.mark.requires_specialization
+def test_invalidation_waves_race_specialized_calls():
+    """Mutator threads fire invalidation waves (deopts) while caller
+    threads ride specialized wrappers (and re-promote them).  Transient
+    outcomes are legitimate mid-mutation; the properties are (a) no
+    crash or wedge, (b) promotion/deopt both actually happened, and
+    (c) after quiescing, judgments equal a fresh cache-free oracle in
+    the final state."""
+    sig_cycle = ["(Integer) -> Integer", "(Integer) -> String",
+                 "(Integer) -> Numeric", "(Integer) -> Integer"]
+
+    def build(engine):
+        cls = type("SpecRace", (object,), {})
+        for name in ("m0", "m1"):
+            body = f"def {name}(self, n):\n    return n + 1\n"
+            namespace = {}
+            exec(body, namespace)  # noqa: S102 - fixed test template
+            engine.define_method(cls, name, namespace[name],
+                                 sig="(Integer) -> Integer", check=True,
+                                 source=body)
+        return cls()
+
+    engine = Engine(EngineConfig(specialize_threshold=3))
+    obj = build(engine)
+    stop = threading.Event()
+
+    def mutator(idx):
+        name = f"m{idx % 2}"
+        for _ in range(40):  # each cycle ends on the starting signature
+            for sig in sig_cycle:
+                engine.types.replace("SpecRace", name, sig, check=True)
+
+    def caller(idx):
+        name = f"m{idx % 2}"
+        while not stop.is_set():
+            try:
+                getattr(obj, name)(idx)
+            except Exception:  # noqa: BLE001, S110 - transient states are
+                pass           # legitimate mid-mutation; convergence is
+                               # asserted after quiescing, below
+
+    callers = [threading.Thread(target=caller, args=(i,), daemon=True)
+               for i in range(4)]
+    for t in callers:
+        t.start()
+    _run_threads(2, mutator)
+    stop.set()
+    for t in callers:
+        t.join(timeout=JOIN_S)
+    assert not any(t.is_alive() for t in callers), "caller deadlock"
+
+    stats = engine.stats
+    assert stats.promotions > 0, "the race never promoted a site"
+    assert stats.deopts > 0, "the waves never deoptimized a site"
+
+    oracle_engine = Engine(disable_caches=True)
+    oracle_obj = build(oracle_engine)
+
+    def outcome(o, name):
+        try:
+            return ("ok", repr(getattr(o, name)(9)))
+        except Exception as exc:  # noqa: BLE001 - identity compared
+            return ("err", type(exc).__name__, str(exc))
+
+    for name in ("m0", "m1"):
+        assert outcome(obj, name) == outcome(oracle_obj, name)
+
+
+@pytest.mark.requires_threads
+@pytest.mark.requires_specialization
+def test_stats_stay_exact_with_specialized_wrappers():
+    """The per-call counter invariants survive tier 2 under N threads:
+    specialized wrappers bump the same sharded counters the generic
+    path does, so totals remain exact (never torn, never double)."""
+    engine = Engine(EngineConfig(specialize_threshold=3))
+    obj = _typed_world(engine)
+    obj.bump(0)
+    for i in range(10):
+        obj.bump(i)  # promote before the measured window
+    stats = engine.stats
+    assert stats.promotions >= 1
+    per_thread = 3000
+    calls0 = stats.calls_intercepted
+    spec0 = stats.specialized_hits
+    fast0 = stats.fast_path_hits
+
+    def caller(_idx):
+        for i in range(per_thread):
+            obj.bump(i)
+
+    _run_threads(THREADS, caller)
+    assert stats.calls_intercepted - calls0 == THREADS * per_thread
+    assert stats.fast_path_hits - fast0 == THREADS * per_thread
+    assert stats.specialized_hits - spec0 == THREADS * per_thread
+    assert (stats.dynamic_arg_checks + stats.dynamic_arg_checks_skipped
+            == stats.calls_intercepted)
 
 
 # -- memo integrity under load ----------------------------------------------
