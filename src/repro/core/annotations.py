@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..rdl.registry import CLASS, INSTANCE
-from ..rdl.wrap import add_post, add_pre
+from ..rdl.wrap import add_post, add_pre, staticmethod_refusal
 
 
 class TypedMethod:
@@ -40,7 +40,25 @@ class TypedMethod:
 
     def __set_name__(self, owner: type, name: str) -> None:
         fn = self.fn
-        if isinstance(fn, (classmethod, staticmethod)):
+        if isinstance(fn, staticmethod):
+            # A staticmethod has no receiver for the JIT protocol to key
+            # on; the old conversion to classmethod silently prepended
+            # ``cls`` to every call.  A *checked* annotation cannot be
+            # honored at all, so refuse it loudly rather than record a
+            # signature that would never be enforced.
+            if self.check:
+                raise staticmethod_refusal(owner.__name__, name)
+            # Trusted signature: keep the staticmethod untouched and
+            # record it without interception (``wrap_method`` likewise
+            # refuses staticmethod slots).  CLASS kind matches where
+            # callers look the receiver-less signature up.
+            setattr(owner, name, fn)
+            self.engine.register_class(owner)
+            self.engine.annotate(owner, name, self.sig, kind=CLASS,
+                                 check=False, app_level=self.app_level,
+                                 wrap=False, fn=fn.__func__)
+            return
+        if isinstance(fn, classmethod):
             kind = CLASS
             fn = fn.__func__
         else:

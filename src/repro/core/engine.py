@@ -68,6 +68,7 @@ from __future__ import annotations
 import inspect
 import os
 import threading
+import warnings
 import weakref
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -197,6 +198,9 @@ class Engine:
         #: warm call-site inline caches; None disables the fast path.
         self._plans: Optional[CallPlanCache] = (
             CallPlanCache() if self.config.call_plans else None)
+        #: the clamped promotion threshold — the single source the
+        #: specializer's full/re-warm thresholds derive from.
+        self._spec_threshold: int = max(1, self.config.specialize_threshold)
         #: tier-2 specializer; None keeps every site on the generic
         #: wrapper (config off, env off, plans off, or oracle mode).
         self._specializer: Optional[Specializer] = None
@@ -206,7 +210,6 @@ class Engine:
             # Deopt hook: any wave that drops a plan swaps the generic
             # wrapper back in before the wave returns.
             self._plans.on_drop = self._specializer.deoptimize_keys
-        self._spec_threshold: int = max(1, self.config.specialize_threshold)
         self._arg_mode: int = ARG_MODES.get(self.config.dynamic_arg_checks,
                                             ARG_CHECK_BOUNDARY)
         if self.config.dynamic_ret_checks not in RET_MODES:
@@ -321,6 +324,17 @@ class Engine:
         pycls = owner if isinstance(owner, type) else self._app_classes.get(
             owner)
         owner_name = owner.__name__ if isinstance(owner, type) else owner
+        if wrap and self.config.intercept and pycls is not None:
+            # Refuse staticmethod slots *before* touching the registry:
+            # recording a signature that the raise below would then
+            # leave uninterceptable (and, for check=True, unenforced)
+            # is exactly the silent soundness hole the refusal exists
+            # to close.  wrap_method raises the same error for callers
+            # that reach it directly.
+            def_cls = _staticmethod_slot(pycls, name)
+            if def_cls is not None:
+                from ..rdl.wrap import staticmethod_refusal
+                raise staticmethod_refusal(def_cls.__name__, name)
         if pycls is not None:
             self.register_class(pycls)
         elif not self.hier.is_known(owner_name):
@@ -463,11 +477,18 @@ class Engine:
                 stats.fast_path_hits += 1
                 spec = self._specializer
                 if spec is not None and not plan.promoted:
-                    # Tiering: count warm hits; at the threshold, try to
-                    # compile this plan into a per-site wrapper.  The
+                    # Tiering: count warm hits; at the plan's threshold
+                    # (the global default, or the specializer's reduced
+                    # re-promotion threshold stamped at plan build), try
+                    # to compile this plan into a per-site wrapper.  The
                     # racy increment only ever delays the threshold.
+                    # A kwargs-bearing call defers promotion until the
+                    # plan has memoized at least one kwargs shape —
+                    # otherwise a short (re-promotion) threshold could
+                    # compile the site before its layout is learnable.
                     plan.hits = hits = plan.hits + 1
-                    if hits >= self._spec_threshold:
+                    if hits >= plan.promote_at and (
+                            not kwargs or plan.kw_layouts):
                         spec.maybe_promote((def_owner, owner, name, kind),
                                            plan, fn, recv)
                 checked = plan.checked
@@ -483,13 +504,47 @@ class Engine:
                     else:
                         do_check = mode == ARG_CHECK_ALWAYS
                     if do_check:
-                        if plan.profile_eligible and not kwargs:
-                            profile = tuple(map(type, args))
-                            if profile not in plan.profiles:
+                        if plan.profile_eligible:
+                            if kwargs:
+                                # kwargs fast path: a memoized layout
+                                # reorders this call shape into the full
+                                # positional view, so the profile set
+                                # covers keyword calls too.
+                                layout = plan.kw_layouts.get(
+                                    (len(args), tuple(kwargs)))
+                                vals = (args + tuple(kwargs[n]
+                                                     for n in layout)
+                                        if layout is not None else None)
+                            else:
+                                vals = args
+                            if vals is None:
                                 self._dynamic_arg_check(
                                     sig, fn, recv, args, kwargs, owner,
                                     name, kind)
-                                plan.learn_profile(profile)
+                                # The full check passed: memoize how this
+                                # kwargs shape maps onto the parameters,
+                                # and learn the passing profile from the
+                                # reordered view so the next call of this
+                                # shape is a profile hit, not a re-walk.
+                                layout = plan.learn_kw_layout(fn, args,
+                                                              kwargs)
+                                if layout is not None:
+                                    plan.learn_profile(tuple(map(
+                                        type, args + tuple(
+                                            kwargs[n] for n in layout))))
+                            else:
+                                profile = tuple(map(type, vals))
+                                if profile not in plan.profiles:
+                                    self._dynamic_arg_check(
+                                        sig, fn, recv, args, kwargs, owner,
+                                        name, kind)
+                                    plan.learn_profile(profile)
+                                elif spec is not None and not plan.promoted:
+                                    # Feed the dominant-profile pick; only
+                                    # while a promotion can still consume
+                                    # it, so pinned-tier-1 engines (and
+                                    # promoted sites) pay nothing.
+                                    plan.note_profile_hit(profile)
                         else:
                             self._dynamic_arg_check(sig, fn, recv, args,
                                                     kwargs, owner, name,
@@ -577,6 +632,13 @@ class Engine:
                 sig is not None and _profile_eligible(sig),
                 self._ret_mode if ret_checking else ARG_CHECK_NEVER,
                 ret_checking and _ret_profile_eligible(sig))
+            spec = self._specializer
+            # Per-site adaptive threshold: a site the specializer saw
+            # deoptimize re-promotes at a fraction of the global
+            # threshold, cutting deopt-churn latency under reload.
+            plan.promote_at = (
+                spec.promote_threshold((def_owner, owner, name, kind))
+                if spec is not None else self._spec_threshold)
             plans.store((def_owner, owner, name, kind), plan, trace,
                         epoch=epoch)
         stack.append(checked)
@@ -840,6 +902,22 @@ class Engine:
         for pending in [p for p in self._pending_wraps
                         if p[0] == owner_name]:
             _, name, kind = pending
+            def_cls = _staticmethod_slot(pycls, name)
+            if def_cls is not None:
+                # A deferred annotation (recorded before the class
+                # existed) resolved onto a staticmethod slot.  Raising
+                # here would abort register_class after the hierarchy
+                # mutation already happened and leave the pending entry
+                # to re-trip, so warn instead — loudly naming the
+                # signature that will never be enforced — and drop the
+                # pending wrap.  Direct annotation paths raise.
+                from ..rdl.wrap import staticmethod_refusal
+                self._pending_wraps.discard(pending)
+                warnings.warn(
+                    f"annotation will not be enforced: "
+                    f"{staticmethod_refusal(def_cls.__name__, name)}",
+                    RuntimeWarning, stacklevel=2)
+                continue
             fn = _find_callable(pycls, name, kind)
             if fn is not None:
                 self._install_wrapper(pycls, name, kind, fn)
@@ -862,6 +940,16 @@ def _ret_profile_eligible(sig: MethodSig) -> bool:
     """True when a passing result class soundly predicts future passes:
     every arm's return type must be class-determined."""
     return all(is_class_determined(arm.ret) for arm in sig.arms)
+
+
+def _staticmethod_slot(pycls: type, name: str) -> Optional[type]:
+    """The class along ``pycls``'s MRO whose ``name`` slot holds a
+    staticmethod, or None — the interception-refusal probe."""
+    for klass in pycls.__mro__:
+        if name in klass.__dict__:
+            return klass if isinstance(klass.__dict__[name],
+                                       staticmethod) else None
+    return None
 
 
 def _find_callable(pycls: type, name: str, kind: str):

@@ -49,16 +49,27 @@ call just re-runs the conformance walk and re-learns), but no thread
 can ever observe a set mid-mutation, which a shared ``set.add`` from
 many threads would permit.
 
+Keyword calls: a plan memoizes, per observed kwargs *shape*, how the
+names map onto the callee's positional parameters
+(:meth:`CallPlan.learn_kw_layout`); contiguously bindable shapes
+rebuild the full positional view with plain dict gets, so the profile
+set covers keyword calls without re-entering ``Signature.bind``.
+
 Tiering: a plan also carries the tier-2 promotion state — ``hits``, a
-heuristic warm-call counter (racy increments only delay promotion), and
-``promoted``, set once the specializer has attempted to compile the
-site (:mod:`repro.core.specialize`).  The cache's ``on_drop`` callback
-reports every explicitly dropped plan key so the engine can deoptimize
-the specialized wrappers riding those plans before the wave returns.
+heuristic warm-call counter (racy increments only delay promotion),
+``promote_at``, the per-site threshold the engine stamps at build time
+(reduced for sites the specializer saw deoptimize), ``profile_hits``,
+the pre-promotion per-profile counts the dominant-profile guard is
+compiled from, and ``promoted``, set once the specializer has attempted
+to compile the site (:mod:`repro.core.specialize`).  The cache's
+``on_drop`` callback reports every explicitly dropped plan key so the
+engine can deoptimize the specialized dispatch entries riding those
+plans before the wave returns.
 """
 
 from __future__ import annotations
 
+import inspect
 import threading
 from typing import (
     Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple,
@@ -88,14 +99,19 @@ RET_MODES = {"never": ARG_CHECK_NEVER, "boundary": ARG_CHECK_BOUNDARY,
 #: the dynamic check still runs, it just stops learning new profiles.
 MAX_PROFILES = 64
 
+#: Cap on memoized kwargs-shape layouts per plan (shapes are keyed by the
+#: call's literal ``(len(args), tuple(kwargs))``, so permutations of the
+#: same semantic layout occupy separate lines).
+MAX_KW_SHAPES = 16
+
 
 class CallPlan:
     """The fully-resolved outcome of one warm intercepted call."""
 
     __slots__ = ("sig_owner", "sig", "checked", "arg_mode",
-                 "profile_eligible", "profiles", "ret_mode",
-                 "ret_profile_eligible", "ret_profiles", "hits",
-                 "promoted")
+                 "profile_eligible", "profiles", "profile_hits",
+                 "kw_layouts", "ret_mode", "ret_profile_eligible",
+                 "ret_profiles", "hits", "promote_at", "promoted")
 
     def __init__(self, sig_owner: Optional[str], sig, checked: bool,
                  arg_mode: int, profile_eligible: bool,
@@ -113,6 +129,19 @@ class CallPlan:
         #: copy-on-write: always reassigned (never mutated in place) so
         #: lock-free readers see a complete set or the previous one.
         self.profiles: FrozenSet[tuple] = frozenset()
+        #: pre-promotion warm-hit counts per passing profile, so the
+        #: specializer's dominant-profile guard targets the *hottest*
+        #: shape, not an arbitrary frozenset-iteration-first one.  Racy
+        #: per-key increments (lost updates only skew the heuristic);
+        #: only bumped while the plan is unpromoted, so the steady state
+        #: pays nothing.
+        self.profile_hits: Dict[tuple, int] = {}
+        #: kwargs-shape layouts: the call's literal
+        #: ``(len(args), tuple(kwargs))`` -> the kwargs names reordered
+        #: into declared parameter order (``None`` when the shape cannot
+        #: be bound contiguously, so it is never re-derived).  Learned on
+        #: the full-check path; read lock-free (single dict get).
+        self.kw_layouts: Dict[Tuple[int, tuple], Optional[tuple]] = {}
         #: ARG_CHECK_NEVER unless this plan performs dynamic return checks
         #: (trusted signature + engine mode), so the fast path pays one
         #: attribute compare when the feature is off.
@@ -122,6 +151,10 @@ class CallPlan:
         #: warm-hit counter driving tier-2 promotion; bumped lock-free,
         #: so lost increments merely postpone the threshold.
         self.hits = 0
+        #: per-site promotion threshold (the engine sets it at plan
+        #: build: the full ``specialize_threshold``, or the specializer's
+        #: reduced re-promotion threshold for sites that deopted before).
+        self.promote_at = 0
         #: the specializer attempted (or declined) to compile this plan;
         #: one attempt per plan generation — a dropped-and-rebuilt plan
         #: starts fresh.
@@ -133,6 +166,55 @@ class CallPlan:
         if len(profiles) < MAX_PROFILES:
             self.profiles = profiles | {profile}
 
+    def note_profile_hit(self, profile: tuple) -> None:
+        """Count a warm profile hit (pre-promotion only — the caller
+        gates on ``promoted``).  Plain-dict read-modify-write: racy
+        under threads, but the count is a compile-time heuristic and a
+        lost increment cannot affect soundness."""
+        hits = self.profile_hits
+        hits[profile] = hits.get(profile, 0) + 1
+
+    def dominant_profile(self) -> Optional[tuple]:
+        """The hottest passing profile by pre-promotion hit counts
+        (falling back to any profile when nothing was counted — e.g.
+        boundary mode with every caller statically checked)."""
+        profiles = self.profiles
+        if not profiles:
+            return None
+        counts = dict(self.profile_hits)  # snapshot vs racy writers
+        return max(profiles, key=lambda p: counts.get(p, 0))
+
+    def learn_kw_layout(self, fn, args: tuple, kwargs: dict
+                        ) -> Optional[tuple]:
+        """Memoize how this call shape's kwargs map onto ``fn``'s
+        positional parameters (after a *passing* full dynamic check, so
+        a memoized layout only ever replays views the checker already
+        accepted).  Unresolvable shapes memoize ``None`` — negative
+        caching, so the signature walk runs once per shape.  Returns
+        the shape's (possibly just-memoized) layout so the caller can
+        learn the reordered view's profile without a second lookup."""
+        layouts = self.kw_layouts
+        shape = (len(args), tuple(kwargs))
+        if shape in layouts:
+            return layouts[shape]
+        if len(layouts) >= MAX_KW_SHAPES:
+            return None
+        layout = kw_layout_for(fn, len(args), shape[1])
+        layouts[shape] = layout
+        return layout
+
+    def stable_kw_layout(self) -> Optional[Tuple[int, tuple]]:
+        """The single ``(positional count, declared-order kwargs names)``
+        layout this site's kwargs traffic resolves to, or ``None`` when
+        no shape resolved or several distinct layouts were observed
+        (a compiled reorder would thrash between them)."""
+        resolved = {(shape[0], names)
+                    for shape, names in dict(self.kw_layouts).items()
+                    if names is not None}
+        if len(resolved) != 1:
+            return None
+        return next(iter(resolved))
+
     def learn_ret_profile(self, rcls: type) -> None:
         """COW-publish a passing result class (capped)."""
         ret_profiles = self.ret_profiles
@@ -142,6 +224,42 @@ class CallPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CallPlan(owner={self.sig_owner!r}, checked={self.checked}, "
                 f"profiles={len(self.profiles)})")
+
+
+def kw_layout_for(fn, npos: int, names: tuple) -> Optional[tuple]:
+    """Bind a call shape (``npos`` positional args + ``names`` keyword
+    args) against ``fn``'s parameter list.
+
+    Returns the kwargs names reordered into declared parameter order
+    when — and only when — the names fill the parameter slots
+    ``npos .. npos+len(names)-1`` *contiguously*: then
+    ``fn(recv, *args, **kwargs)`` is exactly
+    ``fn(recv, *args, kwargs[n1], ..., kwargs[nk])`` and the positional
+    view the dynamic checker derives via ``Signature.bind`` is exactly
+    ``args + that reorder``.  Shapes that skip a defaulted parameter,
+    name a positional-only/keyword-only parameter, or meet ``*args`` /
+    ``**kwargs`` in the signature return ``None`` — those calls keep the
+    generic path.
+    """
+    try:
+        params = list(inspect.signature(fn).parameters.values())[1:]
+    except (TypeError, ValueError):
+        return None
+    if npos > len(params):
+        return None
+    plain = (inspect.Parameter.POSITIONAL_ONLY,
+             inspect.Parameter.POSITIONAL_OR_KEYWORD)
+    if any(p.kind not in plain for p in params):
+        return None
+    index = {p.name: i for i, p in enumerate(params)
+             if p.kind == inspect.Parameter.POSITIONAL_OR_KEYWORD}
+    try:
+        placed = sorted((index[n], n) for n in names)
+    except KeyError:
+        return None
+    if [i for i, _ in placed] != list(range(npos, npos + len(names))):
+        return None
+    return tuple(n for _, n in placed)
 
 
 class CallPlanCache:

@@ -11,58 +11,89 @@ become near-free when they are *compiled into the call site* as
 straight-line code.  This module is that move for the CPython substrate.
 
 **Promotion.**  Once a :class:`~repro.core.plans.CallPlan` has served
-``EngineConfig.specialize_threshold`` warm hits (default 50) and its
-shape is stable — a monomorphic receiver class, and either a
-class-determined argument profile or a check-free configuration — the
-:class:`Specializer` generates a wrapper function specialized to exactly
-that plan: the receiver-class identity guard, the dominant
-argument-profile test, the checked-frame push/pop, and (when the plan
-performs them) the dynamic return check are emitted as straight-line
+``plan.promote_at`` warm hits (the engine's ``specialize_threshold``,
+or the reduced re-promotion threshold for sites that deopted before)
+and its shape is stable — a class-profile-guardable or check-free
+configuration — the :class:`Specializer` generates a wrapper function
+specialized to exactly that plan: the receiver-class identity guard, the
+dominant argument-profile test (the *hottest* profile by pre-promotion
+hit counts), the checked-frame push/pop, and (when the plan performs
+them) the dynamic return check are emitted as straight-line
 local-variable operations, ``exec``-compiled once, closing over the
 original function, the plan (whose COW profile sets it re-reads each
 call), and the engine's per-thread state.  ``rdl.wrap``'s generic
 wrapper is then atomically displaced: one ``setattr`` rebinds the class
 attribute, so promotion needs no cooperation from in-flight calls.
 
+**Polymorphic dispatch.**  A promoted slot is no longer owned by the
+first hot receiver class: when a *second* receiver class crosses the
+threshold on an already-promoted slot (a mixin method hot under two
+includers, an inherited method hot under two subclasses), the site is
+recompiled into a 2-entry dispatch — two receiver-class guards, each
+backed by its own live plan, its own check-cache membership guard, and
+its own dominant-profile chain.  Both lazy basic block versioning and
+the transient-typecheck work show the near-free-guard result extends to
+a small number of observed shapes; ``MAX_POLY_ENTRIES`` caps the chain
+at two, and further receiver classes keep the generic tier.
+
+**Kwargs layouts.**  Sites whose keyword traffic resolves to a single
+``(positional count, kwargs names)`` layout (see
+:meth:`CallPlan.stable_kw_layout`) compile the positional reorder in:
+the wrapper checks the literal shape, builds the full positional view
+as a tuple expression (``(args[0], kwargs["b"])``), and runs the same
+profile machinery over it — keyword calls become straight-line code
+instead of the unconditional bail to the generic tier.  Shapes that
+cannot be bound contiguously against the callee's parameter list keep
+bailing.
+
+**Adaptive re-promotion.**  Deoptimizing a site records its plan key in
+a bounded re-warm registry; when the plan is rebuilt, the engine stamps
+it with the reduced threshold (``specialize_threshold // 4``), so
+dev-mode reload churn re-reaches tier 2 in a fraction of the warmup
+(``Stats.repromotions`` counts these).
+
 **Guard failure falls back, never raises.**  Any situation the
-straight-line code does not cover — a different receiver class, keyword
-arguments, an unseen argument-class tuple, a missing check-cache entry —
-bails into ``Engine.invoke`` *before touching any counter*, so the
-generic tier observes exactly the call it would have seen without
-specialization (including raising the right ``ArgumentTypeError`` and
-learning new profiles).  A specialized wrapper is therefore a pure
-fast-path overlay: it can be wrong about the future, never about the
-call it accepts.
+straight-line code does not cover — an unknown receiver class, a
+keyword shape that was not compiled in, an unseen argument-class tuple,
+a missing check-cache entry — bails into ``Engine.invoke`` *before
+touching any counter*, so the generic tier observes exactly the call it
+would have seen without specialization (including raising the right
+``ArgumentTypeError`` and learning new profiles).  A specialized
+wrapper is therefore a pure fast-path overlay: it can be wrong about
+the future, never about the call it accepts.
 
 **Deoptimization.**  Soundness rides the PR 2 dependency machinery: a
-specialized wrapper lives exactly as long as the plan it was compiled
-from.  Every invalidation wave that drops a plan
+specialized dispatch entry lives exactly as long as the plan it was
+compiled from.  Every invalidation wave that drops a plan
 (:meth:`CallPlanCache.invalidate_resources`,
 :meth:`~repro.core.plans.CallPlanCache.invalidate_cache_keys`,
 :meth:`~repro.core.plans.CallPlanCache.clear`, and store-overwrites)
 reports the dropped keys through ``CallPlanCache.on_drop``, and the
-engine swaps the generic wrapper back in *before the wave returns* —
-so by the time a mutation's caller regains control, no specialized code
+engine narrows or restores the site *before the wave returns*: a
+2-entry site whose other plan is still live recompiles to a 1-entry
+wrapper; the last entry restores the displaced generic wrapper.  So by
+the time a mutation's caller regains control, no specialized code
 embodying the pre-mutation world is reachable from the class.  Epoch
 bumps that drop nothing (e.g. a field-type wave whose removal set is
 empty) deoptimize nothing: a surviving plan's dependencies were, by
 construction of the wave, untouched, so its compiled form is still
 valid.  Three further guards close the remaining corners:
 
-* every specialized wrapper carries a per-call **liveness guard** — a
+* every dispatch entry carries a per-call **liveness guard** — a
   constant-key identity probe that its plan is still the one in the
   plan cache.  Rebinding the class attribute cannot reach bound methods
   Python callers hoisted before the swap; the liveness guard makes
   those references self-invalidating, so deopt-by-rebinding is purely a
   performance recovery, never load-bearing for soundness;
-* checked wrappers additionally test their ``(receiver, method)``
+* checked entries additionally test their ``(receiver, method)``
   membership in the check cache per call, so even a direct
   ``CheckCache.clear()`` that bypasses ``Engine.invalidate`` degrades
   the site to the generic path instead of replaying a removed
   derivation — mirroring the tier-1 plan guard;
-* promotion re-verifies (after publishing the wrapper) that its plan is
-  still live, self-deoptimizing if a wave raced the install through a
-  direct cache call that did not hold the engine's writer lock.
+* promotion re-verifies (after publishing the wrapper) that every
+  entry's plan is still live, self-deoptimizing if a wave raced the
+  install through a direct cache call that did not hold the engine's
+  writer lock.
 
 Contracts (``rdl.wrap`` pre/post hooks) always run in the generic
 wrapper; registering any contract deoptimizes every site and blocks
@@ -78,7 +109,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import TYPE_CHECKING, Dict, Iterable, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
 
 from ..rdl.registry import CLASS
 from .plans import (
@@ -88,6 +119,18 @@ from .plans import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Engine
 
+#: receiver-class entries one specialized site may dispatch over; further
+#: hot receiver classes stay on the generic tier.
+MAX_POLY_ENTRIES = 2
+
+#: divisor applied to ``specialize_threshold`` for the re-promotion
+#: threshold of sites that deopted and re-warmed.
+REWARM_DIVISOR = 4
+
+#: bound on the re-warm registry: reload churn in a long-lived dev
+#: server must not accumulate plan keys without limit.
+_REWARM_MAX = 4096
+
 
 def specialize_disabled_by_env() -> bool:
     """True when ``REPRO_DISABLE_SPECIALIZE`` forces tier-1-only mode."""
@@ -95,20 +138,42 @@ def specialize_disabled_by_env() -> bool:
         "", "0", "false", "no")
 
 
-class _Site:
-    """One promoted call site: what was displaced and what displaced it."""
+class _Entry:
+    """One receiver class's compiled dispatch entry inside a site."""
 
-    __slots__ = ("key", "def_cls", "name", "generic", "specialized",
-                 "was_classmethod")
+    __slots__ = ("key", "guard_cls", "plan", "kw_layout")
 
-    def __init__(self, key: PlanKey, def_cls: type, name: str, generic,
-                 specialized, was_classmethod: bool) -> None:
+    def __init__(self, key: PlanKey, guard_cls: type, plan: CallPlan,
+                 kw_layout: Optional[Tuple[int, tuple]]) -> None:
         self.key = key
+        self.guard_cls = guard_cls
+        self.plan = plan
+        #: ``(positional count, declared-order kwargs names)`` compiled
+        #: into the wrapper, or None (keyword calls bail).
+        self.kw_layout = kw_layout
+
+
+class _Site:
+    """One promoted slot: what was displaced and what displaced it."""
+
+    __slots__ = ("def_owner", "def_cls", "name", "kind", "fn", "generic",
+                 "specialized", "was_classmethod", "entries")
+
+    def __init__(self, def_owner: str, def_cls: type, name: str, kind: str,
+                 fn, generic, specialized, was_classmethod: bool,
+                 entries: Tuple[_Entry, ...]) -> None:
+        self.def_owner = def_owner
         self.def_cls = def_cls
         self.name = name
+        self.kind = kind
+        self.fn = fn
         self.generic = generic
         self.specialized = specialized
         self.was_classmethod = was_classmethod
+        self.entries = entries
+
+
+Slot = Tuple[type, str]
 
 
 class Specializer:
@@ -126,24 +191,42 @@ class Specializer:
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         self._lock = threading.Lock()
-        self._sites: Dict[PlanKey, _Site] = {}
-        #: (defining class, method name) -> plan key, so wrapper-slot
-        #: rebinds (re-wrap, unwrap) can discard the registration that
-        #: watched the displaced slot.
-        self._by_slot: Dict[Tuple[type, str], PlanKey] = {}
+        #: (defining class, method name) -> the live promoted site.
+        self._sites: Dict[Slot, _Site] = {}
+        #: plan key -> the slot whose site carries its dispatch entry.
+        self._by_key: Dict[PlanKey, Slot] = {}
+        #: plan keys whose sites were deoptimized at least once — these
+        #: re-promote at the reduced threshold.  Bounded; read lock-free
+        #: on the cold plan-build path, mutated under the internal lock.
+        self._rewarm: Dict[PlanKey, bool] = {}
+        # The engine's clamped threshold is the single source of truth;
+        # re-deriving the clamp here would let the two drift.
+        threshold = engine._spec_threshold
+        self._threshold = threshold
+        self._rewarm_threshold = max(1, threshold // REWARM_DIVISOR)
 
     def __len__(self) -> int:
-        return len(self._sites)
+        """Live compiled dispatch entries (a 2-entry site counts twice)."""
+        return len(self._by_key)
+
+    def promote_threshold(self, key: PlanKey) -> int:
+        """The per-site promotion threshold the engine stamps onto a
+        freshly built plan: reduced for sites that deopted before (so
+        reload churn re-reaches tier 2 quickly), full otherwise."""
+        return (self._rewarm_threshold if key in self._rewarm
+                else self._threshold)
 
     # -- promotion ----------------------------------------------------------
 
     def maybe_promote(self, key: PlanKey, plan: CallPlan, fn, recv) -> bool:
         """Compile ``plan`` into a specialized wrapper and install it.
 
-        Called from the warm path when the plan crosses the hit
+        Called from the warm path when the plan crosses its hit
         threshold.  Marks the plan ``promoted`` whatever happens — one
         attempt per plan generation; a plan dropped by invalidation and
-        rebuilt cold gets a fresh attempt.
+        rebuilt cold gets a fresh attempt.  When the slot is already
+        promoted for a *different* receiver class, the site is extended
+        into a polymorphic dispatch (up to ``MAX_POLY_ENTRIES``).
         """
         plan.promoted = True
         engine = self.engine
@@ -164,14 +247,14 @@ class Specializer:
         raw = def_cls.__dict__.get(name)
         was_classmethod = isinstance(raw, classmethod)
         inner = raw.__func__ if was_classmethod else raw
-        # Only displace the current-generation generic wrapper for this
-        # very function: a stale fn, an already-specialized slot (another
-        # receiver class won the monomorphic slot), or a foreign wrapper
-        # all refuse.
+        # Only displace the current-generation wrapper for this very
+        # function: a stale fn or a foreign wrapper refuses; our own
+        # specialized wrapper is the polymorphic-extension case, vetted
+        # against the site registry under the locks below.
         if (inner is None
-                or getattr(inner, "__hb_specialized__", False)
                 or getattr(inner, "__hb_original__", None) is not fn):
             return False
+        entry = _Entry(key, guard_cls, plan, _entry_kw_layout(plan))
         with engine.write_lock:
             if engine._contracts:
                 # Re-validated under the lock: a contract registered
@@ -184,57 +267,119 @@ class Specializer:
             if def_cls.__dict__.get(name) is not raw:
                 return False  # the slot changed under us; stay generic
             with self._lock:
-                if key in self._sites or (def_cls, name) in self._by_slot:
+                if key in self._by_key:
                     return False
-                wrapper = _compile_wrapper(engine, key, plan, fn, guard_cls)
-                site = _Site(key, def_cls, name, inner, wrapper,
-                             was_classmethod)
+                slot = (def_cls, name)
+                site = self._sites.get(slot)
+                if site is None:
+                    if getattr(inner, "__hb_specialized__", False):
+                        return False  # a specialized slot we don't track
+                    entries: Tuple[_Entry, ...] = (entry,)
+                    generic = inner
+                else:
+                    # A second receiver class got hot on a promoted
+                    # slot: recompile into a polymorphic dispatch.
+                    if (site.specialized is not inner
+                            or site.kind != kind
+                            or len(site.entries) >= MAX_POLY_ENTRIES
+                            or any(e.guard_cls is guard_cls
+                                   for e in site.entries)):
+                        return False
+                    entries = site.entries + (entry,)
+                    generic = site.generic
+                    was_classmethod = site.was_classmethod
+                wrapper = _compile_wrapper(engine, def_owner, name, kind,
+                                           fn, entries)
+                newsite = _Site(def_owner, def_cls, name, kind, fn, generic,
+                                wrapper, was_classmethod, entries)
                 setattr(def_cls, name,
                         classmethod(wrapper) if was_classmethod else wrapper)
-                self._sites[key] = site
-                self._by_slot[(def_cls, name)] = key
-            engine.stats.promotions += 1
-            stale = plans.get(key) is not plan
+                self._sites[slot] = newsite
+                for e in entries:
+                    self._by_key[e.key] = slot
+                rewarmed = key in self._rewarm
+            stats = engine.stats
+            stats.promotions += 1
+            if len(entries) > 1:
+                stats.poly_promotions += 1
+            if entry.kw_layout is not None:
+                stats.kw_promotions += 1
+            if rewarmed:
+                stats.repromotions += 1
+            stale = tuple(e.key for e in entries
+                          if plans.get(e.key) is not e.plan)
         if stale:
-            # A direct cache call (no writer lock) dropped the plan
-            # between our liveness check and the install racing its
+            # A direct cache call (no writer lock) dropped a plan
+            # between the liveness check and the install racing its
             # on_drop callback; undo — the callback may have run before
-            # the site existed.
-            self.deoptimize_keys((key,))
+            # the entry existed.
+            self.deoptimize_keys(stale)
             return False
         return True
 
     # -- deoptimization -----------------------------------------------------
 
     def deoptimize_keys(self, keys: Iterable[PlanKey]) -> int:
-        """Swap the generic wrapper back in for each promoted ``key``.
+        """Deoptimize the dispatch entry of each promoted ``key``.
 
-        Restores the slot only when it still holds our specialized
-        wrapper — a slot rebound by a re-wrap or unwrap in the meantime
-        must not be clobbered with a resurrected generic.
+        A site whose *other* entry's plan is still live narrows to a
+        1-entry wrapper; the last (or only) entry restores the displaced
+        generic wrapper.  Only entries whose compiled code was actually
+        displaced from the live slot are counted (and reported through
+        ``Stats.deopts``): a slot rebound by a re-wrap or unwrap in the
+        meantime must neither be clobbered with a resurrected wrapper
+        nor counted as a deopt.
         """
-        restored = 0
+        engine = self.engine
+        displaced = 0
         with self._lock:
+            dead_by_slot: Dict[Slot, Set[PlanKey]] = {}
             for key in keys:
-                site = self._sites.pop(key, None)
+                slot = self._by_key.pop(key, None)
+                if slot is not None:
+                    dead_by_slot.setdefault(slot, set()).add(key)
+            for slot, dead in dead_by_slot.items():
+                site = self._sites.pop(slot, None)
                 if site is None:
                     continue
-                self._by_slot.pop((site.def_cls, site.name), None)
+                for key in dead:
+                    self._note_rewarm(key)
                 raw = site.def_cls.__dict__.get(site.name)
                 inner = raw.__func__ if isinstance(raw, classmethod) else raw
-                if inner is site.specialized:
+                survivors = tuple(e for e in site.entries
+                                  if e.key not in dead)
+                if inner is not site.specialized:
+                    # The slot was rebound behind our back (a direct
+                    # setattr bypassing wrap/unwrap): the compiled code
+                    # is already unreachable from the class.  Forget the
+                    # whole site, restore nothing, count nothing.
+                    for e in survivors:
+                        self._by_key.pop(e.key, None)
+                    continue
+                displaced += len(site.entries) - len(survivors)
+                if survivors:
+                    wrapper = _compile_wrapper(engine, site.def_owner,
+                                               site.name, site.kind,
+                                               site.fn, survivors)
+                    self._sites[slot] = _Site(
+                        site.def_owner, site.def_cls, site.name, site.kind,
+                        site.fn, site.generic, wrapper, site.was_classmethod,
+                        survivors)
+                    setattr(site.def_cls, site.name,
+                            classmethod(wrapper) if site.was_classmethod
+                            else wrapper)
+                else:
                     setattr(site.def_cls, site.name,
                             classmethod(site.generic) if site.was_classmethod
                             else site.generic)
-                restored += 1
-            if restored:
-                self.engine.stats.deopts += restored
-        return restored
+            if displaced:
+                engine.stats.deopts += displaced
+        return displaced
 
     def deoptimize_all(self) -> int:
-        """Deoptimize every promoted site (contract registration, tests)."""
+        """Deoptimize every promoted entry (contract registration, tests)."""
         with self._lock:
-            keys = tuple(self._sites)
+            keys = tuple(self._by_key)
         return self.deoptimize_keys(keys)
 
     def discard_slot(self, def_cls: type, name: str) -> None:
@@ -243,16 +388,26 @@ class Specializer:
         Called by ``wrap_method``/``unwrap_method`` just before they
         rebind the slot themselves: the displaced generic wrapper is
         obsolete, so restoring it later would resurrect a superseded
-        function.
+        function.  The rebind displaces the compiled entries, so they
+        count as deopts and their keys enter the re-warm registry.
         """
         with self._lock:
-            key = self._by_slot.pop((def_cls, name), None)
-            if key is not None:
-                self._sites.pop(key, None)
-                self.engine.stats.deopts += 1
+            site = self._sites.pop((def_cls, name), None)
+            if site is None:
+                return
+            for e in site.entries:
+                self._by_key.pop(e.key, None)
+                self._note_rewarm(e.key)
+            self.engine.stats.deopts += len(site.entries)
+
+    def _note_rewarm(self, key: PlanKey) -> None:
+        rewarm = self._rewarm
+        if len(rewarm) >= _REWARM_MAX:
+            rewarm.clear()
+        rewarm[key] = True
 
     def is_promoted(self, key: PlanKey) -> bool:
-        return key in self._sites
+        return key in self._by_key
 
 
 def _plan_specializable(plan: CallPlan) -> bool:
@@ -271,143 +426,57 @@ def _plan_specializable(plan: CallPlan) -> bool:
     return True
 
 
+def _entry_kw_layout(plan: CallPlan) -> Optional[Tuple[int, tuple]]:
+    """The kwargs layout to compile in, or None (keyword calls bail).
+
+    Requires a profile-guardable signature — the compiled reorder feeds
+    the profile chain, which is the only sound straight-line check."""
+    if plan.sig is None or not plan.profile_eligible:
+        return None
+    return plan.stable_kw_layout()
+
+
 #: synthetic filename stem for compiled wrappers (visible in tracebacks).
 _CODEGEN_FILE = "<hb-specialized {owner}#{name}>"
 
 
-def _compile_wrapper(engine: "Engine", key: PlanKey, plan: CallPlan, fn,
-                     guard_cls: type):
-    """``exec``-compile the straight-line wrapper for ``plan``.
+def _compile_wrapper(engine: "Engine", def_owner: str, name: str, kind: str,
+                     fn, entries: Tuple[_Entry, ...]):
+    """``exec``-compile the straight-line dispatch wrapper for ``entries``.
 
     The emitted code is the tier-1 warm path partially evaluated against
-    the plan: every mode branch is resolved at compile time, every
-    engine attribute chase becomes a closed-over local, and the counter
-    updates match the generic path bump for bump (the stats-exactness
-    suite runs with promotion active).
+    each entry's plan: every mode branch is resolved at compile time,
+    every engine attribute chase becomes a closed-over local, and the
+    counter updates match the generic path bump for bump (the
+    stats-exactness suite runs with promotion active).  Entries are
+    tried in promotion order; a receiver matching no guard bails to the
+    generic tier.
     """
-    def_owner, recv_owner, name, kind = key
-    sig = plan.sig
-    checked = plan.checked
     bail = ("return _invoke(_def_owner, _name, _kind, _fn, recv, "
             "args, kwargs)")
-    recv_guard = "recv is not _cls" if kind == CLASS \
-        else "type(recv) is not _cls"
-    lines = [
-        "def _specialized(recv, *args, **kwargs):",
-        f"    if kwargs or {recv_guard}:",
-        f"        {bail}",
-        # Liveness guard: the wrapper is only valid while the exact plan
-        # it was compiled from is still in the plan cache.  Deopt swaps
-        # the class attribute, but Python callers may have *hoisted* a
-        # bound method before the swap — those references bypass the
-        # rebinding, and without this per-call identity probe they would
-        # replay the dropped plan's assumptions (e.g. admit an argument
-        # profile a retype just outlawed).  One constant-key dict get.
-        "    if _live.get(_key) is not _plan:",
-        f"        {bail}",
-    ]
-    if checked:
-        # Mirrors the tier-1 guard against direct CheckCache flushes
-        # that bypass Engine.invalidate: no entry, no fast path.
-        lines += [
-            "    if _ckey not in _entries:",
-            f"        {bail}",
-        ]
-    lines += [
-        "    tls = _tls",
-        "    stack = tls.stack",
-    ]
-    profile_test, guard_classes = _profile_test_lines(plan, bail)
-    if sig is None:
-        arg_counters = []
-    elif plan.arg_mode == ARG_CHECK_BOUNDARY:
-        lines += [
-            "    if stack and stack[-1]:",
-            "        checked_args = False",
-            "    else:",
-            *["        " + ln for ln in profile_test],
-            "        checked_args = True",
-        ]
-        arg_counters = [
-            "    if checked_args:",
-            "        c.dynamic_arg_checks += 1",
-            "    else:",
-            "        c.dynamic_arg_checks_skipped += 1",
-        ]
-    elif plan.arg_mode == ARG_CHECK_ALWAYS:
-        lines += ["    " + ln for ln in profile_test]
-        arg_counters = ["    c.dynamic_arg_checks += 1"]
-    else:  # ARG_CHECK_NEVER
-        arg_counters = ["    c.dynamic_arg_checks_skipped += 1"]
-    do_ret = sig is not None and plan.ret_mode != ARG_CHECK_NEVER
-    if do_ret:
-        # Decided from the *caller's* frame, before ours pushes —
-        # identical to the tier-1 ordering.
-        if plan.ret_mode == ARG_CHECK_ALWAYS:
-            lines.append("    do_ret = True")
-        else:
-            lines.append("    do_ret = True if stack and stack[-1] "
-                         "else False")
-    lines += [
-        "    c = tls.counters",
-        "    c.calls_intercepted += 1",
-        "    c.fast_path_hits += 1",
-        "    c.specialized_hits += 1",
-    ]
-    if checked:
-        lines.append("    c.cache_hits += 1")
-    lines += arg_counters
-    lines += [
-        f"    stack.append({checked})",
-        "    try:",
-        "        result = _fn(recv, *args)" if do_ret
-        else "        return _fn(recv, *args)",
-        "    finally:",
-        "        stack.pop()",
-    ]
-    if do_ret:
-        if plan.ret_profile_eligible:
-            lines += [
-                "    if do_ret:",
-                "        if type(result) in _plan.ret_profiles:",
-                "            c.ret_profile_hits += 1",
-                "        else:",
-                "            _ret_slow(result)",
-                "        c.dynamic_ret_checks += 1",
-            ]
-        else:
-            lines += [
-                "    if do_ret:",
-                "        _ret_check(_sig, result, _recv_owner, _name)",
-                "        c.dynamic_ret_checks += 1",
-            ]
-        lines.append("    return result")
-    source = "\n".join(lines) + "\n"
+    lines = ["def _specialized(recv, *args, **kwargs):"]
     namespace = {
-        "_cls": guard_cls,
         "_fn": fn,
         "_tls": engine._tls,
-        "_plan": plan,
         "_invoke": engine.invoke,
         "_def_owner": def_owner,
-        "_recv_owner": recv_owner,
         "_name": name,
         "_kind": kind,
-        "_ckey": (recv_owner, name),
         "_entries": engine.cache._entries,
-        "_key": key,
         "_live": engine._plans._plans,
-        "_sig": sig,
         "_ret_check": engine._dynamic_ret_check,
     }
-    namespace.update(guard_classes)
-    if do_ret and plan.ret_profile_eligible:
-        def _ret_slow(result, _engine=engine, _plan=plan,
-                      _owner=recv_owner, _name=name):
-            _engine._dynamic_ret_check(_plan.sig, result, _owner, _name)
-            _plan.learn_ret_profile(type(result))
-        namespace["_ret_slow"] = _ret_slow
-    filename = _CODEGEN_FILE.format(owner=recv_owner, name=name)
+    for i, entry in enumerate(entries):
+        guard = (f"recv is _cls{i}" if kind == CLASS
+                 else f"type(recv) is _cls{i}")
+        lines.append(f"    if {guard}:")
+        body, body_ns = _entry_lines(engine, i, entry, name, bail)
+        lines += ["        " + ln for ln in body]
+        namespace[f"_cls{i}"] = entry.guard_cls
+        namespace.update(body_ns)
+    lines.append(f"    {bail}")
+    source = "\n".join(lines) + "\n"
+    filename = _CODEGEN_FILE.format(owner=def_owner, name=name)
     exec(compile(source, filename, "exec"), namespace)  # noqa: S102
     wrapper = namespace["_specialized"]
     wrapper.__name__ = getattr(fn, "__name__", name)
@@ -418,15 +487,164 @@ def _compile_wrapper(engine: "Engine", key: PlanKey, plan: CallPlan, fn,
     wrapper.__hb_engine__ = engine
     wrapper.__hb_specialized__ = True
     wrapper.__hb_source__ = source  # introspection for tests/debugging
+    wrapper.__hb_entry_keys__ = tuple(e.key for e in entries)
     return wrapper
 
 
-def _profile_test_lines(plan: CallPlan, bail: str) -> Tuple[list, dict]:
+def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
+                 bail: str) -> Tuple[list, dict]:
+    """One dispatch entry's body (unindented), all paths returning."""
+    plan = entry.plan
+    sig = plan.sig
+    checked = plan.checked
+    recv_owner = entry.key[1]
+    ns: dict = {f"_key{i}": entry.key, f"_plan{i}": plan}
+    lines = []
+    argname = "args"
+    if entry.kw_layout is not None:
+        # Keyword calls matching the compiled layout reorder into the
+        # full positional view as one tuple expression; everything
+        # downstream (profile chain, the real call) is positional.  The
+        # original ``args``/``kwargs`` are never rebound, so every bail
+        # hands the generic tier the call unchanged.
+        argname = "vals"
+        npos, names = entry.kw_layout
+        picks = [f"args[{j}]" for j in range(npos)]
+        picks += [f"kwargs[{n!r}]" for n in names]
+        joined = ", ".join(picks) + ("," if len(picks) == 1 else "")
+        lines += [
+            "if kwargs:",
+            f"    if len(args) != {npos} or len(kwargs) != {len(names)}:",
+            f"        {bail}",
+            "    try:",
+            f"        vals = ({joined})",
+            "    except KeyError:",
+            f"        {bail}",
+            "    kw = True",
+            "else:",
+            "    vals = args",
+            "    kw = False",
+        ]
+    else:
+        lines += [
+            "if kwargs:",
+            f"    {bail}",
+        ]
+    lines += [
+        # Liveness guard: the entry is only valid while the exact plan
+        # it was compiled from is still in the plan cache.  Deopt swaps
+        # the class attribute, but Python callers may have *hoisted* a
+        # bound method before the swap — those references bypass the
+        # rebinding, and without this per-call identity probe they would
+        # replay the dropped plan's assumptions (e.g. admit an argument
+        # profile a retype just outlawed).  One constant-key dict get.
+        f"if _live.get(_key{i}) is not _plan{i}:",
+        f"    {bail}",
+    ]
+    if checked:
+        # Mirrors the tier-1 guard against direct CheckCache flushes
+        # that bypass Engine.invalidate: no entry, no fast path.
+        lines += [
+            f"if _ckey{i} not in _entries:",
+            f"    {bail}",
+        ]
+        ns[f"_ckey{i}"] = (recv_owner, name)
+    lines += [
+        "tls = _tls",
+        "stack = tls.stack",
+    ]
+    profile_test, guard_classes = _profile_test_lines(i, plan, bail, argname)
+    ns.update(guard_classes)
+    if sig is None:
+        arg_counters = []
+    elif plan.arg_mode == ARG_CHECK_BOUNDARY:
+        lines += [
+            "if stack and stack[-1]:",
+            "    checked_args = False",
+            "else:",
+            *["    " + ln for ln in profile_test],
+            "    checked_args = True",
+        ]
+        arg_counters = [
+            "if checked_args:",
+            "    c.dynamic_arg_checks += 1",
+            "else:",
+            "    c.dynamic_arg_checks_skipped += 1",
+        ]
+    elif plan.arg_mode == ARG_CHECK_ALWAYS:
+        lines += profile_test
+        arg_counters = ["c.dynamic_arg_checks += 1"]
+    else:  # ARG_CHECK_NEVER
+        arg_counters = ["c.dynamic_arg_checks_skipped += 1"]
+    do_ret = sig is not None and plan.ret_mode != ARG_CHECK_NEVER
+    if do_ret:
+        # Decided from the *caller's* frame, before ours pushes —
+        # identical to the tier-1 ordering.
+        if plan.ret_mode == ARG_CHECK_ALWAYS:
+            lines.append("do_ret = True")
+        else:
+            lines.append("do_ret = True if stack and stack[-1] else False")
+    lines += [
+        "c = tls.counters",
+        "c.calls_intercepted += 1",
+        "c.fast_path_hits += 1",
+        "c.specialized_hits += 1",
+    ]
+    if i > 0:
+        lines.append("c.poly_spec_hits += 1")
+    if entry.kw_layout is not None:
+        lines += [
+            "if kw:",
+            "    c.kw_spec_hits += 1",
+        ]
+    if checked:
+        lines.append("c.cache_hits += 1")
+    lines += arg_counters
+    call = f"_fn(recv, *{argname})"
+    lines += [
+        f"stack.append({checked})",
+        "try:",
+        f"    result = {call}" if do_ret else f"    return {call}",
+        "finally:",
+        "    stack.pop()",
+    ]
+    if do_ret:
+        if plan.ret_profile_eligible:
+            lines += [
+                "if do_ret:",
+                f"    if type(result) in _plan{i}.ret_profiles:",
+                "        c.ret_profile_hits += 1",
+                "    else:",
+                f"        _ret_slow{i}(result)",
+                "    c.dynamic_ret_checks += 1",
+            ]
+
+            def _ret_slow(result, _engine=engine, _plan=plan,
+                          _owner=recv_owner, _name=name):
+                _engine._dynamic_ret_check(_plan.sig, result, _owner, _name)
+                _plan.learn_ret_profile(type(result))
+
+            ns[f"_ret_slow{i}"] = _ret_slow
+        else:
+            lines += [
+                "if do_ret:",
+                f"    _ret_check(_sig{i}, result, _recv_owner{i}, _name)",
+                "    c.dynamic_ret_checks += 1",
+            ]
+            ns[f"_sig{i}"] = sig
+            ns[f"_recv_owner{i}"] = recv_owner
+        lines.append("return result")
+    return lines, ns
+
+
+def _profile_test_lines(i: int, plan: CallPlan, bail: str,
+                        argname: str) -> Tuple[list, dict]:
     """The membership test against the plan's COW profile set, fronted
-    by an identity guard on the *dominant* profile (the one observed at
-    promotion time): the steady state is a ``len``/``type``/``is``
-    chain with no tuple allocation.  Returns the (unindented) lines and
-    the ``_d<i>`` guard classes to close over.
+    by an identity guard on the *dominant* profile — the hottest shape
+    by pre-promotion hit counts (:meth:`CallPlan.dominant_profile`), so
+    the steady state is a ``len``/``type``/``is`` chain with no tuple
+    allocation.  Returns the (unindented) lines and the ``_d<i>_<j>``
+    guard classes to close over.
 
     Misses bail to the generic tier, which runs the real conformance
     walk (raising on genuinely bad arguments) and COW-learns passing
@@ -437,17 +655,18 @@ def _profile_test_lines(plan: CallPlan, bail: str) -> Tuple[list, dict]:
         # No sound class guard exists; a check-path call must run the
         # full conformance walk — in the generic tier.
         return [bail], {}
-    dominant = next(iter(plan.profiles), None)
     fallback = [
-        "if tuple(map(type, args)) not in _plan.profiles:",
+        f"if tuple(map(type, {argname})) not in _plan{i}.profiles:",
         f"    {bail}",
     ]
+    dominant = plan.dominant_profile()
     if dominant is None:
         return fallback, {}
-    guard = [f"len(args) == {len(dominant)}"]
-    guard += [f"type(args[{i}]) is _d{i}" for i in range(len(dominant))]
+    guard = [f"len({argname}) == {len(dominant)}"]
+    guard += [f"type({argname}[{j}]) is _d{i}_{j}"
+              for j in range(len(dominant))]
     lines = [
         f"if not ({' and '.join(guard)}):",
         *["    " + ln for ln in fallback],
     ]
-    return lines, {f"_d{i}": cls for i, cls in enumerate(dominant)}
+    return lines, {f"_d{i}_{j}": cls for j, cls in enumerate(dominant)}

@@ -16,7 +16,10 @@ inside the wrapper, before and after the original body.  Contract
 *resolution* (which ``(class, name)`` entry applies to a receiver) is
 memoized per ``(defining owner, receiver class, name)`` and flushed
 whenever a contract store is created — contracted metaprogramming calls
-no longer re-walk the receiver MRO with per-class dict probes.
+no longer re-walk the receiver MRO with per-class dict probes.  The
+memo is bounded (``_CONTRACT_MEMO_MAX``): its keys hold live class
+objects, and dev-mode reload churn must not pin every receiver class
+generation for the engine's lifetime.
 
 Tier-2 interplay: the engine's specializer
 (:mod:`repro.core.specialize`) may displace a generic wrapper installed
@@ -46,19 +49,51 @@ _POST_KEY = "__hb_posts__"
 #: memo-miss sentinel (None is a legitimate negative resolution).
 _UNRESOLVED = object()
 
+#: bound on the contract-resolution memo.  Its keys hold live class
+#: objects; unbounded, dev-mode reload churn (a fresh class per reload)
+#: would pin every receiver class ever seen for the engine's lifetime.
+#: At the cap the memo is dropped wholesale — it is a pure cache, and
+#: the next resolution rebuilds the hot entries.
+_CONTRACT_MEMO_MAX = 512
+
+
+def staticmethod_refusal(owner_name: str, name: str) -> Exception:
+    """The single source of the staticmethod-interception refusal,
+    shared by :func:`wrap_method`, ``Engine._annotate_locked``, and
+    ``annotations.TypedMethod`` so the policy and wording cannot
+    drift."""
+    from ..core.errors import TypeSignatureError
+    return TypeSignatureError(
+        f"{owner_name}#{name} is a staticmethod — there is no receiver "
+        f"class to key the JIT protocol on, so it cannot be intercepted; "
+        f"make it an instance/class method, or record a trusted signature "
+        f"without wrapping (annotate(wrap=False) / @typed(check=False))")
+
 
 def wrap_method(engine, pycls: type, name: str, *, kind: str = INSTANCE,
                 fn=None) -> None:
-    """Install (or refresh) the interception wrapper for ``pycls.name``."""
+    """Install (or refresh) the interception wrapper for ``pycls.name``.
+
+    Staticmethods are refused **loudly**: the interception protocol
+    keys checking by the receiver's class, and a staticmethod has no
+    receiver — the old behavior (extracting ``__func__`` and
+    re-installing the wrapper as a plain function) shifted the call's
+    first real argument into the wrapper's ``recv`` slot, silently
+    corrupting every call.  Raising keeps the refusal visible on every
+    path that reaches here (annotation, contract registration, pending
+    re-wraps) instead of silently recording signatures or contracts
+    that would never be enforced.
+    """
     def_cls = _defining_class(pycls, name)
     if def_cls is None:
         def_cls = pycls
-    _discard_specialization(engine, def_cls, name)
     raw = def_cls.__dict__.get(name)
+    if isinstance(raw, staticmethod):
+        raise staticmethod_refusal(def_cls.__name__, name)
+    _discard_specialization(engine, def_cls, name)
     was_classmethod = isinstance(raw, classmethod)
     if fn is None:
-        fn = raw.__func__ if isinstance(raw, (classmethod, staticmethod)) \
-            else raw
+        fn = raw.__func__ if isinstance(raw, classmethod) else raw
     original = getattr(fn, "__hb_original__", fn)
     def_owner = def_cls.__name__
 
@@ -138,6 +173,18 @@ def _contracts_on(engine, pycls: type, name: str) -> Dict[str, List]:
     # never runs contract hooks, after deoptimize_all() below ran.
     with engine.write_lock:
         store = engine.__dict__.setdefault("_contracts", {})
+        key = (pycls.__name__, name)
+        if key not in store:
+            # Wrap *before* creating the store entry: wrap_method
+            # refuses staticmethod slots by raising, and a failed
+            # registration must not leave an empty entry behind — a
+            # non-empty ``_contracts`` blocks tier-2 promotion
+            # engine-wide.  Contracts are Hummingbird instrumentation:
+            # in "Orig" mode (intercept=False) nothing is wrapped and
+            # no hooks run.
+            if engine.config.intercept and not is_wrapped(pycls, name):
+                wrap_method(engine, pycls, name)
+            store[key] = {}
         # Any contract mutation invalidates memoized resolutions (a new
         # (class, name) entry can shadow an ancestor's for some
         # receivers) and deoptimizes every tier-2 site: specialized
@@ -147,13 +194,6 @@ def _contracts_on(engine, pycls: type, name: str) -> Dict[str, List]:
         specializer = getattr(engine, "_specializer", None)
         if specializer is not None:
             specializer.deoptimize_all()
-        key = (pycls.__name__, name)
-        if key not in store:
-            store[key] = {}
-            # Contracts are Hummingbird instrumentation: in "Orig" mode
-            # (intercept=False) nothing is wrapped and no hooks run.
-            if engine.config.intercept and not is_wrapped(pycls, name):
-                wrap_method(engine, pycls, name)
         return store[key]
 
 
@@ -177,6 +217,11 @@ def _run_contracts(engine, recv, owner: str, name: str, which: str,
                 entry = store.get((klass.__name__, name))
                 if entry:
                     break
+        if len(memo) >= _CONTRACT_MEMO_MAX:
+            # Bounded: reload churn mints a fresh receiver class per
+            # reload, and a key pins its class object; dropping the
+            # memo wholesale un-pins the dead generations.
+            memo.clear()
         memo[memo_key] = entry if entry else None
     if not entry:
         return

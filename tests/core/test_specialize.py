@@ -378,6 +378,303 @@ def test_hoisted_bound_method_cannot_outlive_its_plan():
     assert engine.stats.calls_intercepted == before + 1
 
 
+# -- polymorphic 2-entry dispatch ---------------------------------------------
+
+
+def _poly_world(engine):
+    """A checked method on a base class, hot under two subclasses —
+    the mixin-method-under-two-includers shape from the ROADMAP."""
+    base = type("PolyBase", (object,), {})
+    _define(engine, base, "bump", _BUMP, "(Integer) -> Integer")
+    sub_a = type("PolyA", (base,), {})
+    sub_b = type("PolyB", (base,), {})
+    engine.register_class(sub_a)
+    engine.register_class(sub_b)
+    return base, sub_a(), sub_b()
+
+
+def _entry_keys(cls, name):
+    raw = cls.__dict__.get(name)
+    fn = raw.__func__ if isinstance(raw, classmethod) else raw
+    return getattr(fn, "__hb_entry_keys__", ())
+
+
+@pytest.mark.requires_specialization
+def test_second_hot_receiver_extends_to_poly_dispatch():
+    """A second receiver class crossing the threshold on a promoted slot
+    recompiles the site into a 2-entry dispatch; both classes then ride
+    specialized code, and receivers beyond the cap keep the generic
+    tier."""
+    engine = spec_engine()
+    base, a, b = _poly_world(engine)
+    _warm(a)
+    assert engine.stats.promotions == 1
+    assert len(_entry_keys(base, "bump")) == 1
+    _warm(b)
+    assert engine.stats.promotions == 2
+    assert engine.stats.poly_promotions == 1
+    assert _entry_keys(base, "bump") == (
+        ("PolyBase", "PolyA", "bump", "instance"),
+        ("PolyBase", "PolyB", "bump", "instance"))
+    spec0 = engine.stats.specialized_hits
+    poly0 = engine.stats.poly_spec_hits
+    assert a.bump(1) == 2
+    assert b.bump(1) == 2
+    assert engine.stats.specialized_hits == spec0 + 2
+    assert engine.stats.poly_spec_hits == poly0 + 1  # the 2nd entry only
+    # a third hot receiver class stays generic (the 2-entry cap) but
+    # keeps working and keeps its own receiver-keyed check.
+    third_cls = type("PolyC", (base,), {})
+    engine.register_class(third_cls)
+    third = third_cls()
+    _warm(third, calls=THRESHOLD * 3)
+    assert len(_entry_keys(base, "bump")) == 2
+    assert third.bump(5) == 6
+
+
+@pytest.mark.requires_specialization
+def test_poly_entries_still_reject_bad_arguments():
+    engine = spec_engine()
+    base, a, b = _poly_world(engine)
+    _warm(a)
+    _warm(b)
+    assert engine.stats.poly_promotions == 1
+    with pytest.raises(ArgumentTypeError):
+        a.bump("nope")
+    with pytest.raises(ArgumentTypeError):
+        b.bump("nope")
+    assert a.bump(1) == 2 and b.bump(1) == 2  # site healthy afterwards
+
+
+@pytest.mark.requires_specialization
+def test_dropping_one_plan_narrows_poly_site_to_one_entry():
+    """Deopt soundness for 2-entry sites: a wave that drops *one*
+    entry's plan recompiles the site down to the surviving entry before
+    the wave returns — the dead receiver falls back to the generic
+    tier, the live one keeps its straight-line path."""
+    engine = spec_engine()
+    base, a, b = _poly_world(engine)
+    _warm(a)
+    _warm(b)
+    assert engine.stats.poly_promotions == 1
+    deopts0 = engine.stats.deopts
+    # Mutate only PolyA's linearization: plan A falls, plan B survives.
+    module = type("PolyMixA", (object,), {"__hb_module__": True})
+    engine.register_class(module)
+    engine.hier.include_module("PolyA", "PolyMixA")
+    assert _entry_keys(base, "bump") == (
+        ("PolyBase", "PolyB", "bump", "instance"),)
+    assert engine.stats.deopts == deopts0 + 1  # exactly the dead entry
+    spec0 = engine.stats.specialized_hits
+    assert b.bump(2) == 3
+    assert engine.stats.specialized_hits == spec0 + 1
+    assert a.bump(2) == 3  # generic fallback re-resolves and works
+
+
+@pytest.mark.requires_specialization
+def test_dropping_both_plans_restores_the_generic_wrapper():
+    engine = spec_engine()
+    base, a, b = _poly_world(engine)
+    _warm(a)
+    _warm(b)
+    _define(engine, base, "bump", "def bump(self, n):\n    return n + 10\n",
+            "(Integer) -> Integer")
+    assert not _slot_is_specialized(base, "bump")
+    assert a.bump(1) == 11 and b.bump(1) == 11  # the new body everywhere
+
+
+@pytest.mark.requires_specialization
+def test_narrowed_receiver_rejoins_at_reduced_threshold():
+    """Adaptive re-promotion: the deopted entry re-warms and re-joins
+    the dispatch after only ``threshold // 4`` hits."""
+    engine = Engine(EngineConfig(specialize_threshold=20))
+    base, a, b = _poly_world(engine)
+    _warm(a, calls=25)
+    _warm(b, calls=25)
+    assert engine.stats.poly_promotions == 1
+    module = type("PolyMixA2", (object,), {"__hb_module__": True})
+    engine.register_class(module)
+    engine.hier.include_module("PolyA", "PolyMixA2")
+    assert len(_entry_keys(base, "bump")) == 1
+    _warm(a, calls=8)  # far below the full threshold of 20
+    assert len(_entry_keys(base, "bump")) == 2
+    assert engine.stats.repromotions == 1
+
+
+# -- kwargs-layout specialization ---------------------------------------------
+
+_COMBINE = "def combine(self, x, y):\n    return x + y\n"
+
+
+def _kwargs_world(engine):
+    cls = type("SpecKw", (object,), {})
+    _define(engine, cls, "combine", _COMBINE, "(Integer, Integer) -> Integer")
+    return cls
+
+
+@pytest.mark.requires_specialization
+def test_stable_kwargs_site_compiles_the_layout_in():
+    """A site whose kwargs traffic has one stable name-tuple promotes
+    with the positional reorder compiled in: keyword calls ride the
+    straight-line path instead of bailing to the generic tier."""
+    engine = spec_engine()
+    cls = _kwargs_world(engine)
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        assert obj.combine(i, y=2) == i + 2
+    assert engine.stats.promotions == 1
+    assert engine.stats.kw_promotions == 1
+    assert _slot_is_specialized(cls, "combine")
+    kw0 = engine.stats.kw_spec_hits
+    spec0 = engine.stats.specialized_hits
+    assert obj.combine(1, y=2) == 3
+    assert engine.stats.kw_spec_hits == kw0 + 1
+    assert engine.stats.specialized_hits == spec0 + 1
+    # positional calls on the same site are straight-line too
+    assert obj.combine(3, 4) == 7
+    assert engine.stats.specialized_hits == spec0 + 2
+    assert engine.stats.kw_spec_hits == kw0 + 1  # not a kwargs call
+
+
+@pytest.mark.requires_specialization
+def test_kwargs_layout_site_still_rejects_bad_arguments():
+    engine = spec_engine()
+    obj = _kwargs_world(engine)()
+    for i in range(THRESHOLD + 5):
+        obj.combine(i, y=2)
+    assert engine.stats.kw_promotions == 1
+    with pytest.raises(ArgumentTypeError):
+        obj.combine(1, y="nope")
+    assert obj.combine(1, y=2) == 3  # site healthy afterwards
+
+
+@pytest.mark.requires_specialization
+def test_unseen_kwargs_shapes_fall_back_to_generic():
+    """Shapes the layout was not compiled for — different names, a
+    permuted all-keyword call — bail and produce exactly the generic
+    tier's outcome."""
+    engine = spec_engine()
+    obj = _kwargs_world(engine)()
+    for i in range(THRESHOLD + 5):
+        obj.combine(i, y=2)
+    assert engine.stats.kw_promotions == 1
+    assert obj.combine(y=2, x=1) == 3   # all-keyword: different shape
+    assert obj.combine(x=5, y=6) == 11
+    with pytest.raises(TypeError):
+        obj.combine(1, z=2)             # unknown name, as ever
+
+
+@pytest.mark.requires_specialization
+def test_unstable_kwargs_shapes_promote_without_a_layout():
+    """Two distinct semantic layouts pre-promotion: the compiled
+    wrapper keeps the unconditional kwargs bail (a single compiled
+    reorder would thrash), and both shapes keep working generically."""
+    engine = spec_engine()
+    obj = _kwargs_world(engine)()
+    for i in range(THRESHOLD + 5):
+        assert obj.combine(i, y=2) == i + 2
+        assert obj.combine(x=i, y=3) == i + 3
+    assert engine.stats.promotions == 1
+    assert engine.stats.kw_promotions == 0
+    assert obj.combine(1, y=2) == 3
+    assert obj.combine(x=1, y=2) == 3
+
+
+@pytest.mark.requires_specialization
+def test_tier1_kwargs_fast_path_profiles_keyword_calls():
+    """The engine-side kwargs fast path (tier 1, site not promoted):
+    a warm keyword call with a memoized layout skips the signature
+    re-bind and conformance walk via the profile set, and feeds the
+    pre-promotion per-profile hit counts."""
+    engine = Engine(EngineConfig(specialize_threshold=1000))
+    obj = _kwargs_world(engine)()
+    obj.combine(1, y=2)          # cold build
+    obj.combine(1, y=2)          # full check; memoizes the layout
+    obj.combine(1, y=2)          # full check via layout; learns the profile
+    plan = engine._plans.get(("SpecKw", "SpecKw", "combine", "instance"))
+    assert plan is not None
+    assert plan.kw_layouts == {(1, ("y",)): ("y",)}
+    assert (int, int) in plan.profiles
+    hits0 = plan.profile_hits.get((int, int), 0)
+    assert obj.combine(4, y=5) == 9
+    assert plan.profile_hits.get((int, int), 0) == hits0 + 1
+
+
+@pytest.mark.requires_specialization
+def test_kwargs_site_repromotes_with_layout_after_deopt():
+    engine = spec_engine()
+    cls = _kwargs_world(engine)
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        obj.combine(i, y=2)
+    assert engine.stats.kw_promotions == 1
+    engine.types.replace("SpecKw", "combine", "(Integer, Integer) -> Integer",
+                         check=True)  # same-signature reload churn
+    assert not _slot_is_specialized(cls, "combine")
+    for i in range(THRESHOLD):  # reduced threshold: re-warm is short
+        obj.combine(i, y=2)
+    assert engine.stats.kw_promotions == 2
+    assert engine.stats.repromotions == 1
+
+
+# -- dominant-profile selection (regression) ----------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_dominant_profile_guard_targets_the_hottest_shape():
+    """Regression: the compiled identity guard must front the profile
+    with the most pre-promotion hits.  The pre-fix code took
+    ``next(iter(plan.profiles))`` — arbitrary frozenset order — so this
+    test learns both profiles, finds which one iteration happens to
+    yield first, and then makes the *other* one hot: the old code
+    deterministically guarded the cold shape."""
+    engine = spec_engine()
+    cls = type("SpecDom", (object,), {})
+    _define(engine, cls, "same", "def same(self, n):\n    return n\n",
+            "(Numeric) -> Numeric")
+    obj = cls()
+    obj.same(1)       # cold build
+    obj.same(1)       # learn (int,)
+    obj.same(1.5)     # learn (float,)
+    plan = engine._plans.get(("SpecDom", "SpecDom", "same", "instance"))
+    assert plan.profiles == {(int,), (float,)}
+    cold = next(iter(plan.profiles))
+    hot_cls = float if cold == (int,) else int
+    hot_val = 2.5 if hot_cls is float else 2
+    for _ in range(THRESHOLD + 5):
+        obj.same(hot_val)
+    raw = cls.__dict__["same"]
+    assert getattr(raw, "__hb_specialized__", False)
+    assert raw.__globals__["_d0_0"] is hot_cls
+
+
+# -- exact deopt counting (regression) ----------------------------------------
+
+
+@pytest.mark.requires_specialization
+def test_deopt_counter_ignores_already_rebound_slots():
+    """Regression: a slot rebound behind the specializer's back (direct
+    ``setattr``, no wrap/unwrap notification) displaces the compiled
+    wrapper itself; the later plan-dropping wave must neither clobber
+    the new function nor count a deopt for a restore that never
+    happened."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert _slot_is_specialized(cls, "bump")
+
+    def plain(self, n):
+        return n + 1
+
+    setattr(cls, "bump", plain)
+    deopts0 = engine.stats.deopts
+    engine._plans.clear()  # the wave that would have deoptimized it
+    assert engine.stats.deopts == deopts0  # nothing was actually restored
+    assert cls.__dict__["bump"] is plain   # and nothing was clobbered
+    assert obj.bump(1) == 2
+
+
 # -- trusted signatures and return checks ------------------------------------
 
 
@@ -427,16 +724,27 @@ _STRESS_BODIES = {
     "chain": "def {name}(self, n):\n    return self.m0(n)\n",
 }
 
+#: receivers the stress scripts dispatch through: the base class and two
+#: subclasses, so bursts on different receivers drive 2-entry
+#: polymorphic promotion (and third-class generic fallbacks).
+_STRESS_RECEIVERS = ("base", "suba", "subb")
+
 stress_ops = st.lists(
     st.one_of(
         # call bursts long enough to cross the tiny promotion threshold
         st.tuples(st.just("burst"), st.sampled_from(("m0", "m1")),
+                  st.sampled_from(_STRESS_RECEIVERS),
+                  st.integers(min_value=1, max_value=12)),
+        # keyword-call bursts: drive the kwargs-layout machinery
+        st.tuples(st.just("kwburst"), st.sampled_from(("m0", "m1")),
+                  st.sampled_from(_STRESS_RECEIVERS),
                   st.integers(min_value=1, max_value=12)),
         st.tuples(st.just("retype"), st.sampled_from(("m0", "m1")),
                   st.sampled_from(_STRESS_SIGS)),
         st.tuples(st.just("redefine"), st.sampled_from(("m0", "m1")),
                   st.sampled_from(sorted(_STRESS_BODIES))),
-        st.tuples(st.just("badcall"), st.sampled_from(("m0", "m1"))),
+        st.tuples(st.just("badcall"), st.sampled_from(("m0", "m1")),
+                  st.sampled_from(_STRESS_RECEIVERS)),
     ),
     min_size=2, max_size=16)
 
@@ -458,14 +766,25 @@ def _stress_replay(script, *, disable):
         _define(engine, cls, name,
                 _STRESS_BODIES["inc"].format(name=name),
                 "(Integer) -> Integer")
-    obj = cls()
+    sub_a = type("SpecStressA", (cls,), {})
+    sub_b = type("SpecStressB", (cls,), {})
+    engine.register_class(sub_a)
+    engine.register_class(sub_b)
+    receivers = {"base": cls(), "suba": sub_a(), "subb": sub_b()}
     outcomes = []
     for op in script:
         if op[0] == "burst":
-            _, name, count = op
+            _, name, recv, count = op
+            obj = receivers[recv]
             for i in range(count):
                 outcomes.append(_stress_outcome(
-                    lambda n=name, a=i: getattr(obj, n)(a)))
+                    lambda o=obj, m=name, a=i: getattr(o, m)(a)))
+        elif op[0] == "kwburst":
+            _, name, recv, count = op
+            obj = receivers[recv]
+            for i in range(count):
+                outcomes.append(_stress_outcome(
+                    lambda o=obj, m=name, a=i: getattr(o, m)(n=a)))
         elif op[0] == "retype":
             _, name, sig = op
             outcomes.append(_stress_outcome(
@@ -481,16 +800,19 @@ def _stress_replay(script, *, disable):
             outcomes.append(_stress_outcome(
                 lambda: engine.define_method(cls, name, fn, source=body)))
         else:  # badcall: must raise identically in both engines
+            _, name, recv = op
             outcomes.append(_stress_outcome(
-                lambda n=op[1]: getattr(obj, n)("wrong")))
+                lambda o=receivers[recv], m=name: getattr(o, m)("wrong")))
     return outcomes, engine
 
 
 @given(stress_ops)
 @settings(max_examples=40, deadline=None)
 def test_promote_deopt_repromote_matches_oracle(script):
-    """Random promote/deopt/re-promote interleavings never change a
-    single observable outcome versus the cache-free oracle."""
+    """Random promote/deopt/re-promote interleavings — across three
+    receiver classes (polymorphic dispatch) and keyword-call bursts
+    (kwargs layouts) — never change a single observable outcome versus
+    the cache-free oracle."""
     tiered, _ = _stress_replay(script, disable=False)
     oracle, _ = _stress_replay(script, disable=True)
     assert tiered == oracle
@@ -499,8 +821,27 @@ def test_promote_deopt_repromote_matches_oracle(script):
 @pytest.mark.requires_specialization
 def test_stress_scenarios_actually_promote():
     """The stress harness is not vacuous: a plain call burst promotes."""
-    script = [("burst", "m0", 12), ("retype", "m0", _STRESS_SIGS[0]),
-              ("burst", "m0", 12)]
+    script = [("burst", "m0", "base", 12),
+              ("retype", "m0", _STRESS_SIGS[0]),
+              ("burst", "m0", "base", 12)]
     _, engine = _stress_replay(script, disable=False)
     assert engine.stats.promotions >= 2
     assert engine.stats.deopts >= 1
+
+
+@pytest.mark.requires_specialization
+def test_stress_scenarios_actually_poly_promote():
+    """Bursts on two subclass receivers build a 2-entry dispatch."""
+    script = [("burst", "m0", "suba", 8), ("burst", "m0", "subb", 8)]
+    _, engine = _stress_replay(script, disable=False)
+    assert engine.stats.poly_promotions >= 1
+    assert engine.stats.poly_spec_hits > 0
+
+
+@pytest.mark.requires_specialization
+def test_stress_scenarios_actually_kw_promote():
+    """Keyword bursts compile a kwargs layout in."""
+    script = [("kwburst", "m0", "base", 10)]
+    _, engine = _stress_replay(script, disable=False)
+    assert engine.stats.kw_promotions >= 1
+    assert engine.stats.kw_spec_hits > 0

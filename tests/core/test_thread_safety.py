@@ -391,6 +391,101 @@ def test_invalidation_waves_race_specialized_calls():
 
 @pytest.mark.requires_threads
 @pytest.mark.requires_specialization
+def test_invalidation_waves_race_poly_and_kwargs_sites():
+    """The 2-entry/kwargs variant of the specialization race: caller
+    threads drive a base-class method hot under *two* subclass
+    receivers (building and rebuilding the polymorphic dispatch) with a
+    mix of positional and keyword calls, while mutator threads fire
+    retype waves that deopt one or both entries mid-flight.  Properties:
+    no crash or wedge, polymorphic and kwargs promotion both actually
+    happened, and after quiescing judgments equal a fresh cache-free
+    oracle."""
+    sig_cycle = ["(Integer) -> Integer", "(Integer) -> String",
+                 "(Integer) -> Numeric", "(Integer) -> Integer"]
+
+    def build(engine):
+        cls = type("PolyRace", (object,), {})
+        body = "def m0(self, n):\n    return n + 1\n"
+        namespace = {}
+        exec(body, namespace)  # noqa: S102 - fixed test template
+        engine.define_method(cls, "m0", namespace["m0"],
+                             sig="(Integer) -> Integer", check=True,
+                             source=body)
+        sub_a = type("PolyRaceA", (cls,), {})
+        sub_b = type("PolyRaceB", (cls,), {})
+        engine.register_class(sub_a)
+        engine.register_class(sub_b)
+        return sub_a(), sub_b()
+
+    engine = Engine(EngineConfig(specialize_threshold=3))
+    a, b = build(engine)
+    stop = threading.Event()
+
+    def mutator(_idx):
+        for _ in range(40):  # each cycle ends on the starting signature
+            for sig in sig_cycle:
+                engine.types.replace("PolyRace", "m0", sig, check=True)
+
+    def caller(idx):
+        obj = a if idx % 2 else b
+        use_kwargs = idx % 4 < 2
+        while not stop.is_set():
+            try:
+                if use_kwargs:
+                    obj.m0(n=idx)
+                else:
+                    obj.m0(idx)
+            except Exception:  # noqa: BLE001, S110 - transient states are
+                pass           # legitimate mid-mutation; convergence is
+                               # asserted after quiescing, below
+
+    callers = [threading.Thread(target=caller, args=(i,), daemon=True)
+               for i in range(4)]
+    for t in callers:
+        t.start()
+    _run_threads(2, mutator)
+    stop.set()
+    for t in callers:
+        t.join(timeout=JOIN_S)
+    assert not any(t.is_alive() for t in callers), "caller deadlock"
+
+    stats = engine.stats
+    assert stats.promotions > 0, "the race never promoted a site"
+    assert stats.deopts > 0, "the waves never deoptimized a site"
+    # Quiesced: start a fresh plan generation (the race may have
+    # promoted plans positionally before any kwargs shape was
+    # learnable), then force the 2-entry + kwargs shape
+    # deterministically — keyword calls first, so the layout is
+    # memoized before the reduced re-promotion threshold fires.
+    engine.types.replace("PolyRace", "m0", "(Integer) -> Integer",
+                         check=True)
+    for i in range(8):
+        assert b.m0(n=i) == i + 1
+        assert a.m0(i) == i + 1
+    assert stats.poly_promotions > 0
+    assert stats.kw_promotions > 0
+    poly0 = stats.poly_spec_hits
+    for i in range(4):
+        assert a.m0(i) == i + 1 and b.m0(i) == i + 1
+    assert stats.poly_spec_hits > poly0
+
+    oracle_engine = Engine(disable_caches=True)
+    oa, ob = build(oracle_engine)
+
+    def outcome(o, use_kwargs):
+        try:
+            return ("ok", repr(o.m0(n=9) if use_kwargs else o.m0(9)))
+        except Exception as exc:  # noqa: BLE001 - identity compared
+            return ("err", type(exc).__name__, str(exc))
+
+    for pair in ((a, oa), (b, ob)):
+        for use_kwargs in (False, True):
+            assert outcome(pair[0], use_kwargs) == outcome(pair[1],
+                                                           use_kwargs)
+
+
+@pytest.mark.requires_threads
+@pytest.mark.requires_specialization
 def test_stats_stay_exact_with_specialized_wrappers():
     """The per-call counter invariants survive tier 2 under N threads:
     specialized wrappers bump the same sharded counters the generic

@@ -1,0 +1,247 @@
+"""Regression tests for the ``rdl.wrap`` correctness fixes.
+
+* staticmethods: the old ``wrap_method`` extracted ``__func__`` from a
+  ``staticmethod`` slot but re-installed the wrapper as a plain function
+  (only ``classmethod`` was special-cased on the way back), so instance
+  calls shifted their first real argument into the wrapper's ``recv``
+  slot and class-level calls were treated as receiver-less.  Wrapping a
+  staticmethod is now *refused* — the slot keeps its plain-Python
+  semantics — and ``@typed`` over a staticmethod likewise records the
+  signature without converting the method to a classmethod;
+* the contract-resolution memo: keyed on live receiver class objects
+  and never bounded, it pinned every class generation dev-mode reload
+  churn ever produced.  It is now dropped wholesale at a fixed cap.
+"""
+
+import pytest
+
+from repro import Engine
+from repro.rdl.wrap import (
+    _CONTRACT_MEMO_MAX, add_pre, is_wrapped, wrap_method,
+)
+
+
+class TestStaticmethodWrapping:
+
+    def test_annotating_a_staticmethod_refuses_loudly(self):
+        """The smoking gun: pre-fix, annotating a class holding a
+        staticmethod rebound the slot to a plain wrapper, so
+        ``HasStatic.double(3)`` saw ``recv=3, args=()`` (arity error)
+        and instance calls passed the instance into the body.  Now the
+        refusal is an error — a recorded-but-never-enforced signature
+        would be a silent soundness hole — and the slot is untouched."""
+        from repro.core.errors import TypeSignatureError
+
+        engine = Engine()
+
+        class HasStatic:
+            @staticmethod
+            def double(n):
+                return 2 * n
+
+        engine.register_class(HasStatic)
+        with pytest.raises(TypeSignatureError):
+            engine.annotate(HasStatic, "double", "(Integer) -> Integer",
+                            check=True)
+        assert HasStatic.double(3) == 6
+        assert HasStatic().double(3) == 6
+        assert isinstance(HasStatic.__dict__["double"], staticmethod)
+        assert not is_wrapped(HasStatic, "double")
+        # atomicity: the refusal fired *before* the registry mutation,
+        # so no recorded-but-never-enforced signature is left behind.
+        assert engine.types.lookup("HasStatic", "double",
+                                   "instance") is None
+        assert engine.types.lookup("HasStatic", "double", "class") is None
+
+    def test_wrap_method_raises_and_leaves_staticmethod_slots_untouched(
+            self):
+        from repro.core.errors import TypeSignatureError
+
+        engine = Engine()
+
+        class Util:
+            @staticmethod
+            def ident(x):
+                return x
+
+        engine.register_class(Util)
+        before = Util.__dict__["ident"]
+        with pytest.raises(TypeSignatureError):
+            wrap_method(engine, Util, "ident")
+        assert Util.__dict__["ident"] is before
+        assert Util.ident("value") == "value"
+
+    def test_contract_on_a_staticmethod_refuses_loudly(self):
+        """Pre-fix, registering a contract on a staticmethod stored the
+        hook but the wrapper never ran it — an always-fail pre-contract
+        was silently ignored."""
+        from repro.core.errors import TypeSignatureError
+
+        engine = Engine()
+
+        class Hooked:
+            @staticmethod
+            def go(n):
+                return n
+
+        engine.register_class(Hooked)
+        with pytest.raises(TypeSignatureError):
+            add_pre(engine, Hooked, "go", lambda *a, **k: False)
+        assert Hooked.go(5) == 5  # slot untouched
+        # atomicity: the refused registration must not leave an empty
+        # store entry behind — a non-empty _contracts would block
+        # tier-2 promotion engine-wide, forever.
+        assert engine._contracts == {}
+
+    def test_deferred_annotation_onto_staticmethod_warns_not_corrupts(self):
+        """Annotate-by-name before the class exists, then register a
+        class whose slot is a staticmethod: register_class must
+        complete (warning loudly about the unenforceable annotation),
+        drop the pending wrap so nothing re-trips, and leave the
+        staticmethod untouched."""
+        engine = Engine()
+        engine.annotate("LateStatic", "m", "(Integer) -> Integer",
+                        check=True)
+
+        class LateStatic:
+            @staticmethod
+            def m(n):
+                return n
+
+        with pytest.warns(RuntimeWarning, match="staticmethod"):
+            engine.register_class(LateStatic)
+        assert engine.host_class("LateStatic") is LateStatic
+        assert ("LateStatic", "m", "instance") not in engine._pending_wraps
+        assert LateStatic.m(3) == 3
+        assert isinstance(LateStatic.__dict__["m"], staticmethod)
+        engine.register_class(LateStatic)  # idempotent, no re-trip
+
+    @pytest.mark.requires_specialization
+    def test_refused_contract_does_not_poison_tier2_promotion(self):
+        """End-to-end form of the atomicity property: after a refused
+        staticmethod contract, an unrelated hot method must still
+        promote to tier 2."""
+        from repro import EngineConfig
+        from repro.core.errors import TypeSignatureError
+
+        engine = Engine(EngineConfig(specialize_threshold=5))
+        hb = engine.api()
+
+        class Mixed:
+            @staticmethod
+            def helper(n):
+                return n
+
+            @hb.typed("(Integer) -> Integer")
+            def hot(self, n):
+                return n + 1
+
+        with pytest.raises(TypeSignatureError):
+            add_pre(engine, Mixed, "helper", lambda *a, **k: True)
+        obj = Mixed()
+        for i in range(20):
+            assert obj.hot(i) == i + 1
+        assert engine.stats.promotions == 1
+
+    def test_typed_decorator_preserves_staticmethod_semantics(self):
+        """``@typed`` over a staticmethod used to convert it to a
+        classmethod, silently prepending ``cls`` to every call."""
+        engine = Engine()
+        hb = engine.api()
+
+        class Tools:
+            @hb.typed("(Integer) -> Integer", check=False)
+            @staticmethod
+            def triple(n):
+                return 3 * n
+
+        assert Tools.triple(2) == 6
+        assert Tools().triple(2) == 6
+        assert isinstance(Tools.__dict__["triple"], staticmethod)
+        # the signature was still recorded (trusted, uninstrumented)
+        assert engine.types.lookup("Tools", "triple", "class") is not None
+
+    def test_typed_checked_staticmethod_is_refused_loudly(self):
+        """``check=True`` cannot be honored for a staticmethod; silently
+        recording an unenforced signature would be worse than failing
+        at class-definition time."""
+        from repro.core.errors import TypeSignatureError
+
+        engine = Engine()
+        hb = engine.api()
+
+        # Python < 3.12 wraps __set_name__ errors in RuntimeError with
+        # the original as __cause__; 3.12+ lets them propagate bare.
+        with pytest.raises((TypeSignatureError, RuntimeError)) as excinfo:
+            class Broken:
+                @hb.typed("(Integer) -> Integer")  # check defaults True
+                @staticmethod
+                def quadruple(n):
+                    return 4 * n
+        err = excinfo.value
+        if isinstance(err, RuntimeError):
+            assert isinstance(err.__cause__, TypeSignatureError)
+
+
+class TestContractMemoBound:
+
+    def test_reload_churn_cannot_grow_the_memo_without_bound(self):
+        """Pre-fix, every fresh receiver class generation added a
+        permanent memo entry keyed on the live class object — a leak
+        under dev-mode reload churn.  The memo now stays at or below
+        its cap across arbitrarily many generations."""
+        engine = Engine()
+
+        class ContractRoot:
+            def ping(self):
+                return "pong"
+
+        engine.register_class(ContractRoot)
+        add_pre(engine, ContractRoot, "ping",
+                lambda recv, *a, **k: True)
+        for i in range(_CONTRACT_MEMO_MAX + 64):
+            generation = type(f"ReloadGen{i}", (ContractRoot,), {})
+            assert generation().ping() == "pong"
+            assert len(engine._contract_memo) <= _CONTRACT_MEMO_MAX
+        # resolution still works after the wholesale drop
+        assert ContractRoot().ping() == "pong"
+
+    def test_contract_registration_still_flushes_the_memo(self):
+        """Bounding must not change the flush-on-registration rule: a
+        new contract store invalidates every memoized resolution."""
+        engine = Engine()
+        calls = []
+
+        class Memoed:
+            def act(self):
+                return "acted"
+
+            def other(self):
+                return "other"
+
+        engine.register_class(Memoed)
+        add_pre(engine, Memoed, "act",
+                lambda recv, *a, **k: calls.append("act") or True)
+        assert Memoed().act() == "acted"
+        assert engine._contract_memo  # resolution memoized
+        add_pre(engine, Memoed, "other",
+                lambda recv, *a, **k: calls.append("other") or True)
+        assert engine._contract_memo == {}  # flushed wholesale
+        assert Memoed().other() == "other"
+        assert Memoed().act() == "acted"
+        assert calls == ["act", "other", "act"]
+
+    def test_bad_contract_still_raises_after_memo_churn(self):
+        from repro.rdl.wrap import ContractViolation
+
+        engine = Engine()
+
+        class Guarded:
+            def go(self, n):
+                return n
+
+        engine.register_class(Guarded)
+        add_pre(engine, Guarded, "go", lambda recv, n: n > 0)
+        assert Guarded().go(1) == 1
+        with pytest.raises(ContractViolation):
+            Guarded().go(-1)
