@@ -73,6 +73,19 @@ SUITES = {
          _get("tier2.specialized_hit_ratio"), _absolute_floor(0.99),
          "the warm loop must actually ride tier 2 (promotion fired and "
          "stuck)"),
+        ("tier3.speedup_vs_tier2", _get("tier3.speedup_vs_tier2"),
+         _floor_and_fraction(1.02, 0.6),
+         "check elimination must beat the elide-off tier-2 wrapper on "
+         "the same loop (alarm floor 1.02x on shared runners; the "
+         "committed baseline records the full local gain)"),
+        ("tier3.checks_elided", _get("tier3.checks_elided"),
+         _absolute_floor(1.0),
+         "the warm loop must actually run with statically discharged "
+         "checks (the counter only moves inside stripped wrappers)"),
+        ("tier3.elide_promotions", _get("tier3.elide_promotions"),
+         _absolute_floor(1.0),
+         "promotion must have carried an elision verdict for the hot "
+         "leaf"),
         ("poly.speedup_vs_tier1", _get("poly.speedup_vs_tier1"),
          _floor_and_fraction(1.2, 0.6),
          "the 2-entry polymorphic dispatch must beat the generic tier-1 "

@@ -9,6 +9,7 @@ from .annotations import Api, TypedMethod
 from .cache import CacheEntry, CheckCache
 from .checker import CheckOutcome, Checker
 from .deps import DepGraph
+from .elide import Elider, Elision, elide_disabled_by_env
 from .engine import Engine, EngineConfig, caches_disabled_by_env
 from .errors import (
     ArgumentTypeError, CastError, HummingbirdError, NoMethodBodyError,
@@ -19,9 +20,9 @@ from .stats import PhaseTracker, Stats
 
 __all__ = [
     "Api", "ArgumentTypeError", "CacheEntry", "CastError", "CheckCache",
-    "CheckOutcome", "Checker", "DepGraph", "Engine", "EngineConfig",
-    "HummingbirdError", "NoMethodBodyError", "PhaseTracker",
+    "CheckOutcome", "Checker", "DepGraph", "Elider", "Elision", "Engine",
+    "EngineConfig", "HummingbirdError", "NoMethodBodyError", "PhaseTracker",
     "ReturnTypeError", "Specializer", "StaticTypeError", "Stats",
     "TypedMethod", "TypeSignatureError", "caches_disabled_by_env",
-    "specialize_disabled_by_env",
+    "elide_disabled_by_env", "specialize_disabled_by_env",
 ]

@@ -1,0 +1,229 @@
+"""Tier-3 glue: decide which compiled-in checks a promoted site can drop.
+
+Tier 2 compiles a warm call plan into a straight-line wrapper that still
+*performs* every per-call safety operation — the check-cache membership
+probe, the argument-profile guard, the checked-frame push/pop, the
+dynamic return check.  Tier 3 runs the RIL forward dataflow pass
+(:mod:`repro.ril.analysis`) at promotion time and statically discharges
+the operations it proves redundant, so the wrapper *omits* them.
+
+Per compiled entry the :class:`Elider` produces an :class:`Elision`
+verdict with four independent switches:
+
+``cache_guard``
+    The wrapper's ``key in cache`` membership probe re-validates the
+    memoized static check on every call.  Every *engine-mediated*
+    removal of that derivation (redefinition, retype, hierarchy change)
+    also drops the call plan — ``Engine.invalidate`` and the change
+    hooks flush plans by cache key — so the wrapper's plan-liveness
+    guard already covers it and the probe is provably redundant.  (A
+    direct ``CheckCache.clear()`` bypassing the engine is a memo flush,
+    not a world mutation: replaying the still-valid derivation is
+    sound, it just re-checks lazily instead of eagerly.)
+
+``arg_check``
+    When some signature arm accepts the site's arity with *vacuous*
+    parameter types (``%any``/type variables), the dynamic argument
+    check passes for every value — only the arity needs guarding.
+
+``frame``
+    The checked-frame push/pop exists so intercepted *callees* can see
+    whether their caller's body was statically checked.  A body the
+    analysis proves can never re-enter intercepted code has no reader —
+    the frame is dead and the ``try/finally`` around the call is
+    dropped ("check once per call" becomes "check zero times").
+
+``ret_check``
+    When every return-class the body can produce conforms to the
+    signature's return type, the dynamic return check (or return
+    profile guard) is dead.
+
+Frame and return verdicts may hold only *under the dominant profile*
+(the body is safe when ``n`` is an Integer, not for arbitrary ``n``).
+Then the verdict carries ``guard_profile``: the wrapper hoists the
+dominant class chain into an **unconditional** guard — no copy-on-write
+fallback set, a miss bails to the generic path — so the seeded facts
+hold on every call that runs the elided body.  A verdict that already
+holds seed-free needs no pin and keeps serving every learned profile.
+
+Soundness: every fact a verdict read (signature slots with negative
+probes, linearizations, field types, callee bodies as ``("ir", ...)``
+edges) is merged into the site's plan-dependency edges **before** the
+wrapper is installed (:meth:`CallPlanCache.add_resources`), so mutating
+any of them deopts the elided site exactly like a tier-2 plan.  The
+``REPRO_DISABLE_ELIDE=1`` escape hatch (and ``EngineConfig.elide``)
+turns the stage off, leaving tier 2 untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..rdl.registry import INSTANCE
+from ..ril.registry import RegistrationError
+from .deps import Resource, ir_resource, lin_resource
+from .plans import ARG_CHECK_NEVER, CallPlan, PlanKey
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine
+
+
+def elide_disabled_by_env() -> bool:
+    """True when ``REPRO_DISABLE_ELIDE`` disables tier-3 elision."""
+    return os.environ.get("REPRO_DISABLE_ELIDE", "") not in (
+        "", "0", "false", "no")
+
+
+class Elision:
+    """What one compiled entry may omit, and the facts that justify it."""
+
+    __slots__ = ("cache_guard", "frame", "arg_check", "ret_check",
+                 "guard_profile", "arity", "count", "resources", "callees")
+
+    def __init__(self, *, cache_guard: bool, frame: bool, arg_check: bool,
+                 ret_check: bool, guard_profile: Optional[tuple],
+                 arity: Optional[int], resources: Tuple[Resource, ...],
+                 callees: Tuple[Tuple[str, str, str], ...]) -> None:
+        self.cache_guard = cache_guard
+        self.frame = frame
+        self.arg_check = arg_check
+        self.ret_check = ret_check
+        #: dominant-profile classes to pin unconditionally, or ``None``
+        #: when every verdict holds seed-free.
+        self.guard_profile = guard_profile
+        #: arity to guard when ``arg_check`` is elided without a pinned
+        #: profile chain (the chain already fixes the length).
+        self.arity = arity
+        #: per-call check operations the wrapper omits — what the
+        #: ``checks_elided`` counter advances by on every elided call.
+        self.count = (int(cache_guard) + int(frame) + int(arg_check)
+                      + int(ret_check))
+        self.resources = resources
+        self.callees = callees
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Elision(cache_guard={self.cache_guard}, "
+                f"frame={self.frame}, arg_check={self.arg_check}, "
+                f"ret_check={self.ret_check}, "
+                f"pinned={self.guard_profile is not None})")
+
+
+def _fixed_arity(arms) -> Optional[int]:
+    """The single arity every arm requires, or ``None``."""
+    arity: Optional[int] = None
+    for arm in arms:
+        lo, hi = arm.min_arity(), arm.max_arity()
+        if hi is None or lo != hi or (arity is not None and lo != arity):
+            return None
+        arity = lo
+    return arity
+
+
+class Elider:
+    """Per-engine tier-3 stage, invoked by the specializer at promotion.
+
+    Runs under the engine's writer lock (the promotion already holds
+    it), so the world it analyzes is the world the wrapper is compiled
+    against; the plan-edge merge then extends that atomicity to the
+    installed wrapper's lifetime.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+
+    def analyze(self, key: PlanKey, plan: CallPlan, fn) -> Optional[Elision]:
+        # Lazy import: repro.ril's package init imports the analysis
+        # module, which reaches back into repro.core — importing it at
+        # module level here would dead-end when repro.ril loads first.
+        from ..ril.analysis import (
+            analyze_method, class_conforms, is_vacuous, rdl_class_name,
+        )
+
+        engine = self.engine
+        def_owner, recv_owner, name, kind = key
+        if kind != INSTANCE:
+            # Class-method receivers are class objects; the analysis
+            # models instance-typed self only.
+            return None
+        sig = plan.sig
+        arms = list(sig.intersection()) if sig is not None else []
+        mir = (engine.cfgs.lookup(def_owner, name)
+               or engine.cfgs.lookup(recv_owner, name))
+        if mir is None:
+            try:
+                mir = engine.cfgs.register_function(def_owner, name, fn)
+            except RegistrationError:
+                mir = None
+
+        dominant = plan.dominant_profile()
+        arity = len(dominant) if dominant is not None else _fixed_arity(arms)
+
+        # -- argument verdict (signature-only: vacuous types) ----------
+        arg_relevant = bool(arms) and plan.arg_mode != ARG_CHECK_NEVER
+        arg_ok = (arg_relevant and arity is not None and any(
+            arm.block is None and arm.accepts_arity(arity)
+            and all(is_vacuous(arm.param_type_at(j)) for j in range(arity))
+            for arm in arms))
+
+        # -- frame / return verdicts (dataflow over the body) ----------
+        ret_relevant = bool(arms) and plan.ret_mode != ARG_CHECK_NEVER
+        hier = engine.hier
+        strict = engine.config.strict_nil
+        frame_ok = False
+        ret_ok = False
+        guard_profile: Optional[tuple] = None
+        resources: List[Resource] = []
+        callees: Tuple[Tuple[str, str, str], ...] = ()
+
+        def ret_provable(report) -> bool:
+            if report.ret_classes is None:
+                return False
+            return all(
+                any(class_conforms(cls, arm.ret, hier, strict_nil=strict)
+                    for arm in arms)
+                for cls in report.ret_classes)
+
+        if mir is not None:
+            # The verdicts were derived while *this* body was installed.
+            resources.append(ir_resource(mir.owner, name))
+            if mir.owner != def_owner:
+                resources.append(ir_resource(def_owner, name))
+            report = analyze_method(engine, mir, recv_owner, None)
+            frame_ok = report.frame_elidable
+            ret_ok = ret_relevant and ret_provable(report)
+            resources.extend(report.resources)
+            callees = report.callees
+            if ret_ok:
+                resources.extend(
+                    lin_resource(cls) for cls in report.ret_classes)
+            want_seed = (not frame_ok) or (ret_relevant and not ret_ok)
+            if want_seed and plan.profile_eligible and dominant:
+                seeds = tuple(rdl_class_name(cls) for cls in dominant)
+                seeded = analyze_method(engine, mir, recv_owner, seeds)
+                seeded_frame = seeded.frame_elidable
+                seeded_ret = ret_relevant and ret_provable(seeded)
+                if ((seeded_frame and not frame_ok)
+                        or (seeded_ret and not ret_ok)):
+                    guard_profile = dominant
+                    resources.extend(seeded.resources)
+                    callees = callees + seeded.callees
+                    if seeded_ret and not ret_ok:
+                        resources.extend(
+                            lin_resource(cls) for cls in seeded.ret_classes)
+                    frame_ok = frame_ok or seeded_frame
+                    ret_ok = ret_ok or seeded_ret
+
+        cache_guard = plan.checked
+        if not (cache_guard or frame_ok or arg_ok or ret_ok):
+            return None
+        return Elision(
+            cache_guard=cache_guard,
+            frame=frame_ok,
+            arg_check=arg_ok,
+            ret_check=ret_ok,
+            guard_profile=guard_profile,
+            arity=arity if arg_ok else None,
+            resources=tuple(dict.fromkeys(resources)),
+            callees=tuple(dict.fromkeys(callees)),
+        )

@@ -84,7 +84,10 @@ from ..rtypes import (
 from .builtins_sigs import install as install_builtins
 from .cache import CheckCache
 from .checker import Checker
-from .deps import Resource, lin_resource, sig_resource
+from .deps import (
+    Resource, field_resource, ir_resource, lin_resource, sig_resource,
+)
+from .elide import Elider, elide_disabled_by_env
 from .errors import (
     ArgumentTypeError, CastError, NoMethodBodyError, ReturnTypeError,
     StaticTypeError, TypeSignatureError,
@@ -156,6 +159,12 @@ class EngineConfig:
     specialize: bool = True
     #: warm hits a call plan must serve before promotion to tier 2.
     specialize_threshold: int = 50
+    #: tier-3: statically discharge per-call checks the RIL dataflow
+    #: pass proves redundant, so promoted wrappers *omit* them
+    #: (:mod:`repro.core.elide`).  False (or ``REPRO_DISABLE_ELIDE=1``)
+    #: keeps tier-2 wrappers performing every check — the
+    #: ``tier1-noelide`` differential mode.
+    elide: bool = True
 
 
 class Engine:
@@ -210,6 +219,13 @@ class Engine:
             # Deopt hook: any wave that drops a plan swaps the generic
             # wrapper back in before the wave returns.
             self._plans.on_drop = self._specializer.deoptimize_keys
+        #: tier-3 elision stage, consulted by the specializer at
+        #: promotion time; None compiles tier-2 wrappers with every
+        #: check intact.
+        self._elider: Optional[Elider] = None
+        if (self._specializer is not None and self.config.elide
+                and not elide_disabled_by_env()):
+            self._elider = Elider(self)
         self._arg_mode: int = ARG_MODES.get(self.config.dynamic_arg_checks,
                                             ARG_CHECK_BOUNDARY)
         if self.config.dynamic_ret_checks not in RET_MODES:
@@ -491,6 +507,17 @@ class Engine:
                             not kwargs or plan.kw_layouts):
                         spec.maybe_promote((def_owner, owner, name, kind),
                                            plan, fn, recv)
+                elif (spec is not None and kwargs
+                      and spec.needs_kw_recompile(
+                          (def_owner, owner, name, kind), plan)):
+                    # A positional-only promotion would otherwise serve
+                    # kwargs calls through this tier-1 fallback forever;
+                    # once the site's kwargs traffic has resolved to a
+                    # single stable layout, recompile the wrapper in
+                    # place with the layout (and a fresh tier-3 verdict)
+                    # compiled in.
+                    spec.maybe_promote((def_owner, owner, name, kind),
+                                       plan, fn, recv)
                 checked = plan.checked
                 sig = plan.sig
                 stack = tls.stack
@@ -510,10 +537,13 @@ class Engine:
                                 # reorders this call shape into the full
                                 # positional view, so the profile set
                                 # covers keyword calls too.
+                                # BoundDefault entries carry a skipped
+                                # parameter's default value directly.
                                 layout = plan.kw_layouts.get(
                                     (len(args), tuple(kwargs)))
-                                vals = (args + tuple(kwargs[n]
-                                                     for n in layout)
+                                vals = (args + tuple(
+                                    kwargs[n] if n.__class__ is str
+                                    else n.value for n in layout)
                                         if layout is not None else None)
                             else:
                                 vals = args
@@ -531,7 +561,9 @@ class Engine:
                                 if layout is not None:
                                     plan.learn_profile(tuple(map(
                                         type, args + tuple(
-                                            kwargs[n] for n in layout))))
+                                            kwargs[n] if n.__class__ is str
+                                            else n.value
+                                            for n in layout))))
                             else:
                                 profile = tuple(map(type, vals))
                                 if profile not in plan.profiles:
@@ -828,7 +860,11 @@ class Engine:
             if self._plans is not None:
                 flushed = self._plans.invalidate_resources(
                     (sig_resource(owner, name, INSTANCE),
-                     sig_resource(owner, name, CLASS)))
+                     sig_resource(owner, name, CLASS),
+                     # tier-3 body edge: a plan whose elision verdict was
+                     # derived from this method's IR must fall even when
+                     # its own resolution never probed the slot.
+                     ir_resource(owner, name)))
                 flushed += self._plans.invalidate_cache_keys(removed | {key})
                 self.stats.plan_invalidations += flushed
             self.cache.upgrade(self.types.version)
@@ -852,10 +888,15 @@ class Engine:
                         self.stats.plan_invalidations += \
                             self._plans.invalidate_cache_keys(removed)
                 if self._plans is not None:
-                    # Even a flush that dropped nothing is a mutation wave:
-                    # in-flight plan builds must not memoize against the
-                    # pre-mutation world.
-                    self._plans.bump_epoch()
+                    # Tier-3 elision verdicts read field types directly;
+                    # their plans carry ("field", owner, name) edges.
+                    # This wave also bumps the epoch, so even when it
+                    # drops nothing, in-flight plan builds discard
+                    # rather than memoize against the pre-mutation
+                    # world.
+                    self.stats.plan_invalidations += \
+                        self._plans.invalidate_resources(
+                            (field_resource(owner, name),))
                 self.cache.upgrade(self.types.version)
                 return
             self.invalidate(owner, name)
@@ -997,16 +1038,33 @@ def _positional_view(fn, recv, args: tuple, kwargs: dict) -> list:
         bound = sig.bind(recv, *args, **kwargs)
     except TypeError:
         return list(args) + list(kwargs.values())
+    # Fill *gaps* only — defaulted parameters the call skipped before a
+    # later named one (f(x, y=2, z=3) called as f(1, z=5)): without the
+    # default in y's slot, z's value would slide into it and be checked
+    # against y's type.  Trailing defaults the call never reached stay
+    # out of the view, so a fixed-arity signature arm still matches
+    # calls that simply omit them.
     values = []
+    pending = []  # defaulted slots not yet known to precede a bound one
     params = list(bound.signature.parameters.values())[1:]  # drop self
     for param in params:
         if param.name not in bound.arguments:
+            if param.default is not inspect.Parameter.empty:
+                pending.append(param.default)
             continue
         got = bound.arguments[param.name]
         if param.kind == inspect.Parameter.VAR_POSITIONAL:
-            values.extend(got)
+            if got:
+                values.extend(pending)
+                pending.clear()
+                values.extend(got)
         elif param.kind == inspect.Parameter.VAR_KEYWORD:
-            values.append(got)
+            if got:
+                values.extend(pending)
+                pending.clear()
+                values.append(got)
         else:
+            values.extend(pending)
+            pending.clear()
             values.append(got)
     return values

@@ -51,9 +51,11 @@ many threads would permit.
 
 Keyword calls: a plan memoizes, per observed kwargs *shape*, how the
 names map onto the callee's positional parameters
-(:meth:`CallPlan.learn_kw_layout`); contiguously bindable shapes
-rebuild the full positional view with plain dict gets, so the profile
-set covers keyword calls without re-entering ``Signature.bind``.
+(:meth:`CallPlan.learn_kw_layout`); bindable shapes rebuild the full
+positional view with plain dict gets — shapes that skip a defaulted
+parameter bind the declared default into the layout
+(:class:`BoundDefault`) — so the profile set covers keyword calls
+without re-entering ``Signature.bind``.
 
 Tiering: a plan also carries the tier-2 promotion state — ``hits``, a
 heuristic warm-call counter (racy increments only delay promotion),
@@ -226,18 +228,51 @@ class CallPlan:
                 f"profiles={len(self.profiles)})")
 
 
+class BoundDefault:
+    """A defaulted parameter slot a kwargs layout fills at bind time.
+
+    A layout entry is normally a kwargs *name* (fetch ``kwargs[name]``);
+    a :class:`BoundDefault` entry stands for a parameter the call shape
+    skipped, carrying the declared default value so the positional view
+    can be rebuilt without re-entering ``Signature.bind``.  Defaults are
+    evaluated once at ``def`` time, so the carried value — and hence its
+    class, which is all profiles and class-determined checks consult —
+    is the same for every call of the shape.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value) -> None:
+        self.name = name
+        self.value = value
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, BoundDefault) and other.name == self.name
+                and other.value is self.value)
+
+    def __hash__(self) -> int:
+        return hash((self.name, id(self.value)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BoundDefault({self.name}={self.value!r})"
+
+
 def kw_layout_for(fn, npos: int, names: tuple) -> Optional[tuple]:
     """Bind a call shape (``npos`` positional args + ``names`` keyword
     args) against ``fn``'s parameter list.
 
-    Returns the kwargs names reordered into declared parameter order
-    when — and only when — the names fill the parameter slots
-    ``npos .. npos+len(names)-1`` *contiguously*: then
+    Returns the kwargs names reordered into declared parameter order.
+    When the names fill the parameter slots ``npos .. npos+len(names)-1``
+    *contiguously*, the layout is plain names: then
     ``fn(recv, *args, **kwargs)`` is exactly
     ``fn(recv, *args, kwargs[n1], ..., kwargs[nk])`` and the positional
     view the dynamic checker derives via ``Signature.bind`` is exactly
-    ``args + that reorder``.  Shapes that skip a defaulted parameter,
-    name a positional-only/keyword-only parameter, or meet ``*args`` /
+    ``args + that reorder``.  Shapes that *skip* a defaulted parameter
+    (``f(x, y=2, z=3)`` called as ``f(1, z=5)``) fill the gap with a
+    :class:`BoundDefault` carrying the declared default — the value the
+    host call binds anyway.  Shapes that name an already-filled
+    positional slot, skip a parameter with no default, name a
+    positional-only/keyword-only parameter, or meet ``*args`` /
     ``**kwargs`` in the signature return ``None`` — those calls keep the
     generic path.
     """
@@ -257,9 +292,23 @@ def kw_layout_for(fn, npos: int, names: tuple) -> Optional[tuple]:
         placed = sorted((index[n], n) for n in names)
     except KeyError:
         return None
-    if [i for i, _ in placed] != list(range(npos, npos + len(names))):
-        return None
-    return tuple(n for _, n in placed)
+    positions = [i for i, _ in placed]
+    if positions == list(range(npos, npos + len(names))):
+        return tuple(n for _, n in placed)
+    if not placed or positions[0] < npos:
+        return None  # a kwarg names a slot args already filled: TypeError
+    by_pos = dict(placed)
+    layout = []
+    for j in range(npos, positions[-1] + 1):
+        name = by_pos.get(j)
+        if name is not None:
+            layout.append(name)
+            continue
+        param = params[j]
+        if param.default is inspect.Parameter.empty:
+            return None  # required slot skipped: the call itself raises
+        layout.append(BoundDefault(param.name, param.default))
+    return tuple(layout)
 
 
 class CallPlanCache:
@@ -326,6 +375,25 @@ class CallPlanCache:
             self._by_cache_key.setdefault((key[1], key[2]), set()).add(key)
         if replaced and self.on_drop is not None:
             self.on_drop((key,))
+        return True
+
+    def add_resources(self, key: PlanKey, plan: CallPlan,
+                      resources: Iterable[Resource]) -> bool:
+        """Merge ``resources`` into ``key``'s dependency edges.
+
+        The tier-3 promotion stage reads extra world facts (field types,
+        callee bodies, linearizations) *after* the plan was stored; the
+        elided wrapper is only sound if mutating any of them drops the
+        plan, so its edges must be registered before the wrapper is
+        installed.  Returns ``False`` — and records nothing — when the
+        stored plan is no longer ``plan`` (a wave dropped it mid-stage);
+        the caller must then abandon the promotion.
+        """
+        with self._lock:
+            if self._plans.get(key) is not plan:
+                return False
+            merged = tuple(self._deps.resources_of(key)) + tuple(resources)
+            self._deps.record(key, merged)
         return True
 
     def bump_epoch(self) -> None:

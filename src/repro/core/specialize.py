@@ -46,6 +46,32 @@ instead of the unconditional bail to the generic tier.  Shapes that
 cannot be bound contiguously against the callee's parameter list keep
 bailing.
 
+A promoted positional-only entry is not stuck with the unconditional
+kwargs bail forever: when its plan later stabilizes a keyword layout,
+the engine's warm path notices (:meth:`Specializer.needs_kw_recompile`)
+and the site recompiles **in place** — the same single-``setattr``
+recompile the polymorphic extension uses — swapping the entry for one
+with the layout compiled in.
+
+**Tier 3 — static check elimination.**  At promotion time the
+:class:`~repro.core.elide.Elider` runs the RIL forward dataflow pass
+over the callee's lowered body and reports which per-call safety
+operations are *provably redundant* for this site
+(:class:`~repro.core.elide.Elision`); the codegen here then **omits**
+them instead of partially evaluating them: the check-cache membership
+probe, the argument-profile test (arity-guarded when every matching
+parameter type is vacuous), the checked-frame push/pop around the call,
+and the return conformance walk.  Verdicts that hold only under the
+dominant argument profile pin that profile as an *unconditional* guard
+chain (no copy-on-write fallback — a miss bails to the generic tier),
+so the facts the analysis assumed hold on every call that runs the
+elided body.  Counter parity is preserved bump for bump — an elided
+wrapper reports exactly what the generic tier would have reported, plus
+``checks_elided`` advancing by the number of omitted operations per
+call.  Every fact the verdicts consumed becomes a plan-dependency edge
+*before* the wrapper is installed, so elided sites deoptimize under
+exactly the wave that would invalidate the fact.
+
 **Adaptive re-promotion.**  Deoptimizing a site records its plan key in
 a bounded re-warm registry; when the plan is rebuilt, the engine stamps
 it with the reduced threshold (``specialize_threshold // 4``), so
@@ -117,6 +143,7 @@ from .plans import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .elide import Elision
     from .engine import Engine
 
 #: receiver-class entries one specialized site may dispatch over; further
@@ -141,16 +168,22 @@ def specialize_disabled_by_env() -> bool:
 class _Entry:
     """One receiver class's compiled dispatch entry inside a site."""
 
-    __slots__ = ("key", "guard_cls", "plan", "kw_layout")
+    __slots__ = ("key", "guard_cls", "plan", "kw_layout", "elision")
 
     def __init__(self, key: PlanKey, guard_cls: type, plan: CallPlan,
-                 kw_layout: Optional[Tuple[int, tuple]]) -> None:
+                 kw_layout: Optional[Tuple[int, tuple]],
+                 elision: Optional["Elision"] = None) -> None:
         self.key = key
         self.guard_cls = guard_cls
         self.plan = plan
         #: ``(positional count, declared-order kwargs names)`` compiled
-        #: into the wrapper, or None (keyword calls bail).
+        #: into the wrapper, or None (keyword calls bail).  Entries may
+        #: be :class:`~repro.core.plans.BoundDefault` for defaulted
+        #: parameter slots the call shape skips.
         self.kw_layout = kw_layout
+        #: the tier-3 verdict: which per-call check operations this
+        #: entry's compiled code omits, or None (full tier-2 body).
+        self.elision = elision
 
 
 class _Site:
@@ -254,7 +287,6 @@ class Specializer:
         if (inner is None
                 or getattr(inner, "__hb_original__", None) is not fn):
             return False
-        entry = _Entry(key, guard_cls, plan, _entry_kw_layout(plan))
         with engine.write_lock:
             if engine._contracts:
                 # Re-validated under the lock: a contract registered
@@ -266,46 +298,76 @@ class Specializer:
                 return False  # a wave dropped the plan while we raced here
             if def_cls.__dict__.get(name) is not raw:
                 return False  # the slot changed under us; stay generic
+            # Tier 3: run the static analysis under the writer lock (the
+            # world it sees is the world the wrapper compiles against)
+            # and merge the facts it consumed into the plan's dependency
+            # edges *before* the wrapper can be installed — mutating any
+            # of them must deopt this site like any tier-2 plan.
+            elider = engine._elider
+            elision = (elider.analyze(key, plan, fn)
+                       if elider is not None else None)
+            if elision is not None and not plans.add_resources(
+                    key, plan, elision.resources):
+                return False  # a direct wave dropped the plan mid-analysis
+            entry = _Entry(key, guard_cls, plan, _entry_kw_layout(plan),
+                           elision)
+            recompiled = False
             with self._lock:
                 if key in self._by_key:
-                    return False
-                slot = (def_cls, name)
-                site = self._sites.get(slot)
-                if site is None:
-                    if getattr(inner, "__hb_specialized__", False):
-                        return False  # a specialized slot we don't track
-                    entries: Tuple[_Entry, ...] = (entry,)
-                    generic = inner
-                else:
-                    # A second receiver class got hot on a promoted
-                    # slot: recompile into a polymorphic dispatch.
-                    if (site.specialized is not inner
-                            or site.kind != kind
-                            or len(site.entries) >= MAX_POLY_ENTRIES
-                            or any(e.guard_cls is guard_cls
-                                   for e in site.entries)):
+                    # Already promoted: the only in-place rebuild is a
+                    # positional-only entry whose plan has since
+                    # stabilized a kwargs layout — recompile the site
+                    # with the layout (and fresh elision) swapped in.
+                    newsite = self._recompile_kw_locked(key, entry)
+                    if newsite is None:
                         return False
-                    entries = site.entries + (entry,)
-                    generic = site.generic
-                    was_classmethod = site.was_classmethod
-                wrapper = _compile_wrapper(engine, def_owner, name, kind,
-                                           fn, entries)
-                newsite = _Site(def_owner, def_cls, name, kind, fn, generic,
-                                wrapper, was_classmethod, entries)
-                setattr(def_cls, name,
-                        classmethod(wrapper) if was_classmethod else wrapper)
-                self._sites[slot] = newsite
-                for e in entries:
-                    self._by_key[e.key] = slot
+                    entries = newsite.entries
+                    recompiled = True
+                else:
+                    slot = (def_cls, name)
+                    site = self._sites.get(slot)
+                    if site is None:
+                        if getattr(inner, "__hb_specialized__", False):
+                            return False  # a specialized slot we don't track
+                        entries = (entry,)
+                        generic = inner
+                    else:
+                        # A second receiver class got hot on a promoted
+                        # slot: recompile into a polymorphic dispatch.
+                        if (site.specialized is not inner
+                                or site.kind != kind
+                                or len(site.entries) >= MAX_POLY_ENTRIES
+                                or any(e.guard_cls is guard_cls
+                                       for e in site.entries)):
+                            return False
+                        entries = site.entries + (entry,)
+                        generic = site.generic
+                        was_classmethod = site.was_classmethod
+                    wrapper = _compile_wrapper(engine, def_owner, name, kind,
+                                               fn, entries)
+                    newsite = _Site(def_owner, def_cls, name, kind, fn,
+                                    generic, wrapper, was_classmethod,
+                                    entries)
+                    setattr(def_cls, name,
+                            classmethod(wrapper) if was_classmethod
+                            else wrapper)
+                    self._sites[slot] = newsite
+                    for e in entries:
+                        self._by_key[e.key] = slot
                 rewarmed = key in self._rewarm
             stats = engine.stats
-            stats.promotions += 1
-            if len(entries) > 1:
-                stats.poly_promotions += 1
-            if entry.kw_layout is not None:
+            if recompiled:
                 stats.kw_promotions += 1
-            if rewarmed:
-                stats.repromotions += 1
+            else:
+                stats.promotions += 1
+                if len(entries) > 1:
+                    stats.poly_promotions += 1
+                if entry.kw_layout is not None:
+                    stats.kw_promotions += 1
+                if rewarmed:
+                    stats.repromotions += 1
+                if elision is not None:
+                    stats.elide_promotions += 1
             stale = tuple(e.key for e in entries
                           if plans.get(e.key) is not e.plan)
         if stale:
@@ -316,6 +378,55 @@ class Specializer:
             self.deoptimize_keys(stale)
             return False
         return True
+
+    def needs_kw_recompile(self, key: PlanKey, plan: CallPlan) -> bool:
+        """True when ``key``'s compiled entry predates the plan's kwargs
+        layout — a positional-only promotion now serving keyword traffic
+        through the generic fallback that an in-place recompile could
+        serve straight-line.  Lock-free probe on the warm path;
+        :meth:`maybe_promote` re-validates everything under the locks.
+        """
+        slot = self._by_key.get(key)
+        if slot is None:
+            return False
+        site = self._sites.get(slot)
+        if site is None:
+            return False
+        for e in site.entries:
+            if e.key == key:
+                return (e.kw_layout is None and e.plan is plan
+                        and _entry_kw_layout(plan) is not None)
+        return False
+
+    def _recompile_kw_locked(self, key: PlanKey,
+                             entry: _Entry) -> Optional[_Site]:
+        """In-place rebuild of an already-promoted entry that has since
+        stabilized a kwargs layout (the polymorphic-extension recompile
+        applied to a single entry).  Caller holds the writer lock and
+        the internal lock; returns the new site, or None to refuse."""
+        slot = self._by_key.get(key)
+        site = self._sites.get(slot) if slot is not None else None
+        if site is None:
+            return None
+        old = next((e for e in site.entries if e.key == key), None)
+        if (old is None or old.plan is not entry.plan
+                or old.guard_cls is not entry.guard_cls
+                or old.kw_layout is not None or entry.kw_layout is None):
+            return None
+        raw = site.def_cls.__dict__.get(site.name)
+        inner = raw.__func__ if isinstance(raw, classmethod) else raw
+        if inner is not site.specialized:
+            return None  # the slot was rebound behind our back
+        entries = tuple(entry if e.key == key else e for e in site.entries)
+        wrapper = _compile_wrapper(self.engine, site.def_owner, site.name,
+                                   site.kind, site.fn, entries)
+        newsite = _Site(site.def_owner, site.def_cls, site.name, site.kind,
+                        site.fn, site.generic, wrapper, site.was_classmethod,
+                        entries)
+        setattr(site.def_cls, site.name,
+                classmethod(wrapper) if site.was_classmethod else wrapper)
+        self._sites[slot] = newsite
+        return newsite
 
     # -- deoptimization -----------------------------------------------------
 
@@ -332,6 +443,7 @@ class Specializer:
         """
         engine = self.engine
         displaced = 0
+        elided = 0
         with self._lock:
             dead_by_slot: Dict[Slot, Set[PlanKey]] = {}
             for key in keys:
@@ -357,6 +469,8 @@ class Specializer:
                         self._by_key.pop(e.key, None)
                     continue
                 displaced += len(site.entries) - len(survivors)
+                elided += sum(1 for e in site.entries
+                              if e.key in dead and e.elision is not None)
                 if survivors:
                     wrapper = _compile_wrapper(engine, site.def_owner,
                                                site.name, site.kind,
@@ -374,6 +488,8 @@ class Specializer:
                             else site.generic)
             if displaced:
                 engine.stats.deopts += displaced
+            if elided:
+                engine.stats.elide_deopts += elided
         return displaced
 
     def deoptimize_all(self) -> int:
@@ -399,6 +515,8 @@ class Specializer:
                 self._by_key.pop(e.key, None)
                 self._note_rewarm(e.key)
             self.engine.stats.deopts += len(site.entries)
+            self.engine.stats.elide_deopts += sum(
+                1 for e in site.entries if e.elision is not None)
 
     def _note_rewarm(self, key: PlanKey) -> None:
         rewarm = self._rewarm
@@ -493,10 +611,19 @@ def _compile_wrapper(engine: "Engine", def_owner: str, name: str, kind: str,
 
 def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
                  bail: str) -> Tuple[list, dict]:
-    """One dispatch entry's body (unindented), all paths returning."""
+    """One dispatch entry's body (unindented), all paths returning.
+
+    When the entry carries a tier-3 :class:`Elision`, the corresponding
+    check operations are *not emitted*; the counters still report what
+    the generic tier would have reported (the boundary probe still picks
+    ``dynamic_arg_checks`` vs ``_skipped`` even when the test itself is
+    gone), plus ``checks_elided`` advancing by the number of omitted
+    operations."""
     plan = entry.plan
     sig = plan.sig
     checked = plan.checked
+    el = entry.elision
+    gp = el.guard_profile if el is not None else None
     recv_owner = entry.key[1]
     ns: dict = {f"_key{i}": entry.key, f"_plan{i}": plan}
     lines = []
@@ -510,11 +637,21 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
         argname = "vals"
         npos, names = entry.kw_layout
         picks = [f"args[{j}]" for j in range(npos)]
-        picks += [f"kwargs[{n!r}]" for n in names]
+        n_str = 0
+        for j, n in enumerate(names):
+            if n.__class__ is str:
+                picks.append(f"kwargs[{n!r}]")
+                n_str += 1
+            else:
+                # BoundDefault: a defaulted slot the call shape skips;
+                # the declared default is a def-time constant, so it
+                # closes over like any guard class.
+                ns[f"_kwd{i}_{j}"] = n.value
+                picks.append(f"_kwd{i}_{j}")
         joined = ", ".join(picks) + ("," if len(picks) == 1 else "")
         lines += [
             "if kwargs:",
-            f"    if len(args) != {npos} or len(kwargs) != {len(names)}:",
+            f"    if len(args) != {npos} or len(kwargs) != {n_str}:",
             f"        {bail}",
             "    try:",
             f"        vals = ({joined})",
@@ -541,7 +678,8 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
         f"if _live.get(_key{i}) is not _plan{i}:",
         f"    {bail}",
     ]
-    if checked:
+    cache_guard_elided = checked and el is not None and el.cache_guard
+    if checked and not cache_guard_elided:
         # Mirrors the tier-1 guard against direct CheckCache flushes
         # that bypass Engine.invalidate: no entry, no fast path.
         lines += [
@@ -549,34 +687,69 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
             f"    {bail}",
         ]
         ns[f"_ckey{i}"] = (recv_owner, name)
-    lines += [
-        "tls = _tls",
-        "stack = tls.stack",
-    ]
-    profile_test, guard_classes = _profile_test_lines(i, plan, bail, argname)
-    ns.update(guard_classes)
+    if gp is not None:
+        # Pinned dominant profile: the frame/return verdicts below were
+        # proved *under these argument classes*, so the chain guards
+        # unconditionally — no copy-on-write fallback; a miss (another
+        # learned profile, a new shape) bails to the generic tier.
+        guard = [f"len({argname}) == {len(gp)}"]
+        guard += [f"type({argname}[{j}]) is _d{i}_{j}"
+                  for j in range(len(gp))]
+        lines += [
+            f"if not ({' and '.join(guard)}):",
+            f"    {bail}",
+        ]
+        ns.update({f"_d{i}_{j}": cls for j, cls in enumerate(gp)})
+    frame_elided = el is not None and el.frame
+    arg_elided = el is not None and el.arg_check
+    ret_elided = el is not None and el.ret_check
+    do_ret = sig is not None and plan.ret_mode != ARG_CHECK_NEVER
+    need_stack = (not frame_elided
+                  or (sig is not None
+                      and plan.arg_mode == ARG_CHECK_BOUNDARY)
+                  or (do_ret and plan.ret_mode != ARG_CHECK_ALWAYS))
+    lines.append("tls = _tls")
+    if need_stack:
+        lines.append("stack = tls.stack")
     if sig is None:
         arg_counters = []
-    elif plan.arg_mode == ARG_CHECK_BOUNDARY:
-        lines += [
-            "if stack and stack[-1]:",
-            "    checked_args = False",
-            "else:",
-            *["    " + ln for ln in profile_test],
-            "    checked_args = True",
-        ]
-        arg_counters = [
-            "if checked_args:",
-            "    c.dynamic_arg_checks += 1",
-            "else:",
-            "    c.dynamic_arg_checks_skipped += 1",
-        ]
-    elif plan.arg_mode == ARG_CHECK_ALWAYS:
-        lines += profile_test
-        arg_counters = ["c.dynamic_arg_checks += 1"]
-    else:  # ARG_CHECK_NEVER
-        arg_counters = ["c.dynamic_arg_checks_skipped += 1"]
-    do_ret = sig is not None and plan.ret_mode != ARG_CHECK_NEVER
+    else:
+        if gp is not None:
+            # The pinned chain above already vetted the arguments.
+            profile_test = None
+        elif arg_elided:
+            # Every matching parameter type is vacuous: the dynamic
+            # check passes for any value — only the arity it was proved
+            # at needs guarding.
+            profile_test = [f"if len({argname}) != {el.arity}:",
+                            f"    {bail}"]
+        else:
+            profile_test, guard_classes = _profile_test_lines(
+                i, plan, bail, argname)
+            ns.update(guard_classes)
+        if plan.arg_mode == ARG_CHECK_BOUNDARY:
+            if profile_test is None:
+                lines.append("checked_args = not (stack and stack[-1])")
+            else:
+                lines += [
+                    "if stack and stack[-1]:",
+                    "    checked_args = False",
+                    "else:",
+                    *["    " + ln for ln in profile_test],
+                    "    checked_args = True",
+                ]
+            arg_counters = [
+                "if checked_args:",
+                "    c.dynamic_arg_checks += 1",
+                "else:",
+                "    c.dynamic_arg_checks_skipped += 1",
+            ]
+        elif plan.arg_mode == ARG_CHECK_ALWAYS:
+            if profile_test is not None:
+                lines += profile_test
+            arg_counters = ["c.dynamic_arg_checks += 1"]
+        else:  # ARG_CHECK_NEVER
+            arg_counters = ["c.dynamic_arg_checks_skipped += 1"]
     if do_ret:
         # Decided from the *caller's* frame, before ours pushes —
         # identical to the tier-1 ordering.
@@ -598,33 +771,63 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
             "    c.kw_spec_hits += 1",
         ]
     if checked:
+        # Kept even when the membership probe is elided: the memoized
+        # derivation is still what admits this call.
         lines.append("c.cache_hits += 1")
     lines += arg_counters
+    if el is not None and el.count:
+        lines.append(f"c.checks_elided += {el.count}")
     call = f"_fn(recv, *{argname})"
-    lines += [
-        f"stack.append({checked})",
-        "try:",
-        f"    result = {call}" if do_ret else f"    return {call}",
-        "finally:",
-        "    stack.pop()",
-    ]
+    if frame_elided:
+        # The body provably never re-enters intercepted code, so no
+        # callee can read the checked-frame flag: the push/pop (and the
+        # try/finally protecting it) are dead.
+        lines.append(f"result = {call}" if do_ret else f"return {call}")
+    else:
+        lines += [
+            f"stack.append({checked})",
+            "try:",
+            f"    result = {call}" if do_ret else f"    return {call}",
+            "finally:",
+            "    stack.pop()",
+        ]
     if do_ret:
         if plan.ret_profile_eligible:
+            if ret_elided:
+                # Conformance is statically proved for every class the
+                # body can return; keep the membership probe purely for
+                # counter/profile parity with the generic tier, but the
+                # slow conformance walk is gone.
+                lines += [
+                    "if do_ret:",
+                    f"    if type(result) in _plan{i}.ret_profiles:",
+                    "        c.ret_profile_hits += 1",
+                    "    else:",
+                    f"        _plan{i}.learn_ret_profile(type(result))",
+                    "    c.dynamic_ret_checks += 1",
+                ]
+            else:
+                lines += [
+                    "if do_ret:",
+                    f"    if type(result) in _plan{i}.ret_profiles:",
+                    "        c.ret_profile_hits += 1",
+                    "    else:",
+                    f"        _ret_slow{i}(result)",
+                    "    c.dynamic_ret_checks += 1",
+                ]
+
+                def _ret_slow(result, _engine=engine, _plan=plan,
+                              _owner=recv_owner, _name=name):
+                    _engine._dynamic_ret_check(_plan.sig, result, _owner,
+                                               _name)
+                    _plan.learn_ret_profile(type(result))
+
+                ns[f"_ret_slow{i}"] = _ret_slow
+        elif ret_elided:
             lines += [
                 "if do_ret:",
-                f"    if type(result) in _plan{i}.ret_profiles:",
-                "        c.ret_profile_hits += 1",
-                "    else:",
-                f"        _ret_slow{i}(result)",
                 "    c.dynamic_ret_checks += 1",
             ]
-
-            def _ret_slow(result, _engine=engine, _plan=plan,
-                          _owner=recv_owner, _name=name):
-                _engine._dynamic_ret_check(_plan.sig, result, _owner, _name)
-                _plan.learn_ret_profile(type(result))
-
-            ns[f"_ret_slow{i}"] = _ret_slow
         else:
             lines += [
                 "if do_ret:",

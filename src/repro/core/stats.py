@@ -45,6 +45,7 @@ HOT_COUNTER_FIELDS = (
     "dynamic_arg_checks_skipped",
     "dynamic_ret_checks",
     "ret_profile_hits",
+    "checks_elided",
     "casts",
 )
 
@@ -139,6 +140,13 @@ class Stats:
         #: promotions that fired at the reduced re-promotion threshold
         #: (the site deopted before and re-warmed).
         self.repromotions = 0
+        #: promotions whose wrapper statically elided at least one
+        #: per-call check op (tier 3; checks_elided shards count the
+        #: per-call ops actually skipped).
+        self.elide_promotions = 0
+        #: tier-3 entries among the displaced deopt counts — elided
+        #: wrappers torn down by an invalidation wave.
+        self.elide_deopts = 0
         self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
         self.subtype_cache_misses = 0
         # dependency-tracked invalidation (the deps.DepGraph subsystem)
@@ -279,6 +287,9 @@ class Stats:
             "kw_promotions": self.kw_promotions,
             "repromotions": self.repromotions,
             "deopts": self.deopts,
+            "checks_elided": self.checks_elided,
+            "elide_promotions": self.elide_promotions,
+            "elide_deopts": self.elide_deopts,
             "plan_invalidations": self.plan_invalidations,
             "ret_profile_hits": self.ret_profile_hits,
             "dynamic_ret_checks": self.dynamic_ret_checks,

@@ -1,0 +1,655 @@
+"""Tier-3 static check elimination: forward dataflow over RIL.
+
+Tiers 1–2 *accelerate* the per-call work (plan lookup, profile guard,
+check-cache membership) — this pass *eliminates* it.  When a tier-2 site
+is promoted, :func:`analyze_method` runs a forward abstract
+interpretation over the callee's lowered body, seeded by the site's
+dominant profile (receiver class, argument classes), and reports which
+per-call operations are statically discharged:
+
+* **return classes** — the exact RDL class names the body can return.
+  When every one of them conforms to the signature's return type, the
+  compiled wrapper's dynamic return check (or return-profile guard) is
+  provably dead and is omitted.
+* **frame safety** — whether the body can re-enter intercepted code.
+  The checked-frame push/pop around the call exists so *callees* can see
+  whether their caller's body was statically checked; a body that
+  provably never reaches an intercepted call (directly or through host
+  code) does not need the frame at all.
+
+The abstract domain maps each variable to an *exact RDL class name* or
+``None`` (unknown).  Exactness rides the ``class_name_of`` quotient:
+builtin names (``Integer``, ``String``, ``Array``, …) are exact because
+the isinstance cascade maps every host subclass onto the builtin name,
+while application nominals are *not* exact (a subclass value carries a
+different name), so only the builtin quotient seeds facts.
+
+Soundness contract: every mutable fact the pass reads is reported as a
+:mod:`repro.core.deps` resource — signature slots (including negative
+probes), linearizations, field types — plus an ``("ir", owner, name)``
+edge per consulted callee body, so the glue layer
+(:mod:`repro.core.elide`) can register the edges on the site's plan
+token and any mutation deopts the elided site exactly like a tier-2
+plan.
+
+Documented trust boundary: methods of the builtin whitelist
+(:data:`_SAFE_BUILTIN_RECEIVERS`) are assumed not to re-enter
+intercepted code.  That is the same assumption the engine's own
+dynamic checks make — builtin container/string operations that would
+invoke a *wrapped* element dunder (``list.index`` calling a wrapped
+``__eq__``) are outside the interception model, because the lowering
+never emits direct dunder calls and annotations target named methods.
+Merely *unregistered* host classes get no such trust: their methods are
+opaque host code that may call intercepted methods, so any call on one
+forfeits frame elision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.deps import Resource, field_resource, ir_resource, lin_resource
+from ..rdl.registry import INSTANCE
+from ..rtypes.subtype import is_subtype
+from ..rtypes.types import (
+    AnyType, BoolType, BotType, ClassObjectType, FiniteHashType, GenericType,
+    IntersectionType, MethodType, NilType, NominalType, SelfType,
+    SingletonType, TupleType, Type, UnionType, VarType,
+)
+from .ir import (
+    ArrayLit, BlockFn, BoolLit, BoolOp, Break, Call, Cast, ConstRead, FloatLit,
+    ForEach, Handler, HashLit, If, IntLit, IsA, IsNil, IVarRead, IVarWrite,
+    NilLit, Next, Node, Not, Raise, RangeLit, Return, SelfRef, Seq, StrFormat,
+    StrLit, SymLit, Try, VarRead, VarWrite, While, walk,
+)
+from .registry import MethodIR
+
+#: Builtin quotient names whose methods are trusted not to re-enter
+#: intercepted code (they execute in the host runtime).  This is the
+#: frame-safety whitelist: a call is frame-neutral only when both the
+#: receiver's and every argument's class is in here (a builtin operator
+#: with an application-class argument can dispatch to the argument's
+#: reflected dunder, which is opaque).
+_SAFE_BUILTIN_RECEIVERS = frozenset({
+    "Integer", "Float", "Boolean", "String", "Symbol", "Array", "Hash",
+    "Set", "Range", "NilClass", "Time",
+})
+
+#: Class names that are *exact* under the ``class_name_of`` quotient:
+#: every host value whose class maps to the name keeps mapping to it in
+#: any subclass, so a static fact "this expression has class N" is a
+#: sound per-value guarantee.  Application nominals are excluded.
+_EXACT_QUOTIENT = _SAFE_BUILTIN_RECEIVERS | {"Class", "Proc"}
+
+#: Element classes yielded by ``for`` iteration over a builtin, when
+#: statically known.  Array/Hash/Set elements are heterogeneous at the
+#: class-name level, so they stay unknown.
+_ITER_ELEM = {"Range": "Integer", "String": "String"}
+
+
+def is_vacuous(t: Type) -> bool:
+    """True when ``value_conforms(v, t, ...)`` holds for *every* value.
+
+    ``SelfType`` is vacuous because the dynamic check resolves it to
+    True unconditionally (``value_conforms``'s Self rule).
+    """
+    if isinstance(t, (AnyType, VarType, SelfType)):
+        return True
+    if isinstance(t, UnionType):
+        return any(is_vacuous(a) for a in t.arms)
+    if isinstance(t, IntersectionType):
+        return all(is_vacuous(a) for a in t.arms)
+    return False
+
+
+def class_conforms(name: str, t: Type, hier, *,
+                   strict_nil: bool = False) -> bool:
+    """True when every value of RDL class ``name`` conforms to ``t``.
+
+    The class-determined under-approximation of
+    :func:`repro.rtypes.typeof.value_conforms`: whenever this returns
+    True, the dynamic check is a provable no-op for values of that
+    class.  Value-dependent expectations (singletons, tuples, finite
+    hashes, generics with non-vacuous element types, structural types)
+    answer False.
+    """
+    if isinstance(t, (AnyType, VarType, SelfType)):
+        return True
+    if name == "NilClass":
+        # Mirrors value_conforms's None rule: nil conforms to anything
+        # unless strict_nil is on.
+        return (not strict_nil) or isinstance(t, NilType) or (
+            isinstance(t, NominalType) and t.name == "NilClass") or (
+            isinstance(t, UnionType)
+            and any(class_conforms(name, a, hier, strict_nil=strict_nil)
+                    for a in t.arms))
+    if isinstance(t, (NilType, BotType)):
+        return False
+    if isinstance(t, UnionType):
+        return any(class_conforms(name, a, hier, strict_nil=strict_nil)
+                   for a in t.arms)
+    if isinstance(t, IntersectionType):
+        return all(class_conforms(name, a, hier, strict_nil=strict_nil)
+                   for a in t.arms)
+    if isinstance(t, BoolType):
+        return name == "Boolean"
+    if isinstance(t, MethodType):
+        return name in ("Proc", "Class")  # both quotients imply callable
+    if isinstance(t, GenericType):
+        if not all(is_vacuous(a) for a in t.args):
+            return False
+        t = NominalType(t.name)
+    if isinstance(t, NominalType):
+        try:
+            return is_subtype(NominalType(name), t, hier,
+                              strict_nil=strict_nil)
+        except Exception:
+            return False
+    # SingletonType / TupleType / FiniteHashType / ClassObjectType /
+    # StructuralType are value-dependent.
+    return False
+
+
+def rdl_class_name(cls: type) -> str:
+    """The RDL class name for host *class* ``cls``.
+
+    Mirrors ``class_name_of``'s isinstance cascade (which depends only
+    on the value's class), so ``rdl_class_name(type(v)) ==
+    class_name_of(v)`` for every host value.
+    """
+    import datetime
+
+    from ..rtypes.typeof import Sym
+
+    if cls is type(None):
+        return "NilClass"
+    if issubclass(cls, bool):
+        return "Boolean"
+    if issubclass(cls, int):
+        return "Integer"
+    if issubclass(cls, float):
+        return "Float"
+    if issubclass(cls, str):
+        return "String"
+    if issubclass(cls, Sym):
+        return "Symbol"
+    if issubclass(cls, (list, tuple)):
+        return "Array"
+    if issubclass(cls, dict):
+        return "Hash"
+    if issubclass(cls, set):
+        return "Set"
+    if issubclass(cls, range):
+        return "Range"
+    if issubclass(cls, (datetime.datetime, datetime.date)):
+        return "Time"
+    if issubclass(cls, type):
+        return "Class"
+    # callable(v) is determined by __call__ appearing in type(v)'s MRO
+    # dicts (the metaclass never participates for instances).
+    if any("__call__" in c.__dict__ for c in cls.__mro__):
+        return "Proc"
+    return cls.__name__
+
+
+def exact_class_of_type(t: Type) -> Optional[str]:
+    """The single exact RDL class of every value of ``t``, or ``None``."""
+    if isinstance(t, NilType):
+        return "NilClass"
+    if isinstance(t, BoolType):
+        return "Boolean"
+    if isinstance(t, SingletonType):
+        return t.base if t.base in _EXACT_QUOTIENT else None
+    if isinstance(t, NominalType):
+        return t.name if t.name in _EXACT_QUOTIENT else None
+    if isinstance(t, GenericType):
+        return t.name if t.name in _EXACT_QUOTIENT else None
+    if isinstance(t, TupleType):
+        return "Array"
+    if isinstance(t, FiniteHashType):
+        return "Hash"
+    if isinstance(t, ClassObjectType):
+        return "Class"
+    if isinstance(t, MethodType):
+        return "Proc"
+    return None
+
+
+def always_returns(node: Node) -> bool:
+    """True when every path through ``node`` returns or raises."""
+    if isinstance(node, (Return, Raise)):
+        return True
+    if isinstance(node, Seq):
+        return any(always_returns(s) for s in node.stmts)
+    if isinstance(node, If):
+        return always_returns(node.then) and always_returns(node.orelse)
+    return False
+
+
+def _assigned_names(node: Node) -> Set[str]:
+    """Every local (and ``@``-prefixed ivar) name written under ``node``."""
+    out: Set[str] = set()
+    for n in walk(node):
+        if isinstance(n, VarWrite):
+            out.add(n.name)
+        elif isinstance(n, IVarWrite):
+            out.add("@" + n.name)
+        elif isinstance(n, ForEach):
+            out.add(n.var)
+        elif isinstance(n, Handler) and n.var:
+            out.add(n.var)
+    return out
+
+
+class AnalysisReport:
+    """What the forward pass proved about one method body.
+
+    ``ret_classes`` is a frozenset of exact RDL class names the body can
+    return (``None`` when any path's class is unknown); implicit
+    fall-through contributes ``NilClass``.  ``frame_elidable`` says the
+    body provably never re-enters intercepted code.  ``resources`` is
+    every DepGraph resource the verdicts read; ``callees`` the consulted
+    callee bodies as ``(owner, name, fingerprint)``.
+    """
+
+    __slots__ = ("ret_classes", "frame_elidable", "resources", "callees")
+
+    def __init__(self, ret_classes: Optional[frozenset],
+                 frame_elidable: bool, resources: Tuple[Resource, ...],
+                 callees: Tuple[Tuple[str, str, str], ...]) -> None:
+        self.ret_classes = ret_classes
+        self.frame_elidable = frame_elidable
+        self.resources = resources
+        self.callees = callees
+
+    def __repr__(self) -> str:
+        return (f"AnalysisReport(ret_classes={self.ret_classes!r}, "
+                f"frame_elidable={self.frame_elidable})")
+
+
+def analyze_method(engine, mir: MethodIR, self_class: str,
+                   arg_classes: Optional[Sequence[Optional[str]]] = None
+                   ) -> AnalysisReport:
+    """Run the forward pass over ``mir`` for receiver class ``self_class``.
+
+    ``arg_classes`` seeds the fixed parameters with the site's dominant
+    profile (exact RDL class names, ``None`` for unknown slots); without
+    it every parameter starts unknown, so a verdict that holds is
+    profile-independent and needs no profile guard.
+    """
+    analysis = _Analysis(engine, self_class)
+    analysis.seed(mir, arg_classes)
+    analysis.visit(mir.body)
+    if analysis.ret_unknown:
+        ret_classes = None
+    else:
+        rets = set(analysis.rets)
+        if not always_returns(mir.body):
+            rets.add("NilClass")  # implicit fall-through returns nil/None
+        ret_classes = frozenset(rets)
+    return AnalysisReport(
+        ret_classes=ret_classes,
+        frame_elidable=analysis.frame,
+        resources=tuple(dict.fromkeys(analysis.resources)),
+        callees=tuple(dict.fromkeys(analysis.callees)),
+    )
+
+
+class _Analysis:
+    """One forward walk: env of exact classes, frame flag, return set."""
+
+    def __init__(self, engine, self_class: str) -> None:
+        self.engine = engine
+        self.hier = engine.hier
+        self.self_class = self_class
+        self.env: Dict[str, Optional[str]] = {}
+        self.frame = True
+        self.rets: Set[str] = set()
+        self.ret_unknown = False
+        self.resources: List[Resource] = []
+        self.callees: List[Tuple[str, str, str]] = []
+
+    def seed(self, mir: MethodIR,
+             arg_classes: Optional[Sequence[Optional[str]]]) -> None:
+        fixed = [p for p in mir.params if not p.vararg]
+        if arg_classes:
+            for i, p in enumerate(fixed):
+                if i < len(arg_classes):
+                    self.env[p.name] = arg_classes[i]
+        for p in mir.params:
+            if p.vararg:
+                self.env[p.name] = "Array"  # *args is always a tuple
+        for name, t in mir.captures.items():
+            if isinstance(t, Type):
+                self.env[name] = exact_class_of_type(t)
+
+    # -- driver -------------------------------------------------------------
+
+    def visit(self, node: Optional[Node]) -> Optional[str]:
+        if node is None:
+            return None
+        method = self._DISPATCH.get(type(node))
+        if method is None:
+            # Unknown node kind: give up on everything it could do.
+            self.frame = False
+            return None
+        return method(self, node)
+
+    def _taint_unless_safe(self, cls: Optional[str]) -> None:
+        if cls not in _SAFE_BUILTIN_RECEIVERS:
+            self.frame = False
+
+    # -- literals -----------------------------------------------------------
+
+    def _nil(self, node) -> str:
+        return "NilClass"
+
+    def _bool(self, node) -> str:
+        return "Boolean"
+
+    def _int(self, node) -> str:
+        return "Integer"
+
+    def _float(self, node) -> str:
+        return "Float"
+
+    def _str(self, node) -> str:
+        return "String"
+
+    def _sym(self, node) -> str:
+        return "Symbol"
+
+    def _array(self, node: ArrayLit) -> str:
+        for e in node.elems:
+            self.visit(e)
+        return "Array"
+
+    def _hash(self, node: HashLit) -> str:
+        for k, v in node.pairs:
+            self.visit(k)
+            self.visit(v)
+        return "Hash"
+
+    def _range(self, node: RangeLit) -> str:
+        self.visit(node.lo)
+        self.visit(node.hi)
+        return "Range"
+
+    def _strformat(self, node: StrFormat) -> str:
+        for part in node.parts:
+            if isinstance(part, Node):
+                # Interpolation invokes the part's __format__/__str__ —
+                # opaque unless the class is a trusted builtin.
+                self._taint_unless_safe(self.visit(part))
+        return "String"
+
+    # -- names --------------------------------------------------------------
+
+    def _selfref(self, node) -> str:
+        return self.self_class
+
+    def _varread(self, node: VarRead) -> Optional[str]:
+        return self.env.get(node.name)
+
+    def _constread(self, node) -> Optional[str]:
+        return None  # a global binding read runs no code; value unknown
+
+    def _ivar_opaque(self, name: str) -> bool:
+        """True when reading/writing ``self.name`` can run code."""
+        pycls = self.engine.host_class(self.self_class)
+        if pycls is None:
+            return True
+        for c in pycls.__mro__:
+            if c is object:
+                continue
+            d = c.__dict__
+            if name in d or "__getattr__" in d or "__getattribute__" in d \
+                    or "__setattr__" in d:
+                return True
+        return False
+
+    def _ivarread(self, node: IVarRead) -> Optional[str]:
+        if self._ivar_opaque(node.name):
+            # A getter / property / __getattr__ hook: arbitrary code.
+            self.frame = False
+            return None
+        known = self.env.get("@" + node.name, _UNTRACKED)
+        if known is not _UNTRACKED:
+            return known
+        # A plain attribute read: class comes from the declared field
+        # type, resolved through the linearization with negative probes
+        # recorded (a field_type added later on a closer ancestor must
+        # deopt the site).
+        self.resources.append(lin_resource(self.self_class))
+        t = None
+        try:
+            ancestors = tuple(self.hier.ancestors(self.self_class))
+        except Exception:
+            ancestors = (self.self_class,)
+        for ancestor in ancestors:
+            self.resources.append(field_resource(ancestor, node.name))
+            t = self.engine.types.lookup_field(ancestor, node.name)
+            if t is not None:
+                break
+        return exact_class_of_type(t) if t is not None else None
+
+    def _ivarwrite(self, node: IVarWrite) -> Optional[str]:
+        cls = self.visit(node.value)
+        if self._ivar_opaque(node.name):
+            self.frame = False
+        # Track the written class locally: a later read in this body
+        # sees the store, not the declared field type.
+        self.env["@" + node.name] = cls
+        return cls
+
+    def _varwrite(self, node: VarWrite) -> Optional[str]:
+        cls = self.visit(node.value)
+        self.env[node.name] = cls
+        return cls
+
+    # -- control flow -------------------------------------------------------
+
+    def _seq(self, node: Seq) -> Optional[str]:
+        out: Optional[str] = "NilClass"
+        for s in node.stmts:
+            out = self.visit(s)
+        return out
+
+    def _if(self, node: If) -> Optional[str]:
+        # The truthiness test invokes __bool__ — opaque off-whitelist.
+        self._taint_unless_safe(self.visit(node.test))
+        base = dict(self.env)
+        then_cls = self.visit(node.then)
+        env_then = self.env
+        self.env = dict(base)
+        else_cls = self.visit(node.orelse)
+        env_else = self.env
+        if always_returns(node.then):
+            self.env = env_else
+        elif always_returns(node.orelse):
+            self.env = env_then
+        else:
+            self.env = {k: v for k, v in env_then.items()
+                        if env_else.get(k, _UNTRACKED) == v}
+        return then_cls if then_cls == else_cls else None
+
+    def _while(self, node) -> Optional[str]:
+        for name in _assigned_names(node.body):
+            self.env[name] = None  # widen: loop-carried values unknown
+        self._taint_unless_safe(self.visit(node.test))
+        self.visit(node.body)
+        return "NilClass"
+
+    def _foreach(self, node: ForEach) -> Optional[str]:
+        it_cls = self.visit(node.iterable)
+        # Iteration drives the iterable's iterator protocol.
+        self._taint_unless_safe(it_cls)
+        for name in _assigned_names(node.body):
+            self.env[name] = None
+        self.env[node.var] = _ITER_ELEM.get(it_cls)
+        self.visit(node.body)
+        return "NilClass"
+
+    def _return(self, node: Return) -> Optional[str]:
+        cls = self.visit(node.value) if node.value is not None else "NilClass"
+        if cls is None:
+            self.ret_unknown = True
+        else:
+            self.rets.add(cls)
+        return None
+
+    def _break(self, node) -> Optional[str]:
+        return None
+
+    def _raise(self, node: Raise) -> Optional[str]:
+        if node.value is not None:
+            self.visit(node.value)
+        return None  # never produces a value (and never returns)
+
+    def _try(self, node: Try) -> Optional[str]:
+        # An exception may transfer control from any point, so every
+        # name written anywhere in the statement is unknown throughout.
+        for part in (node.body, *node.handlers, node.orelse, node.final):
+            if part is not None:
+                for name in _assigned_names(part):
+                    self.env[name] = None
+        self.visit(node.body)
+        for h in node.handlers:
+            if h.var:
+                self.env[h.var] = None
+            self.visit(h.body)
+        if node.orelse is not None:
+            self.visit(node.orelse)
+        if node.final is not None:
+            self.visit(node.final)
+        return None
+
+    # -- operations ---------------------------------------------------------
+
+    def _boolop(self, node: BoolOp) -> Optional[str]:
+        classes = [self.visit(p) for p in node.parts]
+        for cls in classes[:-1]:  # every non-final part is truth-tested
+            self._taint_unless_safe(cls)
+        first = classes[0]
+        return first if all(c == first for c in classes) else None
+
+    def _not(self, node: Not) -> str:
+        self._taint_unless_safe(self.visit(node.value))
+        return "Boolean"
+
+    def _isnil(self, node: IsNil) -> str:
+        self.visit(node.value)
+        return "Boolean"
+
+    def _isa(self, node: IsA) -> str:
+        self.visit(node.value)
+        return "Boolean"
+
+    def _blockfn(self, node: BlockFn) -> str:
+        # A block not passed to a call is inert until invoked; bare
+        # invocation is opaque anyway (see _call), so don't analyze it.
+        return "Proc"
+
+    def _cast(self, node: Cast) -> Optional[str]:
+        self.visit(node.value)
+        from ..rtypes import parse_type
+        try:
+            return exact_class_of_type(parse_type(node.type_text))
+        except Exception:
+            return None
+
+    def _analyze_block(self, block: BlockFn,
+                       elem_cls: Optional[str] = None) -> None:
+        """Fold a passed block's body effects in (a builtin receiver may
+        invoke it any number of times, with our frame on the stack)."""
+        saved = self.env
+        self.env = dict(saved)
+        for p in block.params:
+            self.env[p] = elem_cls
+        for name in _assigned_names(block.body):
+            if name not in block.params:
+                self.env[name] = None
+        self.visit(block.body)
+        self.env = saved
+
+    def _call(self, node: Call) -> Optional[str]:
+        arg_classes = [self.visit(a) for a in node.args]
+        if node.recv is None:
+            # Bare call: a local Proc or implicit-self dispatch — both
+            # opaque (the Proc body is unknown; implicit self is an
+            # interceptable app method).
+            if node.block is not None:
+                self._analyze_block(node.block)
+            self.frame = False
+            return None
+        recv_cls = self.visit(node.recv)
+        if recv_cls is None:
+            if node.block is not None:
+                self._analyze_block(node.block)
+            self.frame = False
+            return None
+        interceptable = self.engine.host_class(recv_cls) is not None
+        if interceptable or recv_cls not in _SAFE_BUILTIN_RECEIVERS:
+            # An intercepted callee reads the checked-frame stack before
+            # pushing its own frame; an unregistered host class is
+            # opaque code that may reach one.  Either way the frame must
+            # stay.
+            self.frame = False
+        else:
+            # Trusted builtin receiver — but a builtin operator with an
+            # off-whitelist argument can dispatch to the argument's
+            # reflected dunder (1 + obj -> obj.__radd__).
+            for cls in arg_classes:
+                self._taint_unless_safe(cls)
+        if node.block is not None:
+            self._analyze_block(node.block, _ITER_ELEM.get(recv_cls))
+        return self._call_ret(recv_cls, node.name, interceptable)
+
+    def _call_ret(self, recv_cls: str, name: str,
+                  interceptable: bool) -> Optional[str]:
+        """Infer the call's return class from the resolved signature."""
+        engine = self.engine
+        resolved = engine.resolve_sig(recv_cls, name, INSTANCE,
+                                      trace=self.resources)
+        if resolved is None:
+            return None
+        sig_owner, sig = resolved
+        # Body edges: a redefinition of the callee (same signature, new
+        # body) must still deopt — the return fact was derived while
+        # *this* body was installed.
+        self.resources.append(ir_resource(recv_cls, name))
+        if sig_owner != recv_cls:
+            self.resources.append(ir_resource(sig_owner, name))
+        mir = engine.cfgs.lookup(recv_cls, name) or engine.cfgs.lookup(
+            sig_owner, name)
+        if mir is not None:
+            self.callees.append((mir.owner, mir.name, mir.fingerprint))
+        # The signature's return type is trusted when the callee's body
+        # is statically checked against it (sig.check), or when the
+        # callee is a builtin (not interceptable: the signature *is* the
+        # specification).  An unchecked app method's annotation is a
+        # claim nobody verified — no trust.
+        if not (sig.check or not interceptable):
+            return None
+        ret_cls: Optional[str] = None
+        for arm in sig.intersection():
+            cls = exact_class_of_type(arm.ret)
+            if cls is None or (ret_cls is not None and cls != ret_cls):
+                return None
+            ret_cls = cls
+        return ret_cls
+
+    _DISPATCH = {
+        NilLit: _nil, BoolLit: _bool, IntLit: _int, FloatLit: _float,
+        StrLit: _str, SymLit: _sym, ArrayLit: _array, HashLit: _hash,
+        RangeLit: _range, StrFormat: _strformat, SelfRef: _selfref,
+        VarRead: _varread, ConstRead: _constread, IVarRead: _ivarread,
+        IVarWrite: _ivarwrite, VarWrite: _varwrite, Seq: _seq, If: _if,
+        While: _while, ForEach: _foreach, Return: _return, Break: _break,
+        Next: _break, Raise: _raise, Try: _try, BoolOp: _boolop, Not: _not,
+        IsNil: _isnil, IsA: _isa, BlockFn: _blockfn, Cast: _cast, Call: _call,
+    }
+
+
+#: Sentinel distinguishing "tracked as unknown" from "never tracked".
+_UNTRACKED = object()

@@ -24,7 +24,10 @@ import os
 
 import pytest
 
-from repro.core import caches_disabled_by_env, specialize_disabled_by_env
+from repro.core import (
+    caches_disabled_by_env, elide_disabled_by_env,
+    specialize_disabled_by_env,
+)
 
 CACHES_DISABLED = caches_disabled_by_env()
 
@@ -34,6 +37,10 @@ THREADS_DISABLED = os.environ.get("REPRO_DISABLE_THREADS", "") not in (
 #: tier-2 specialization rides the call-plan machinery, so both the
 #: explicit nospec switch and the cache-free oracle turn it off.
 SPECIALIZE_DISABLED = specialize_disabled_by_env() or CACHES_DISABLED
+
+#: tier-3 elision rides tier-2 promotion, so any switch that disables
+#: specialization disables it too.
+ELIDE_DISABLED = elide_disabled_by_env() or SPECIALIZE_DISABLED
 
 
 def pytest_configure(config):
@@ -51,6 +58,11 @@ def pytest_configure(config):
         "observables; skipped when REPRO_DISABLE_SPECIALIZE=1 (the "
         "tier1-nospec job) or REPRO_DISABLE_CACHES=1 pins sites to "
         "the generic path")
+    config.addinivalue_line(
+        "markers",
+        "requires_elision: asserts tier-3 check-elimination observables; "
+        "skipped when REPRO_DISABLE_ELIDE=1 (the tier1-noelide job) or "
+        "any switch that already disables tier-2 specialization")
 
 
 def pytest_runtest_setup(item):
@@ -64,3 +76,6 @@ def pytest_runtest_setup(item):
             "requires_specialization"):
         pytest.skip("tier-2 specialization observables absent under "
                     "REPRO_DISABLE_SPECIALIZE=1 / REPRO_DISABLE_CACHES=1")
+    if ELIDE_DISABLED and item.get_closest_marker("requires_elision"):
+        pytest.skip("tier-3 elision observables absent under "
+                    "REPRO_DISABLE_ELIDE=1 (or with specialization off)")

@@ -291,8 +291,12 @@ def test_plan_cache_clear_deoptimizes_everything():
 def test_direct_check_cache_clear_degrades_not_stales():
     """Even a CheckCache.clear() that bypasses Engine.invalidate (so no
     deopt fires) must not replay the removed derivation: the per-call
-    membership guard bails to the generic tier, which re-checks."""
-    engine = spec_engine()
+    membership guard bails to the generic tier, which re-checks.
+
+    Pinned to ``elide=False``: tier 3 proves the membership probe
+    redundant for engine-mediated waves and drops it — the elided
+    behavior has its own contract (the companion test below)."""
+    engine = spec_engine(elide=False)
     cls = _hot_world(engine)
     obj = cls()
     _warm(obj)
@@ -714,6 +718,223 @@ def test_dynamic_ret_checks_survive_promotion():
     assert engine.stats.dynamic_ret_checks == ret_checks + 1
 
 
+# -- tier 3: static check elimination -----------------------------------------
+
+
+def _wrapper_source(cls, name) -> str:
+    raw = cls.__dict__.get(name)
+    fn = raw.__func__ if isinstance(raw, classmethod) else raw
+    return getattr(fn, "__hb_source__", "")
+
+
+@pytest.mark.requires_elision
+def test_elision_fires_on_hot_checked_leaf():
+    """A checked leaf method over builtin classes promotes with the
+    check-cache probe *and* the frame push/pop statically elided: the
+    emitted wrapper simply does not contain them, and ``checks_elided``
+    advances by the omitted-operation count on every call."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    stats = engine.stats
+    assert stats.promotions == 1
+    assert stats.elide_promotions == 1
+    assert stats.checks_elided > 0
+    source = _wrapper_source(cls, "bump")
+    assert "_ckey0" not in source      # cache membership probe: gone
+    assert "stack.append" not in source  # checked-frame push/pop: gone
+    assert "checks_elided" in source
+    # counter parity: the generic-tier invariant still holds
+    assert (stats.dynamic_arg_checks + stats.dynamic_arg_checks_skipped
+            == stats.calls_intercepted)
+
+
+@pytest.mark.requires_elision
+def test_elided_site_still_rejects_bad_arguments():
+    """Frame/return verdicts proved under the dominant profile pin it as
+    an *unconditional* guard: any other argument class bails to the
+    generic tier, which raises exactly as before."""
+    engine = spec_engine()
+    obj = _hot_world(engine)()
+    _warm(obj)
+    assert engine.stats.elide_promotions == 1
+    with pytest.raises(ArgumentTypeError):
+        obj.bump("not an integer")
+    assert obj.bump(7) == 8  # site still healthy afterwards
+
+
+@pytest.mark.requires_elision
+def test_elide_disabled_by_env_keeps_tier2(monkeypatch):
+    monkeypatch.setenv("REPRO_DISABLE_ELIDE", "1")
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert engine.stats.promotions == 1       # tier 2 still promotes
+    assert engine.stats.elide_promotions == 0
+    source = _wrapper_source(cls, "bump")
+    assert "_ckey0" in source and "stack.append" in source
+
+
+@pytest.mark.requires_elision
+def test_direct_cache_clear_on_elided_site_is_a_memo_flush():
+    """The tier-3 contract for the elided membership probe: a *direct*
+    ``CheckCache.clear()`` (bypassing ``Engine.invalidate``) is a memo
+    flush, not a world mutation — the derivation it removed is still
+    valid, so the elided wrapper replaying it is sound (it just skips
+    the lazy re-check the generic tier would have run).  Every
+    engine-mediated mutation still deopts the site and re-derives."""
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert engine.stats.elide_promotions == 1
+    checks_before = engine.stats.static_checks
+    engine.cache.clear()
+    assert obj.bump(5) == 6                      # still correct
+    assert engine.stats.static_checks == checks_before  # lazy: no re-derive
+    # An engine-mediated wave still tears the site down and re-checks.
+    engine.types.replace("SpecHot", "bump", "(Integer) -> Integer",
+                         check=True)
+    assert not _slot_is_specialized(cls, "bump")
+    assert obj.bump(5) == 6
+    assert engine.stats.static_checks > checks_before
+
+
+@pytest.mark.requires_elision
+def test_retype_deopts_elided_site():
+    engine = spec_engine()
+    cls = _hot_world(engine)
+    obj = cls()
+    _warm(obj)
+    assert engine.stats.elide_promotions == 1
+    engine.types.replace("SpecHot", "bump", "(Integer) -> String",
+                         check=True)
+    assert engine.stats.elide_deopts == 1
+    assert not _slot_is_specialized(cls, "bump")
+    with pytest.raises(StaticTypeError):
+        obj.bump(3)
+
+
+@pytest.mark.requires_elision
+def test_callee_churn_deopts_elided_caller():
+    """Retyping or redefining a *callee* of an elided method mid-run
+    must deopt the elided caller (its verdicts consumed the callee's
+    signature and body as dependency edges) — outcomes stay identical
+    to the oracle's."""
+    engine = spec_engine()
+    cls = type("SpecChain", (object,), {})
+    _define(engine, cls, "base", _BASE, "(Integer) -> Integer")
+    _define(engine, cls, "double", _DOUBLE, "(Integer) -> Integer")
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        assert obj.double(i) == 2 * i
+    assert engine.stats.elide_promotions >= 1  # cache probe elided at least
+    # (a) retype the callee: the caller's derivation is now ill-typed
+    engine.types.replace("SpecChain", "base", "(Integer) -> String",
+                         check=True)
+    assert not _slot_is_specialized(cls, "double")
+    assert engine.stats.elide_deopts >= 1
+    with pytest.raises(StaticTypeError):
+        obj.double(3)
+    # (b) restore + re-warm, then *redefine* the callee mid-run
+    engine.types.replace("SpecChain", "base", "(Integer) -> Integer",
+                         check=True)
+    for i in range(THRESHOLD + 5):
+        assert obj.double(i) == 2 * i
+    assert _slot_is_specialized(cls, "double")
+    _define(engine, cls, "base", "def base(self, n):\n    return n + 100\n",
+            "(Integer) -> Integer")
+    assert not _slot_is_specialized(cls, "double")
+    assert obj.double(1) == 102  # the *new* callee body, immediately
+
+
+@pytest.mark.requires_elision
+def test_ret_check_elided_for_provable_trusted_return():
+    """A trusted signature with always-mode return checks: when the body
+    provably returns a conforming class, the conformance walk is elided
+    — but ``dynamic_ret_checks`` still reports what the generic tier
+    would, and a *lying* sibling keeps its full check."""
+    from repro import ReturnTypeError
+
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD,
+                                 dynamic_ret_checks="always"))
+    cls = type("SpecRet", (object,), {})
+    _define(engine, cls, "honest", "def honest(self, n):\n    return 'ok'\n",
+            "(Integer) -> String", check=False)
+    _define(engine, cls, "lie", "def lie(self, n):\n    return n\n",
+            "(Integer) -> String", check=False)
+    obj = cls()
+    _warm(obj, name="honest")
+    assert engine.stats.elide_promotions >= 1
+    ret_checks = engine.stats.dynamic_ret_checks
+    assert obj.honest(3) == "ok"
+    assert engine.stats.dynamic_ret_checks == ret_checks + 1  # parity kept
+    with pytest.raises(ReturnTypeError):
+        obj.lie(1)
+
+
+@pytest.mark.requires_elision
+def test_kw_traffic_recompiles_promoted_site_in_place():
+    """A positional-only promotion later seeing a stable kwargs layout
+    recompiles in place (no new promotion, no deopt): keyword calls move
+    from the tier-1 fallback onto the straight-line path."""
+    engine = spec_engine()
+    cls = _kwargs_world(engine)
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        obj.combine(i, i)               # positional-only promotion
+    assert engine.stats.promotions == 1
+    assert engine.stats.kw_promotions == 0
+    for i in range(THRESHOLD + 5):
+        assert obj.combine(i, y=2) == i + 2   # kwargs traffic arrives later
+    assert engine.stats.promotions == 1       # no second promotion
+    assert engine.stats.kw_promotions == 1    # the in-place recompile
+    assert engine.stats.deopts == 0
+    kw0 = engine.stats.kw_spec_hits
+    assert obj.combine(1, y=2) == 3
+    assert engine.stats.kw_spec_hits == kw0 + 1  # straight-line now
+    assert obj.combine(3, 4) == 7                # positional path intact
+
+
+@pytest.mark.requires_specialization
+def test_gap_kwargs_layout_binds_skipped_defaults():
+    """A call shape that skips a defaulted parameter (``mix(1, z=5)``)
+    compiles a layout with the declared default bound into the gap slot
+    — instead of bailing to the generic tier forever."""
+    engine = spec_engine()
+    cls = type("SpecGap", (object,), {})
+    _define(engine, cls, "mix",
+            "def mix(self, x, y=2, z=3):\n    return x + y + z\n",
+            "(Integer, Integer, Integer) -> Integer")
+    obj = cls()
+    for i in range(THRESHOLD + 5):
+        assert obj.mix(i, z=5) == i + 2 + 5
+    assert engine.stats.kw_promotions == 1
+    kw0 = engine.stats.kw_spec_hits
+    assert obj.mix(1, z=5) == 8
+    assert engine.stats.kw_spec_hits == kw0 + 1
+    with pytest.raises(ArgumentTypeError):
+        obj.mix(1, z="nope")
+    assert obj.mix(1, z=5) == 8  # site healthy afterwards
+
+
+def test_gap_kwargs_call_checks_the_right_slots():
+    """Slot alignment for gap shapes in *every* tier: z's value must be
+    checked against z's declared type, not slide into y's slot.  (Runs
+    under the oracle too — the view fix is tier-independent.)"""
+    engine = Engine(EngineConfig())
+    cls = type("SpecGapAlign", (object,), {})
+    _define(engine, cls, "mix",
+            "def mix(self, x, y=2, z=3):\n    return (x, y, z)\n",
+            "(Integer, Integer, String) -> Object")
+    obj = cls()
+    assert obj.mix(1, z="s") == (1, 2, "s")
+    with pytest.raises(ArgumentTypeError):
+        obj.mix(1, z=9)  # Integer in z's String slot must be rejected
+
+
 # -- promote/deopt/re-promote stress (hypothesis) ----------------------------
 
 _STRESS_SIGS = ("(Integer) -> Integer", "(Integer) -> String",
@@ -845,3 +1066,20 @@ def test_stress_scenarios_actually_kw_promote():
     _, engine = _stress_replay(script, disable=False)
     assert engine.stats.kw_promotions >= 1
     assert engine.stats.kw_spec_hits > 0
+
+
+@pytest.mark.requires_elision
+def test_stress_scenarios_actually_elide_and_survive_callee_churn():
+    """The stress harness exercises tier 3: hot leaves promote with
+    checks elided, a chain caller's *callee* is retyped mid-run, and
+    the elided sites are torn down — the hypothesis property above
+    already replays such scripts differentially against the oracle."""
+    script = [("burst", "m0", "base", 12),
+              ("redefine", "m1", "chain"),   # m1 now calls m0
+              ("burst", "m1", "base", 12),
+              ("retype", "m0", _STRESS_SIGS[1]),  # retype m1's callee
+              ("burst", "m1", "base", 6)]
+    _, engine = _stress_replay(script, disable=False)
+    assert engine.stats.elide_promotions >= 1
+    assert engine.stats.checks_elided > 0
+    assert engine.stats.elide_deopts >= 1

@@ -1,0 +1,260 @@
+"""Tier-3 forward dataflow: what is provable, what must stay unproven.
+
+The analysis (:mod:`repro.ril.analysis`) drives static check elimination,
+so its failure mode is asymmetric: a missed proof costs a few
+nanoseconds per call, a wrong proof silently skips a safety check.
+These tests pin the conservative side of every judgment:
+
+* frame elision only for bodies that provably never re-enter
+  intercepted code (builtin-whitelist receivers with safe arguments);
+  any call on an application class, an unknown class, or a builtin
+  receiver with an app-class argument (reflected dunders!) forfeits it;
+* return classes only from literals and *trusted-or-checked* callee
+  signatures whose arms agree on an exact-quotient class;
+* every consulted mutable fact — signature slots (with negative
+  probes), linearizations, field types, callee IR — appears in
+  ``report.resources`` so the elide glue can register dependency edges.
+"""
+
+import pytest
+
+from repro import Engine, EngineConfig
+from repro.ril.analysis import (
+    analyze_method, class_conforms, is_vacuous, rdl_class_name,
+)
+from repro.rtypes.parser import parse_type
+
+
+@pytest.fixture()
+def engine():
+    return Engine(EngineConfig())
+
+
+def _define(engine, cls, name, body, sig, check=True):
+    namespace = {}
+    exec(body, namespace)  # noqa: S102 - fixed test templates
+    engine.define_method(cls, name, namespace[name], sig=sig, check=check,
+                         source=body)
+
+
+def _analyze(engine, cls_name, name, seeds=None):
+    mir = engine.cfgs.lookup(cls_name, name)
+    assert mir is not None, f"no IR registered for {cls_name}#{name}"
+    return analyze_method(engine, mir, cls_name, seeds)
+
+
+def _world(engine, methods):
+    cls = type("Ana", (object,), {})
+    for name, body, sig, check in methods:
+        _define(engine, cls, name, body, sig, check)
+    return cls
+
+
+# -- frame elision ------------------------------------------------------------
+
+
+def test_builtin_only_body_is_frame_elidable_under_seed(engine):
+    _world(engine, [("leaf", "def leaf(self, n):\n    return n + 1\n",
+                     "(Integer) -> Integer", True)])
+    # Seed-free the argument's class is unknown: no proof.
+    assert _analyze(engine, "Ana", "leaf").frame_elidable is False
+    # Seeded with the dominant profile the operator is builtin-on-builtin.
+    assert _analyze(engine, "Ana", "leaf",
+                    ("Integer",)).frame_elidable is True
+
+
+def test_literal_only_body_is_frame_elidable_seed_free(engine):
+    _world(engine, [("lit", "def lit(self, n):\n    return 'x'\n",
+                     "(Integer) -> String", True)])
+    assert _analyze(engine, "Ana", "lit").frame_elidable is True
+
+
+def test_call_into_app_method_forfeits_frame_elision(engine):
+    """An intercepted callee reads the checked-frame flag, so the frame
+    push/pop around a body that reaches one can never be dropped."""
+    _world(engine, [
+        ("leaf", "def leaf(self, n):\n    return n + 1\n",
+         "(Integer) -> Integer", True),
+        ("caller", "def caller(self, n):\n    return self.leaf(n)\n",
+         "(Integer) -> Integer", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.frame_elidable is False
+
+
+def test_builtin_receiver_with_app_argument_forfeits_frame(engine):
+    """``1 + app_obj`` can dispatch to the argument's reflected dunder —
+    opaque host code — so a safe receiver is not enough: every argument
+    class must be on the whitelist too."""
+    _world(engine, [("mix", "def mix(self, a, b):\n    return a + b\n",
+                     "(Integer, Ana) -> Integer", True)])
+    assert _analyze(engine, "Ana", "mix",
+                    ("Integer", "Ana")).frame_elidable is False
+    assert _analyze(engine, "Ana", "mix",
+                    ("Integer", "Integer")).frame_elidable is True
+
+
+def test_unknown_callee_forfeits_frame_elision(engine):
+    _world(engine, [("mystery", "def mystery(self, n):\n"
+                     "    return self.undefined_helper(n)\n",
+                     "(Integer) -> Integer", True)])
+    assert _analyze(engine, "Ana", "mystery",
+                    ("Integer",)).frame_elidable is False
+
+
+def test_truthiness_of_unsafe_class_taints_frame(engine):
+    """``if x:`` invokes the value's truthiness protocol; only
+    whitelisted classes are trusted not to re-enter intercepted code."""
+    _world(engine, [
+        ("cond", "def cond(self, n):\n    if n:\n        return 1\n"
+         "    return 2\n", "(Integer) -> Integer", True),
+        ("condself", "def condself(self, n):\n    if self:\n"
+         "        return 1\n    return 2\n", "(Integer) -> Integer", True),
+    ])
+    assert _analyze(engine, "Ana", "cond", ("Integer",)).frame_elidable
+    assert _analyze(engine, "Ana", "condself",
+                    ("Integer",)).frame_elidable is False
+
+
+# -- return classes -----------------------------------------------------------
+
+
+def test_literal_returns_are_exact(engine):
+    _world(engine, [("branchy", "def branchy(self, n):\n"
+                     "    if n > 0:\n        return 'a'\n    return 1\n",
+                     "(Integer) -> Object", True)])
+    report = _analyze(engine, "Ana", "branchy", ("Integer",))
+    assert report.ret_classes == frozenset({"String", "Integer"})
+
+
+def test_fallthrough_adds_nilclass(engine):
+    _world(engine, [("maybe", "def maybe(self, n):\n"
+                     "    if n > 0:\n        return 'a'\n",
+                     "(Integer) -> Object", True)])
+    report = _analyze(engine, "Ana", "maybe", ("Integer",))
+    assert report.ret_classes == frozenset({"String", "NilClass"})
+
+
+def test_checked_callee_signature_types_the_result(engine):
+    """The result class of a call into a *checked* app method comes from
+    its signature arms — and the consulted body is pinned by an
+    ``("ir", owner, name)`` edge plus a fingerprinted callee record."""
+    _world(engine, [
+        ("leaf", "def leaf(self, n):\n    return n + 1\n",
+         "(Integer) -> Integer", True),
+        ("caller", "def caller(self, n):\n    return self.leaf(n)\n",
+         "(Integer) -> Integer", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes == frozenset({"Integer"})
+    assert ("ir", "Ana", "leaf") in report.resources
+    assert ("sig", "Ana", "leaf", "instance") in report.resources
+    assert any(owner == "Ana" and name == "leaf"
+               for owner, name, _ in report.callees)
+
+
+def test_untrusted_interceptable_callee_yields_unknown_result(engine):
+    """A *trusted* (unchecked) signature on an interceptable method is a
+    claim nobody verified — its declared return type must not become a
+    static fact."""
+    _world(engine, [
+        ("liar", "def liar(self, n):\n    return n\n",
+         "(Integer) -> String", False),
+        ("caller", "def caller(self, n):\n    return self.liar(n)\n",
+         "(Integer) -> Object", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes is None
+
+
+def test_app_nominal_returns_are_not_exact(engine):
+    """Application class names are not exact under the quotient (a
+    subclass instance carries a different name), so a callee declared to
+    return an app nominal contributes no exact class."""
+    _world(engine, [
+        ("make", "def make(self, n):\n    return self\n",
+         "(Integer) -> Ana", True),
+        ("caller", "def caller(self, n):\n    return self.make(n)\n",
+         "(Integer) -> Ana", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes is None
+
+
+# -- resources (dependency edges) ---------------------------------------------
+
+
+def test_operator_calls_record_signature_and_lin_edges(engine):
+    _world(engine, [("leaf", "def leaf(self, n):\n    return n + 1\n",
+                     "(Integer) -> Integer", True)])
+    report = _analyze(engine, "Ana", "leaf", ("Integer",))
+    assert ("sig", "Integer", "+", "instance") in report.resources
+    assert ("lin", "Integer") in report.resources
+
+
+def test_field_reads_record_field_edges(engine):
+    cls = type("AnaField", (object,), {})
+    engine.register_class(cls)
+    engine.field_type(cls, "value", "Integer")
+    _define(engine, cls, "read",
+            "def read(self, n):\n    return self.value + n\n",
+            "(Integer) -> Integer")
+    mir = engine.cfgs.lookup("AnaField", "read")
+    report = analyze_method(engine, mir, "AnaField", ("Integer",))
+    assert ("field", "AnaField", "value") in report.resources
+    assert report.frame_elidable is True  # Integer field + Integer arg
+
+
+# -- the class-name quotient --------------------------------------------------
+
+
+def test_rdl_class_name_builtin_cascade():
+    assert rdl_class_name(bool) == "Boolean"  # before Integer: bool < int
+    assert rdl_class_name(int) == "Integer"
+    assert rdl_class_name(float) == "Float"
+    assert rdl_class_name(str) == "String"
+    assert rdl_class_name(type(None)) == "NilClass"
+    assert rdl_class_name(list) == "Array"
+    assert rdl_class_name(dict) == "Hash"
+
+
+def test_rdl_class_name_callable_is_proc():
+    class WithCall:
+        def __call__(self):  # pragma: no cover - never invoked
+            pass
+
+    assert rdl_class_name(WithCall) == "Proc"
+
+
+def test_rdl_class_name_plain_class_uses_its_name():
+    class Plain:
+        pass
+
+    assert rdl_class_name(Plain) == "Plain"
+
+
+# -- vacuity and conformance --------------------------------------------------
+
+
+def test_is_vacuous_matrix():
+    assert is_vacuous(parse_type("%any"))
+    assert is_vacuous(parse_type("u"))       # type variable
+    assert is_vacuous(parse_type("self"))    # self type
+    assert not is_vacuous(parse_type("Integer"))
+    assert not is_vacuous(parse_type("Integer or String"))
+    assert is_vacuous(parse_type("%any or Integer"))  # union: any arm
+
+
+def test_class_conforms_matrix(engine):
+    hier = engine.hier
+    assert class_conforms("Integer", parse_type("Integer"), hier)
+    assert class_conforms("Integer", parse_type("Numeric"), hier)
+    assert not class_conforms("String", parse_type("Integer"), hier)
+    assert class_conforms("String", parse_type("Integer or String"), hier)
+    assert class_conforms("Integer", parse_type("%any"), hier)
+    # nil follows the permissive-nil rule unless strict
+    assert class_conforms("NilClass", parse_type("Integer"), hier)
+    assert not class_conforms("NilClass", parse_type("Integer"), hier,
+                              strict_nil=True)
+    # generics with vacuous element types reduce to the base nominal
+    assert class_conforms("Array", parse_type("Array<%any>"), hier)
