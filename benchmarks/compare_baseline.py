@@ -1,7 +1,8 @@
 """Benchmark-trend gate: compare fresh results against committed baselines.
 
-CI runs ``bench_hotpath.py`` and ``bench_concurrency.py``, writes their
-JSON reports to an artifacts directory, and then runs this script to
+CI runs ``bench_hotpath.py``, ``bench_concurrency.py``, and
+``bench_serving.py``, writes their JSON reports to an artifacts
+directory, and then runs this script to
 compare each report against the committed ``BENCH_*.json`` baseline
 with the repo's *alarm-threshold* convention: shared runners are noisy,
 so CI alarms only when a metric falls below a conservative fraction of
@@ -53,6 +54,21 @@ def _floor_and_fraction(floor: float, fraction: float):
     the latter catches a slow slide that stays above the floor."""
     return lambda current, baseline: (current >= floor
                                       and current >= baseline * fraction)
+
+
+def _absolute_ceiling(cap: float):
+    """Alarm when current > cap — for counts that must stay bounded
+    (deopt storms) regardless of the committed baseline."""
+    return lambda current, baseline: current <= cap
+
+
+def _ceiling_and_headroom(cap: float, headroom: float):
+    """The trend gate for latency metrics: alarm when current exceeds
+    the absolute ceiling *or* ``headroom`` times the committed baseline
+    — the latter catches a tail that doubles while staying under a
+    loose cap sized for shared runners."""
+    return lambda current, baseline: (current <= cap
+                                      and current <= baseline * headroom)
 
 
 #: suite name -> [(metric path, getter, ok(current, baseline), description)]
@@ -137,6 +153,50 @@ SUITES = {
          "reload churn under load must not cold-start the world"),
         ("churn.errors", lambda r: -float(r["churn"]["errors"]),
          _absolute_floor(0.0), "no request errors under churn"),
+    ],
+    "serving": [
+        ("read_heavy.rps", _get("scenarios.read_heavy.rps"),
+         _floor_and_fraction(500.0, 0.25),
+         "steady-state read throughput at 8 threads (loose floor for "
+         "shared runners; no sliding below a quarter of the committed "
+         "baseline)"),
+        ("read_heavy.p99_ms", _get("scenarios.read_heavy.p99_ms"),
+         _ceiling_and_headroom(50.0, 5.0),
+         "steady-state read tail: p99 under an absolute 50ms cap and "
+         "within 5x of the committed baseline"),
+        ("read_heavy.p999_ms", _get("scenarios.read_heavy.p999_ms"),
+         _ceiling_and_headroom(100.0, 5.0),
+         "steady-state read extreme tail (p999) stays bounded"),
+        ("mixed_churn.p99_ms", _get("scenarios.mixed_churn.p99_ms"),
+         _ceiling_and_headroom(50.0, 5.0),
+         "tail under reload/typegen churn: invalidation waves may cost "
+         "a recheck, not a cold start"),
+        ("mixed_churn.p999_ms", _get("scenarios.mixed_churn.p999_ms"),
+         _ceiling_and_headroom(100.0, 5.0),
+         "extreme tail under churn stays bounded (a deopt storm that "
+         "stalls requests lands here first)"),
+        ("mixed_churn.deopt_storms",
+         _get("scenarios.mixed_churn.deopt_storms"),
+         _absolute_ceiling(120.0),
+         "churn steps that displaced live specialized wrappers must "
+         "stay bounded (a storm per step means re-specialization is "
+         "thrashing)"),
+        ("mixed_churn.churn_applied",
+         _get("scenarios.mixed_churn.churn_applied"),
+         _absolute_floor(1.0),
+         "the mutator threads must actually have run — a churnless "
+         "'churn' scenario gates nothing"),
+        ("mixed_churn.errors",
+         lambda r: -float(r["scenarios"]["mixed_churn"]["errors"]),
+         _absolute_floor(0.0), "no request errors under serving churn"),
+    ] + [
+        (f"{scenario}.{bit}", _get(f"scenarios.{scenario}.{bit}"),
+         _absolute_floor(1.0),
+         f"{scenario} outcome multiset must equal the "
+         f"{'cache-free ' if 'free' in bit else 'warm-engine '}oracle "
+         f"replay")
+        for scenario in ("read_heavy", "write_heavy", "mixed_churn")
+        for bit in ("oracle_match", "oracle_match_cache_free")
     ],
 }
 

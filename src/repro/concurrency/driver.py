@@ -2,8 +2,8 @@
 
 Models the production shape the ROADMAP aims at: N worker threads pull
 requests from a shared schedule and push them through one engine, while
-an optional *churn* thread performs dev-mode reload mutations
-(retype/redefine) mid-flight.  Workers never take the engine's writer
+optional *churn* (mutator) threads — one per recipe — perform dev-mode
+reload mutations (retype/redefine/reload/typegen) mid-flight.  Workers never take the engine's writer
 lock — a request's warm path is lock-free — so aggregate throughput
 should scale with threads whenever per-request I/O (database, network,
 template writes) dominates, which is exactly the Rails profile the
@@ -27,7 +27,9 @@ import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple, Union
+
+Churn = Callable[[int], object]
 
 #: a worker either completed every scheduled request or died; joins use
 #: a generous timeout so a deadlock fails the run instead of hanging it.
@@ -55,7 +57,8 @@ class DriverRun:
     completed: int = 0
     #: flat list of (thread index, schedule index, outcome tuple).
     outcomes: List[Tuple[int, int, tuple]] = field(default_factory=list)
-    #: how many times the churn thread applied its mutation.
+    #: how many mutations the churn (mutator) threads applied, summed
+    #: across all of them.
     churn_applied: int = 0
     #: exceptions that escaped a *worker loop* (not a request — request
     #: errors are outcomes); always a bug when non-empty.
@@ -87,7 +90,7 @@ class ConcurrentDriver:
     def __init__(self, thunks: Sequence[Callable[[], object]], *,
                  threads: int = 8, requests: int = 400,
                  io_wait_s: float = 0.0,
-                 churn: Optional[Callable[[int], object]] = None,
+                 churn: Union[Churn, Sequence[Churn], None] = None,
                  churn_interval_s: float = 0.01,
                  record_outcomes: bool = True) -> None:
         if not thunks:
@@ -96,7 +99,16 @@ class ConcurrentDriver:
         self.threads = threads
         self.requests = requests
         self.io_wait_s = io_wait_s
-        self.churn = churn
+        # ``churn`` is one mutation recipe or a list of them; each gets a
+        # dedicated mutator thread (the serving harness runs dev-mode
+        # reloads, schema retypes, and signature churn side by side).
+        if churn is None:
+            self.churns: List[Churn] = []
+        elif callable(churn):
+            self.churns = [churn]
+        else:
+            self.churns = list(churn)
+        self.churn = self.churns[0] if self.churns else None
         self.churn_interval_s = churn_interval_s
         self.record_outcomes = record_outcomes
 
@@ -138,13 +150,14 @@ class ConcurrentDriver:
                     if mine:
                         result.outcomes.extend(mine)
 
-        def churner() -> None:
+        def churner(fn: Churn) -> None:
             step = 0
             try:
                 while not stop_churn.is_set():
-                    self.churn(step)
+                    fn(step)
                     step += 1
-                    result.churn_applied = step
+                    with outcomes_lock:
+                        result.churn_applied += 1
                     if stop_churn.wait(self.churn_interval_s):
                         break
             except Exception as exc:  # noqa: BLE001 - driver-level crash
@@ -152,12 +165,13 @@ class ConcurrentDriver:
 
         workers = [threading.Thread(target=worker, args=(i,), daemon=True)
                    for i in range(self.threads)]
-        churn_thread = (threading.Thread(target=churner, daemon=True)
-                        if self.churn is not None else None)
+        churn_threads = [threading.Thread(target=churner, args=(fn,),
+                                          daemon=True)
+                         for fn in self.churns]
         for t in workers:
             t.start()
-        if churn_thread is not None:
-            churn_thread.start()
+        for t in churn_threads:
+            t.start()
         start_barrier.wait(timeout=JOIN_TIMEOUT_S)
         started = time.perf_counter()
         # One shared deadline across all joins, so a multi-worker
@@ -169,15 +183,15 @@ class ConcurrentDriver:
             t.join(timeout=max(0.0, deadline - time.perf_counter()))
         result.elapsed_s = time.perf_counter() - started
         stop_churn.set()
-        if churn_thread is not None:
-            churn_thread.join(timeout=max(
-                1.0, deadline - time.perf_counter()))
+        for t in churn_threads:
+            t.join(timeout=max(1.0, deadline - time.perf_counter()))
         hung = [i for i, t in enumerate(workers) if t.is_alive()]
-        if hung or (churn_thread is not None and churn_thread.is_alive()):
+        churn_hung = [i for i, t in enumerate(churn_threads)
+                      if t.is_alive()]
+        if hung or churn_hung:
             raise RuntimeError(
-                f"driver deadlock: workers {hung} (churn alive: "
-                f"{churn_thread.is_alive() if churn_thread else False}) "
-                f"did not finish within {JOIN_TIMEOUT_S}s")
+                f"driver deadlock: workers {hung} (churn threads alive: "
+                f"{churn_hung}) did not finish within {JOIN_TIMEOUT_S}s")
         result.outcomes.sort(key=lambda o: o[1])
         return result
 

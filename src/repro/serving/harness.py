@@ -1,0 +1,202 @@
+"""The end-to-end serving harness: scenarios in, latency-graded and
+differentially-verified reports out.
+
+One :class:`ServingScenario` names an app, a request mix (read / write
+/ mixed), a thread count, and a churn kind; :func:`run_scenario`:
+
+1. builds and seeds the world, warms the schedule (annotations
+   executed, bodies checked, plans built — tier promotion is left to
+   happen *during* the measured run unless the scenario warms past the
+   promotion threshold, because promotion waves are part of the tail
+   story);
+2. replays the schedule from N worker threads through
+   :class:`~repro.concurrency.driver.ConcurrentDriver`, with one
+   dedicated mutator thread per churn recipe, every request timed into
+   the per-thread reservoirs of a
+   :class:`~repro.serving.latency.LatencyRecorder`;
+3. snapshots tier-transition counters (promotions, deopts, plan
+   invalidations, re-annotations) at each phase boundary, so a deopt
+   storm is attributable to the phase whose p999 it poisoned;
+4. verifies the run differentially: the outcome multiset must equal a
+   single-threaded replay on the same warm engine **and** a replay on a
+   fresh cache-free oracle world (``Engine(disable_caches=True)``) —
+   the acceptance bar every scale of this repo answers to.
+
+The recipes' disjoint-resource discipline (see ``recipes``) is what
+makes step 4 exact: each thunk's outcome is interleaving-independent,
+so any divergence is a soundness bug, not scheduling noise.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..concurrency import ConcurrentDriver
+from ..core import Engine
+from .churn import churn_suite, count_storms
+from .latency import LatencyRecorder, LatencySummary
+from .recipes import build_serving_world, scenario_thunks
+
+#: the stats attributes snapshotted at phase boundaries — the tier
+#: transitions that show up as tail latency when they wave.
+TRANSITION_FIELDS = (
+    "promotions", "repromotions", "deopts", "elide_promotions",
+    "elide_deopts", "plan_invalidations", "invalidations",
+    "annotations_total",
+)
+
+
+@dataclass
+class ServingScenario:
+    """One serving measurement configuration."""
+
+    name: str
+    app: str = "boxroom"
+    mix: str = "mixed"             # read | write | mixed
+    threads: int = 8
+    requests: int = 400
+    io_wait_s: float = 0.002
+    churn: str = "none"            # none | retype | full
+    churn_interval_s: float = 0.005
+    #: sequential passes over the schedule before timing starts.
+    warm_rounds: int = 4
+    cfg: Optional[dict] = None
+    reservoir_capacity: int = 16384
+
+
+@dataclass
+class ServingReport:
+    """Everything one scenario run measured and verified."""
+
+    scenario: str
+    app: str
+    mix: str
+    threads: int
+    requests: int
+    completed: int
+    elapsed_s: float
+    rps: float
+    latency: LatencySummary
+    errors: int
+    crashes: List[str]
+    churn_applied: int
+    deopt_storms: int
+    #: phase name -> {counter: delta} for TRANSITION_FIELDS.
+    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: threaded run vs single-threaded replay on the same warm engine.
+    oracle_match: bool = False
+    #: threaded run vs a fresh cache-free oracle world's replay.
+    oracle_match_cache_free: bool = False
+
+    def as_dict(self) -> dict:
+        """The committed-baseline JSON shape for this scenario."""
+        out = {
+            "app": self.app,
+            "mix": self.mix,
+            "threads": self.threads,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rps": round(self.rps, 1),
+            "errors": self.errors,
+            "crashes": len(self.crashes),
+            "churn_applied": self.churn_applied,
+            "deopt_storms": self.deopt_storms,
+            "oracle_match": int(self.oracle_match),
+            "oracle_match_cache_free": int(self.oracle_match_cache_free),
+            "phases": self.phases,
+        }
+        out.update(self.latency.as_ms_dict())
+        return out
+
+
+def _transition_snapshot(stats) -> Dict[str, int]:
+    return {name: int(getattr(stats, name)) for name in TRANSITION_FIELDS}
+
+
+def _transition_delta(before: Dict[str, int],
+                      after: Dict[str, int]) -> Dict[str, int]:
+    return {name: after[name] - before[name] for name in before}
+
+
+def _warm(thunks, rounds: int) -> None:
+    for _ in range(rounds):
+        for thunk in thunks:
+            thunk()
+
+
+def _oracle_multiset(thunks, requests: int) -> Counter:
+    """Single-threaded replay of the same round-robin schedule."""
+    driver = ConcurrentDriver(thunks, threads=1, requests=requests)
+    run = driver.run()
+    if run.crashes:
+        raise RuntimeError(f"oracle replay crashed: {run.crashes}")
+    return run.outcome_multiset()
+
+
+def run_scenario(scenario: ServingScenario, *,
+                 differential: bool = True,
+                 cache_free_oracle: bool = True) -> ServingReport:
+    """Run one scenario end to end; see the module docstring."""
+    world = build_serving_world(scenario.app, cfg=scenario.cfg)
+    thunks = scenario_thunks(world, scenario.mix)
+    stats = world.engine.stats
+
+    recorder = LatencyRecorder(scenario.reservoir_capacity)
+    timed = [recorder.timed(t) for t in thunks]
+
+    phases: Dict[str, Dict[str, int]] = {}
+    mark = _transition_snapshot(stats)
+    _warm(thunks, scenario.warm_rounds)
+    after_warm = _transition_snapshot(stats)
+    phases["warmup"] = _transition_delta(mark, after_warm)
+
+    storm_dicts = []
+    churns = []
+    for recipe in churn_suite(world, scenario.churn):
+        storms = {"count": 0}
+        storm_dicts.append(storms)
+        churns.append(count_storms(recipe, stats, storms))
+
+    driver = ConcurrentDriver(
+        timed, threads=scenario.threads, requests=scenario.requests,
+        io_wait_s=scenario.io_wait_s, churn=churns or None,
+        churn_interval_s=scenario.churn_interval_s)
+    run = driver.run()
+    after_run = _transition_snapshot(stats)
+    phases["measured"] = _transition_delta(after_warm, after_run)
+
+    # Summarize latency before any oracle replay can touch the timed
+    # thunks again.
+    latency = recorder.summary()
+
+    report = ServingReport(
+        scenario=scenario.name, app=scenario.app, mix=scenario.mix,
+        threads=scenario.threads, requests=scenario.requests,
+        completed=run.completed, elapsed_s=run.elapsed_s,
+        rps=run.throughput_rps, latency=latency,
+        errors=len(run.error_outcomes), crashes=list(run.crashes),
+        churn_applied=run.churn_applied,
+        deopt_storms=sum(s["count"] for s in storm_dicts),
+        phases=phases)
+
+    if differential:
+        # (a) Same warm engine, one thread, no churn: isolates thread
+        # interleaving + churn as the only variables.
+        warm_oracle = _oracle_multiset(thunks, scenario.requests)
+        report.oracle_match = (run.outcome_multiset() == warm_oracle)
+        phases["oracle_replay"] = _transition_delta(
+            after_run, _transition_snapshot(stats))
+        if cache_free_oracle:
+            # (b) A fresh world on a cache-free engine: every judgment
+            # recomputed from scratch — the absolute acceptance bar.
+            oracle_world = build_serving_world(
+                scenario.app, engine=Engine(disable_caches=True),
+                cfg=scenario.cfg)
+            oracle_thunks = scenario_thunks(oracle_world, scenario.mix)
+            free_oracle = _oracle_multiset(oracle_thunks,
+                                           scenario.requests)
+            report.oracle_match_cache_free = (
+                run.outcome_multiset() == free_oracle)
+    return report

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from .schema import Column, Schema, SchemaError
@@ -21,11 +22,12 @@ class Database:
     """
 
     def __init__(self) -> None:
+        #: published snapshot, copy-on-write like ``Table._rows`` — table
+        #: creation/drop is rare (migrations), reads are every query.
         self._tables: Dict[str, Table] = {}
+        self._lock = threading.Lock()
 
     def create_table(self, name: str, *columns, **options) -> Table:
-        if name in self._tables:
-            raise SchemaError(f"table {name!r} already exists")
         cols: List[Column] = []
         for spec in columns:
             if isinstance(spec, Column):
@@ -35,7 +37,12 @@ class Database:
                 null = rest[0] if rest else True
                 cols.append(Column(cname, ctype, null=null))
         table = Table(Schema(name, cols))
-        self._tables[name] = table
+        with self._lock:
+            if name in self._tables:
+                raise SchemaError(f"table {name!r} already exists")
+            tables = dict(self._tables)
+            tables[name] = table
+            self._tables = tables
         return table
 
     def table(self, name: str) -> Table:
@@ -57,4 +64,5 @@ class Database:
             table.clear()
 
     def drop_all(self) -> None:
-        self._tables.clear()
+        with self._lock:
+            self._tables = {}

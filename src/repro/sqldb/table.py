@@ -1,8 +1,26 @@
-"""Tables: rows with autoincrement ids, equality queries, updates."""
+"""Tables: rows with autoincrement ids, equality queries, updates.
+
+Concurrency discipline (the PR 3 engine rules, applied to the data
+layer): *reads are lock-free, writes are locked copy-on-write*.  The
+row store is published as a plain dict that is never mutated in place —
+every write builds a fresh dict (and fresh row dicts) under the table
+lock and swaps it in with one reference assignment.  A reader therefore
+grabs one immutable snapshot and can iterate it while any number of
+writers insert/update/delete concurrently: no torn rows (an update
+publishes a complete row or nothing), no ``RuntimeError: dictionary
+changed size during iteration``, and no duplicate autoincrement ids
+(the id counter advances only under the lock).
+
+Tables in this workload are small (tens of rows), so the O(rows) copy
+per write is noise next to the request work around it; what matters is
+that the serving harness's write-heavy request mixes — N threads doing
+create/update/destroy cycles against one table — stay exact.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+import threading
+from typing import Dict, Iterator, List, Optional
 
 from .schema import Schema, SchemaError
 
@@ -14,36 +32,56 @@ class Table:
 
     def __init__(self, schema: Schema):
         self.schema = schema
+        #: the published snapshot; replaced wholesale by writers, never
+        #: mutated in place.  Readers must capture it once per query.
         self._rows: Dict[int, Row] = {}
         self._next_id = 1
+        self._lock = threading.Lock()
 
-    # -- writes ------------------------------------------------------------
+    # -- writes (locked, copy-on-write) ------------------------------------
 
     def insert(self, **values: object) -> Row:
         self.schema.validate_row(values)
-        row: Row = {"id": self._next_id}
-        for col in self.schema.columns:
-            row[col.name] = values.get(col.name)
-        self._rows[self._next_id] = row
-        self._next_id += 1
+        with self._lock:
+            row: Row = {"id": self._next_id}
+            for col in self.schema.columns:
+                row[col.name] = values.get(col.name)
+            rows = dict(self._rows)
+            rows[self._next_id] = row
+            self._next_id += 1
+            self._rows = rows
         return dict(row)
 
     def update(self, row_id: int, **values: object) -> Optional[Row]:
         self.schema.validate_row(values)
-        row = self._rows.get(row_id)
-        if row is None:
-            return None
-        row.update(values)
-        return dict(row)
+        with self._lock:
+            row = self._rows.get(row_id)
+            if row is None:
+                return None
+            # A fresh row dict so concurrent readers holding the old
+            # snapshot never observe a half-applied multi-column update.
+            new_row = dict(row)
+            new_row.update(values)
+            rows = dict(self._rows)
+            rows[row_id] = new_row
+            self._rows = rows
+        return dict(new_row)
 
     def delete(self, row_id: int) -> bool:
-        return self._rows.pop(row_id, None) is not None
+        with self._lock:
+            if row_id not in self._rows:
+                return False
+            rows = dict(self._rows)
+            del rows[row_id]
+            self._rows = rows
+        return True
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._next_id = 1
+        with self._lock:
+            self._rows = {}
+            self._next_id = 1
 
-    # -- reads ---------------------------------------------------------------
+    # -- reads (lock-free over one snapshot) -------------------------------
 
     def find(self, row_id: object) -> Optional[Row]:
         if not isinstance(row_id, int):
@@ -52,14 +90,16 @@ class Table:
         return dict(row) if row is not None else None
 
     def all_rows(self) -> List[Row]:
-        return [dict(r) for r in self._rows.values()]
+        rows = self._rows
+        return [dict(r) for r in rows.values()]
 
     def where(self, **conditions: object) -> List[Row]:
         for name in conditions:
             if name != "id" and self.schema.column(name) is None:
                 raise SchemaError(
                     f"{self.schema.table_name} has no column {name!r}")
-        return [dict(r) for r in self._rows.values()
+        rows = self._rows
+        return [dict(r) for r in rows.values()
                 if all(r.get(k) == v for k, v in conditions.items())]
 
     def first_where(self, **conditions: object) -> Optional[Row]:

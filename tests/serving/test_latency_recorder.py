@@ -1,0 +1,159 @@
+"""Unit tests for the serving latency recorder: nearest-rank percentile
+math on known distributions, exact per-thread reservoir merges, and the
+no-allocation contract of the hot record path."""
+
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.serving import LatencyRecorder, Reservoir, nearest_rank
+
+
+# -- percentile math ---------------------------------------------------------
+
+
+def test_nearest_rank_on_known_distribution():
+    values = [float(v) for v in range(1, 1001)]  # 1..1000, already sorted
+    assert nearest_rank(values, 0.50) == 500.0
+    assert nearest_rank(values, 0.95) == 950.0
+    assert nearest_rank(values, 0.99) == 990.0
+    assert nearest_rank(values, 0.999) == 999.0
+    assert nearest_rank(values, 1.0) == 1000.0
+
+
+def test_nearest_rank_small_samples():
+    assert nearest_rank([7.0], 0.5) == 7.0
+    assert nearest_rank([7.0], 0.999) == 7.0
+    # n=2: p50 is the first element (ceil(0.5*2)-1 == 0), p99 the second.
+    assert nearest_rank([1.0, 9.0], 0.50) == 1.0
+    assert nearest_rank([1.0, 9.0], 0.99) == 9.0
+
+
+def test_nearest_rank_rejects_bad_input():
+    with pytest.raises(ValueError):
+        nearest_rank([], 0.5)
+    with pytest.raises(ValueError):
+        nearest_rank([1.0], 0.0)
+    with pytest.raises(ValueError):
+        nearest_rank([1.0], 1.5)
+
+
+def test_summary_percentiles_are_values_that_occurred():
+    # Nearest-rank percentiles must be actual samples, never
+    # interpolations between two requests that never happened.
+    rec = LatencyRecorder(capacity=64)
+    samples = [0.001, 0.002, 0.004, 0.008, 0.5]
+    for s in samples:
+        rec.record(s)
+    summary = rec.summary()
+    for value in (summary.p50, summary.p95, summary.p99, summary.p999,
+                  summary.max):
+        assert value in samples
+    assert summary.max == 0.5
+    assert summary.count == len(samples)
+    assert summary.exact
+
+
+# -- per-thread reservoirs and merging ---------------------------------------
+
+
+def test_per_thread_merge_is_exact():
+    """Samples recorded from k threads merge into exactly the union —
+    no loss, no duplication — and the percentiles equal those of the
+    whole population computed directly."""
+    rec = LatencyRecorder(capacity=4096)
+    per_thread = 500
+    threads = 4
+
+    def worker(idx):
+        for i in range(per_thread):
+            # Disjoint value ranges per thread so loss/duplication of
+            # any single sample is detectable in the merged multiset.
+            rec.record(float(idx * per_thread + i))
+
+    ts = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+
+    merged = sorted(rec.merged_samples())
+    expected = sorted(float(v) for v in range(threads * per_thread))
+    assert merged == expected
+
+    summary = rec.summary()
+    assert summary.exact
+    assert summary.count == summary.sampled == threads * per_thread
+    assert summary.p50 == nearest_rank(expected, 0.50)
+    assert summary.p99 == nearest_rank(expected, 0.99)
+    assert summary.p999 == nearest_rank(expected, 0.999)
+    assert summary.max == expected[-1]
+
+
+def test_overflow_degrades_to_sampling_and_flags_inexact():
+    res = Reservoir(capacity=128, seed=7)
+    for i in range(1000):
+        res.record(float(i))
+    assert res.count == 1000
+    assert res.overflowed
+    kept = res.samples()
+    assert len(kept) == 128
+    assert set(kept) <= {float(i) for i in range(1000)}
+
+    rec = LatencyRecorder(capacity=128)
+    for i in range(1000):
+        rec.record(float(i))
+    summary = rec.summary()
+    assert summary.count == 1000
+    assert summary.sampled == 128
+    assert not summary.exact
+
+
+def test_reset_drops_samples_and_reregisters_threads():
+    rec = LatencyRecorder(capacity=32)
+    rec.record(1.0)
+    assert rec.count == 1
+    rec.reset()
+    assert rec.count == 0
+    rec.record(2.0)
+    assert rec.merged_samples() == [2.0]
+
+
+# -- the hot record path ------------------------------------------------------
+
+
+def test_record_path_does_not_grow_the_buffer():
+    rec = LatencyRecorder(capacity=256)
+    rec.record(0.001)  # shard creation (the one allocating step)
+    shard = rec._shards[0]
+    buf_before = shard._buf
+    for i in range(256 + 500):  # through overflow
+        rec.record(0.002)
+    # Same preallocated buffer object, same capacity: record() never
+    # appends, reallocates, or swaps the buffer.
+    assert shard._buf is buf_before
+    assert len(shard._buf) == 256
+    assert rec.count == 256 + 501
+
+
+def test_record_path_allocates_nothing():
+    """Below capacity, record() is a slot store + increment: recording
+    N pre-existing floats must not allocate memory beyond noise."""
+    rec = LatencyRecorder(capacity=4096)
+    sample = 0.00123
+    rec.record(sample)  # create the shard outside the measured window
+    tracemalloc.start()
+    try:
+        before = tracemalloc.take_snapshot()
+        for _ in range(2000):
+            rec.record(sample)
+        after = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    stats = after.compare_to(before, "filename")
+    grown = sum(s.size_diff for s in stats if s.size_diff > 0)
+    # tracemalloc's own bookkeeping shows up here; anything under ~2KB
+    # is noise, while a per-record allocation would be >= 2000 * 8B.
+    assert grown < 2048, f"record path allocated {grown} bytes"
+    assert rec.count == 2001
