@@ -198,6 +198,49 @@ SUITES = {
         for scenario in ("read_heavy", "write_heavy", "mixed_churn")
         for bit in ("oracle_match", "oracle_match_cache_free")
     ],
+    "multiproc": [
+        ("scaling.scaling", _get("scaling.scaling"),
+         _floor_and_fraction(1.5, 0.5),
+         "4-worker vs 1-worker aggregate rps (alarm floor 1.5x on "
+         "~2-core shared runners; local acceptance is the >2x "
+         "criterion, recorded in the committed baseline)"),
+        ("scaling.rps_high", _get("scaling.rps_high"),
+         _floor_and_fraction(150.0, 0.25),
+         "aggregate 4-worker throughput floor (loose for shared "
+         "runners; no sliding below a quarter of the committed "
+         "baseline)"),
+        ("scaling.oracle_match", _get("scaling.oracle_match"),
+         _absolute_floor(1.0),
+         "every worker's outcome multiset must equal the cache-free "
+         "oracle replay of its schedule slice"),
+        ("warm_start.snapshot_loaded", _get("warm_start.snapshot_loaded"),
+         _absolute_floor(1.0),
+         "the warm fleet must actually have warm-started (a rejected "
+         "snapshot silently measures cold vs cold)"),
+        ("warm_start.promotions_saved",
+         _get("warm_start.promotions_saved"), _absolute_floor(1.0),
+         "warm-started workers must re-pay measurably fewer tier-2 "
+         "promotions than cold ones"),
+        ("warm_start.static_checks_saved",
+         _get("warm_start.static_checks_saved"), _absolute_floor(1.0),
+         "warm-started workers must re-pay measurably fewer static "
+         "checks than cold ones"),
+        ("warm_start.steady_speedup", _get("warm_start.steady_speedup"),
+         _floor_and_fraction(1.0, 0.2),
+         "warm-start-faster-than-cold: the warm fleet's first full "
+         "pass must not be slower than the cold fleet's (the committed "
+         "baseline records a much larger local gap; 0.2 tolerates "
+         "shared-runner noise on a millisecond-scale window)"),
+        ("warm_start.warm.tier_transitions",
+         _get("warm_start.warm.tier_transitions"), _absolute_ceiling(8.0),
+         "the warm fleet's promotion/deopt churn must stay near zero — "
+         "a warm start that re-promotes everything is a cold start "
+         "with extra steps"),
+        ("warm_start.oracle_match", _get("warm_start.oracle_match"),
+         _absolute_floor(1.0),
+         "cold and warm fleets must both be oracle-identical (a warm "
+         "start may never trade soundness for startup time)"),
+    ],
 }
 
 

@@ -12,6 +12,12 @@ makes that safe; this package makes it *drivable and measurable*:
   dev-mode churn thread retyping/redefining methods mid-flight, and
   reports aggregate throughput, per-request outcomes, and warm-path
   hit rates;
+* :class:`~repro.concurrency.driver.MultiProcessDriver` — the pre-fork
+  serving mode: forks N workers that inherit the parent's (optionally
+  snapshot-warmed) engine copy-on-write, run disjoint slices of the
+  same schedule, and ship outcomes/latency samples/stats deltas back
+  over a queue for exact aggregate percentiles and per-worker oracle
+  comparison;
 * :mod:`~repro.concurrency.workload` — the pubs/cct/talks request
   mixes (read-only, so concurrent outcomes are deterministic and
   comparable against a single-threaded oracle) and reload-churn
@@ -23,7 +29,10 @@ makes that safe; this package makes it *drivable and measurable*:
 threaded differential-soundness harness.
 """
 
-from .driver import ConcurrentDriver, DriverRun, normalize_outcome
+from .driver import (
+    ConcurrentDriver, DriverRun, MultiProcessDriver, MultiProcessRun,
+    WorkerReport, fork_available, normalize_outcome,
+)
 from .workload import (
     build_concurrent_world, churn_recipe, request_thunks,
 )
@@ -31,6 +40,10 @@ from .workload import (
 __all__ = [
     "ConcurrentDriver",
     "DriverRun",
+    "MultiProcessDriver",
+    "MultiProcessRun",
+    "WorkerReport",
+    "fork_available",
     "normalize_outcome",
     "build_concurrent_world",
     "churn_recipe",

@@ -33,7 +33,7 @@ valid under the new table and simply have their stamp refreshed.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .deps import DepGraph, field_resource, lin_resource, sig_resource
 
@@ -184,3 +184,9 @@ class CheckCache:
 
     def keys(self) -> Set[Key]:
         return set(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """A consistent point-in-time view of every memoized derivation
+        (the warm-state snapshot walks this to serialize verdicts)."""
+        with self._lock:
+            return list(self._entries.values())

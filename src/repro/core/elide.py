@@ -58,7 +58,7 @@ turns the stage off, leaving tier 2 untouched.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..rdl.registry import INSTANCE
 from ..ril.registry import RegistrationError
@@ -131,8 +131,26 @@ class Elider:
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
+        #: warm-start seeds: key -> (plan, verdict) installed by the
+        #: snapshot restore just before it asks the specializer to
+        #: promote eagerly.  Consumed (popped) on first analyze; the
+        #: plan identity check rejects a seed left for a site whose
+        #: plan was dropped and rebuilt in between.
+        self._seeds: Dict[PlanKey, Tuple[CallPlan, Elision]] = {}
+
+    def seed(self, key: PlanKey, plan: CallPlan, elision: Elision) -> None:
+        """Install a restored verdict for ``key``; the next ``analyze``
+        for the same live plan returns it instead of re-deriving.  The
+        caller (the snapshot restore) has already re-validated every
+        ``("ir", ...)`` resource's fingerprint against the live CFG
+        registry — a stale verdict never reaches here."""
+        self._seeds[key] = (plan, elision)
 
     def analyze(self, key: PlanKey, plan: CallPlan, fn) -> Optional[Elision]:
+        if self._seeds:
+            seeded = self._seeds.pop(key, None)
+            if seeded is not None and seeded[0] is plan:
+                return seeded[1]
         # Lazy import: repro.ril's package init imports the analysis
         # module, which reaches back into repro.core — importing it at
         # module level here would dead-end when repro.ril loads first.

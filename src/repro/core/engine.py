@@ -313,6 +313,15 @@ class Engine:
     def host_class(self, name: str) -> Optional[type]:
         return self._app_classes.get(name)
 
+    def lookup_callable(self, owner: str, name: str, kind: str = INSTANCE):
+        """The unwrapped callable for ``owner#name`` (MRO walk, wrappers
+        stripped), or None.  The warm-state snapshot restore uses this to
+        re-promote a site eagerly without a live receiver in hand."""
+        pycls = self._app_classes.get(owner)
+        if pycls is None:
+            return None
+        return _find_callable(pycls, name, kind)
+
     # -- annotation --------------------------------------------------------------
 
     def annotate(self, owner, name: str, sig, *, kind: str = INSTANCE,

@@ -74,7 +74,7 @@ from __future__ import annotations
 import inspect
 import threading
 from typing import (
-    Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple,
+    Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple,
 )
 
 from .deps import DepGraph, Resource
@@ -352,6 +352,12 @@ class CallPlanCache:
 
     def get(self, key: PlanKey) -> Optional[CallPlan]:
         return self._plans.get(key)
+
+    def items(self) -> List[Tuple[PlanKey, CallPlan]]:
+        """A consistent point-in-time view of every live plan (the
+        warm-state snapshot walks this to serialize call sites)."""
+        with self._lock:
+            return list(self._plans.items())
 
     def store(self, key: PlanKey, plan: CallPlan,
               resources: Iterable[Resource] = (),

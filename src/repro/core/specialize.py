@@ -251,7 +251,8 @@ class Specializer:
 
     # -- promotion ----------------------------------------------------------
 
-    def maybe_promote(self, key: PlanKey, plan: CallPlan, fn, recv) -> bool:
+    def maybe_promote(self, key: PlanKey, plan: CallPlan, fn, recv,
+                      guard_cls: Optional[type] = None) -> bool:
         """Compile ``plan`` into a specialized wrapper and install it.
 
         Called from the warm path when the plan crosses its hit
@@ -260,6 +261,11 @@ class Specializer:
         rebuilt cold gets a fresh attempt.  When the slot is already
         promoted for a *different* receiver class, the site is extended
         into a polymorphic dispatch (up to ``MAX_POLY_ENTRIES``).
+
+        ``guard_cls`` overrides the receiver-derived guard class: the
+        warm-state snapshot restore promotes eagerly, before any request
+        has produced a live receiver, and passes the host class of the
+        plan's receiver owner instead.
         """
         plan.promoted = True
         engine = self.engine
@@ -268,12 +274,13 @@ class Specializer:
         if not _plan_specializable(plan):
             return False
         def_owner, recv_owner, name, kind = key
-        if kind == CLASS:
-            if not isinstance(recv, type):
-                return False
-            guard_cls: type = recv
-        else:
-            guard_cls = type(recv)
+        if guard_cls is None:
+            if kind == CLASS:
+                if not isinstance(recv, type):
+                    return False
+                guard_cls = recv
+            else:
+                guard_cls = type(recv)
         def_cls = engine.host_class(def_owner)
         if def_cls is None:
             return False
@@ -526,6 +533,16 @@ class Specializer:
 
     def is_promoted(self, key: PlanKey) -> bool:
         return key in self._by_key
+
+    def promoted_entries(self):
+        """Point-in-time view of every installed specialized entry as
+        ``(key, elision-or-None)`` pairs — the warm-state snapshot uses
+        this to record which sites were promoted and under which tier-3
+        verdict, so a warm-started worker can re-promote eagerly."""
+        with self._lock:
+            return [(entry.key, entry.elision)
+                    for site in self._sites.values()
+                    for entry in site.entries]
 
 
 def _plan_specializable(plan: CallPlan) -> bool:

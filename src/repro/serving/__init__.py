@@ -27,9 +27,13 @@ surface as tail latency instead of averaging away.
 """
 
 from .churn import churn_suite, count_storms, reload_churn, retype_churn, typegen_churn
-from .harness import ServingReport, ServingScenario, run_scenario
+from .harness import (
+    MultiProcReport, MultiProcScenario, ServingReport, ServingScenario,
+    run_multiproc_scenario, run_scenario,
+)
 from .latency import (
     DEFAULT_CAPACITY, LatencyRecorder, LatencySummary, Reservoir, nearest_rank,
+    summarize_samples,
 )
 from .recipes import (
     build_serving_world, mask_ids, mixed_thunks, read_thunks, scenario_thunks,
@@ -40,6 +44,8 @@ __all__ = [
     "DEFAULT_CAPACITY",
     "LatencyRecorder",
     "LatencySummary",
+    "MultiProcReport",
+    "MultiProcScenario",
     "Reservoir",
     "ServingReport",
     "ServingScenario",
@@ -52,8 +58,10 @@ __all__ = [
     "read_thunks",
     "reload_churn",
     "retype_churn",
+    "run_multiproc_scenario",
     "run_scenario",
     "scenario_thunks",
+    "summarize_samples",
     "typegen_churn",
     "write_heavy_thunks",
     "write_thunks",

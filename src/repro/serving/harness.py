@@ -33,10 +33,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..concurrency import ConcurrentDriver
-from ..core import Engine
+from ..concurrency import ConcurrentDriver, MultiProcessDriver
+from ..concurrency.driver import normalize_outcome
+from ..core import Engine, EngineConfig
+from ..snapshot import load_snapshot
 from .churn import churn_suite, count_storms
-from .latency import LatencyRecorder, LatencySummary
+from .latency import LatencyRecorder, LatencySummary, summarize_samples
 from .recipes import build_serving_world, scenario_thunks
 
 #: the stats attributes snapshotted at phase boundaries — the tier
@@ -199,4 +201,143 @@ def run_scenario(scenario: ServingScenario, *,
                                            scenario.requests)
             report.oracle_match_cache_free = (
                 run.outcome_multiset() == free_oracle)
+    return report
+
+
+# -- pre-fork multi-process serving ------------------------------------------
+
+
+@dataclass
+class MultiProcScenario:
+    """One multi-process serving measurement configuration."""
+
+    name: str
+    app: str = "boxroom"
+    mix: str = "read"              # read | write | mixed
+    workers: int = 4
+    requests: int = 480
+    io_wait_s: float = 0.002
+    #: sequential passes over the schedule in the *parent* before the
+    #: fork — what the children inherit copy-on-write.
+    warm_rounds: int = 0
+    #: a snapshot path or document to warm-start the parent engine from
+    #: (children inherit the restored state); None = cold start.
+    snapshot: Optional[object] = None
+    cfg: Optional[dict] = None
+    #: override EngineConfig.specialize_threshold (None = default).
+    specialize_threshold: Optional[int] = None
+    reservoir_capacity: int = 16384
+
+
+@dataclass
+class MultiProcReport:
+    """Everything one multi-process run measured and verified."""
+
+    scenario: str
+    app: str
+    mix: str
+    workers: int
+    requests: int
+    completed: int
+    elapsed_s: float
+    rps: float
+    latency: LatencySummary
+    errors: int
+    crashes: List[str]
+    #: slowest worker's first full pass — the deploy's cold-start
+    #: window (near zero when snapshot-warmed).
+    first_pass_s: float
+    #: STATS_DELTA_FIELDS summed across workers: how much cold start
+    #: (checks, misses, promotions, deopts) the fleet actually paid.
+    transitions: Dict[str, int] = field(default_factory=dict)
+    #: per-worker stats deltas, in worker order.
+    per_worker: List[Dict[str, int]] = field(default_factory=list)
+    #: the SnapshotLoad.as_dict() of the warm-start attempt ({} = cold).
+    snapshot: Dict[str, object] = field(default_factory=dict)
+    #: per-worker: outcome multiset == cache-free oracle replay of the
+    #: worker's exact schedule slice.
+    worker_oracle_matches: List[bool] = field(default_factory=list)
+    #: all workers matched and none crashed.
+    oracle_match_cache_free: bool = False
+
+    def as_dict(self) -> dict:
+        """The committed-baseline JSON shape for this scenario."""
+        out = {
+            "app": self.app,
+            "mix": self.mix,
+            "workers": self.workers,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rps": round(self.rps, 1),
+            "errors": self.errors,
+            "crashes": len(self.crashes),
+            "first_pass_ms": round(self.first_pass_s * 1000, 3),
+            "transitions": dict(self.transitions),
+            "snapshot_loaded": int(bool(self.snapshot.get("loaded"))),
+            "oracle_match_cache_free": int(self.oracle_match_cache_free),
+        }
+        out.update(self.latency.as_ms_dict())
+        return out
+
+
+def run_multiproc_scenario(scenario: MultiProcScenario, *,
+                           differential: bool = True) -> MultiProcReport:
+    """Run one pre-fork scenario: build (and optionally snapshot-warm)
+    the parent world, fork ``workers`` processes over the shared
+    round-robin schedule, merge their reservoirs for exact aggregate
+    percentiles, and verify each worker's outcome multiset against a
+    cache-free oracle replay of that worker's exact schedule slice."""
+    engine = None
+    if scenario.specialize_threshold is not None:
+        engine = Engine(EngineConfig(
+            specialize_threshold=scenario.specialize_threshold))
+    world = build_serving_world(scenario.app, engine=engine,
+                                cfg=scenario.cfg)
+    engine = world.engine
+
+    snapshot_report: Dict[str, object] = {}
+    if scenario.snapshot is not None:
+        snapshot_report = load_snapshot(engine, scenario.snapshot).as_dict()
+
+    thunks = scenario_thunks(world, scenario.mix)
+    _warm(thunks, scenario.warm_rounds)
+
+    driver = MultiProcessDriver(
+        thunks, workers=scenario.workers, requests=scenario.requests,
+        io_wait_s=scenario.io_wait_s, engine=engine,
+        reservoir_capacity=scenario.reservoir_capacity)
+    run = driver.run()
+
+    samples, count = run.merged_samples()
+    latency = summarize_samples(samples, count)
+
+    report = MultiProcReport(
+        scenario=scenario.name, app=scenario.app, mix=scenario.mix,
+        workers=scenario.workers, requests=scenario.requests,
+        completed=run.completed, elapsed_s=run.elapsed_s,
+        rps=run.throughput_rps, latency=latency,
+        errors=len(run.error_outcomes), crashes=list(run.crashes),
+        first_pass_s=run.first_pass_s,
+        transitions=run.stats_total(),
+        per_worker=[dict(r.stats_delta) for r in run.reports],
+        snapshot=snapshot_report)
+
+    if differential:
+        # Fresh cache-free world; replay each worker's exact slice so a
+        # single worker gone wrong cannot hide in the aggregate.
+        oracle_world = build_serving_world(
+            scenario.app, engine=Engine(disable_caches=True),
+            cfg=scenario.cfg)
+        oracle_thunks = scenario_thunks(oracle_world, scenario.mix)
+        n = len(oracle_thunks)
+        matches = []
+        for worker_report in run.reports:
+            expected = Counter(
+                normalize_outcome(oracle_thunks[index % n])
+                for index in driver.schedule_indices(worker_report.worker))
+            matches.append(worker_report.outcome_multiset() == expected)
+        report.worker_oracle_matches = matches
+        report.oracle_match_cache_free = (
+            bool(matches) and all(matches) and not run.crashes
+            and len(matches) == scenario.workers)
     return report

@@ -32,7 +32,7 @@ import math
 import random
 import threading
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 #: default per-thread capacity; the benchmarks schedule far fewer
 #: requests per thread than this, so their percentiles are exact.
@@ -93,6 +93,29 @@ class Reservoir:
     def samples(self) -> List[float]:
         """The kept samples (a copy; order is not meaningful)."""
         return self._buf[:min(self._count, self._cap)]
+
+
+def summarize_samples(samples: List[float],
+                      count: Optional[int] = None) -> "LatencySummary":
+    """Build a summary from an unsorted merged sample list.  ``count``
+    is the number of latencies *recorded* (>= the samples retained when
+    a reservoir overflowed) — e.g. the summed per-worker reservoir
+    counts in the multi-process merge path."""
+    if not samples:
+        raise ValueError("no latency samples recorded")
+    merged = sorted(samples)
+    count = len(merged) if count is None else count
+    return LatencySummary(
+        count=count,
+        sampled=len(merged),
+        exact=(count == len(merged)),
+        p50=nearest_rank(merged, 0.50),
+        p95=nearest_rank(merged, 0.95),
+        p99=nearest_rank(merged, 0.99),
+        p999=nearest_rank(merged, 0.999),
+        max=merged[-1],
+        mean=sum(merged) / len(merged),
+    )
 
 
 @dataclass(frozen=True)
@@ -186,20 +209,7 @@ class LatencyRecorder:
         merged: List[float] = []
         for shard in shards:
             merged.extend(shard.samples())
-        if not merged:
-            raise ValueError("no latency samples recorded")
-        merged.sort()
-        return LatencySummary(
-            count=count,
-            sampled=len(merged),
-            exact=(count == len(merged)),
-            p50=nearest_rank(merged, 0.50),
-            p95=nearest_rank(merged, 0.95),
-            p99=nearest_rank(merged, 0.99),
-            p999=nearest_rank(merged, 0.999),
-            max=merged[-1],
-            mean=sum(merged) / len(merged),
-        )
+        return summarize_samples(merged, count)
 
     def reset(self) -> None:
         """Drop every shard; every thread re-registers on next record.

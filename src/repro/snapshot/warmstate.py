@@ -1,0 +1,517 @@
+"""Warm-state snapshots: save a warmed engine, warm-start a fresh one.
+
+What gets serialized (the state a long-lived process paid for):
+
+* **check verdicts** — every memoized static-check derivation, with its
+  dependency edges (signature, field, and hierarchy reads) exactly as
+  the :class:`~repro.core.cache.CheckCache` recorded them;
+* **call plans** — per-site resolution results plus everything the site
+  *learned*: hit counts, argument/return class profiles with their hit
+  counts, kwargs layouts, and whether the site was promoted to tier 2;
+* **elision verdicts** — the tier-3 analysis results attached to
+  promoted sites, with their full resource lists so the restored
+  wrapper deopts on exactly the mutations the original would have.
+
+The format extends the ``ril/json_io.py`` idiom: plain JSON data,
+``sort_keys`` dumps, sha256 fingerprints over position-free content.
+
+Soundness is layered, and every layer fails *closed* to cold start:
+
+1. **Envelope**: wrong format marker, wrong version, truncated or
+   corrupt JSON → the whole snapshot is rejected and the engine is
+   untouched.
+2. **World fingerprint**: sha256 over the type registry (signatures +
+   field types), the class hierarchy (parents, mixins, modules,
+   typevars), and the semantics-affecting engine config.  Any drift —
+   a retyped method, a new subclass, a different checking mode — means
+   the saved verdicts were derived in a different world; the snapshot
+   is rejected wholesale.
+3. **Per-entity IR fingerprints**: the world fingerprint cannot see
+   method *bodies* (IR registration is lazy and load-order dependent),
+   so each check verdict records the owner + fingerprint of the body it
+   checked, and each elision verdict records them for every
+   ``("ir", ...)`` resource it consumed.  A mismatch skips just that
+   entry — the site lazily re-checks or re-analyzes, which is the cold
+   path and therefore sound.
+4. **Per-site re-resolution**: restored plans never trust saved
+   resolution results.  Each site's signature is re-resolved through
+   the live hierarchy with a dependency trace, the checked bit is
+   recomputed, and a site whose recomputed shape disagrees with the
+   saved one is dropped.  A checked plan is only restored when its
+   backing cache entry was restored too — a checked plan without a
+   verdict would silently skip static checks.
+
+Profiles reference live classes, which JSON cannot carry; they are
+encoded as ``["app", name]`` (resolved through the engine's registered
+app classes) or ``["builtin", name]`` (a fixed whitelist).  A profile
+mentioning any other class is dropped and simply re-learned live.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.elide import Elision
+from ..core.engine import Engine, _profile_eligible, _ret_profile_eligible
+from ..core.plans import ARG_CHECK_NEVER, CallPlan, PlanKey
+from ..rdl.registry import INSTANCE
+
+SNAPSHOT_FORMAT = "hummingbird-warm-state"
+SNAPSHOT_VERSION = 1
+
+#: builtin receiver/argument classes a profile may mention by name.
+_BUILTIN_CLASSES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (int, float, bool, str, bytes, list, tuple, dict, set,
+                frozenset, type(None))
+}
+
+
+# -- world fingerprint -------------------------------------------------------
+
+
+def world_fingerprint(engine: Engine) -> str:
+    """sha256 over everything a check derivation may have consulted.
+
+    Reads the registry/hierarchy internals directly (not through the
+    tracing accessors) — fingerprinting must not record dependency
+    touches.  Callers hold ``engine.write_lock`` for a consistent view;
+    the public entry points here take it themselves.
+    """
+    types = engine.types
+    hier = engine.hier
+    cfg = engine.config
+    payload = {
+        "sigs": sorted(
+            [sig.owner, sig.name, sig.kind,
+             [str(arm) for arm in sig.arms],
+             bool(sig.check), bool(sig.generated)]
+            for sig in types.sigs()),
+        "fields": sorted(
+            [owner, fname, str(ftype)]
+            for (owner, fname), ftype in types._fields.items()),
+        "hier": {
+            "parent": sorted([c, p or ""]
+                             for c, p in hier._parent.items()),
+            "mixins": sorted([c, list(m)]
+                             for c, m in hier._mixins.items()),
+            "modules": sorted(hier._modules),
+            "typevars": sorted([c, list(tv)]
+                               for c, tv in hier._typevars.items()),
+        },
+        # Semantics-affecting knobs only: two engines that differ in
+        # perf tuning (thresholds, specialization, elision) derive the
+        # *same* verdicts, so those knobs do not poison reuse.
+        "config": [bool(cfg.static_checking), bool(cfg.caching),
+                   cfg.dynamic_arg_checks, cfg.dynamic_ret_checks,
+                   bool(cfg.strict_nil), bool(cfg.narrowing)],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _body_fingerprint(engine: Engine, recv_owner: str,
+                      name: str) -> Tuple[Optional[str], Optional[str]]:
+    """(owner, fingerprint) of the registered body a check of
+    ``recv_owner#name`` derives from — the first hit on the ancestor
+    walk, which is deterministic, so save and load agree or the entry
+    is skipped."""
+    cfgs = engine.cfgs
+    if engine.hier.is_known(recv_owner):
+        for ancestor in engine.hier.ancestors(recv_owner):
+            mir = cfgs.lookup(ancestor, name)
+            if mir is not None:
+                return ancestor, mir.fingerprint
+        return None, None
+    mir = cfgs.lookup(recv_owner, name)
+    if mir is not None:
+        return recv_owner, mir.fingerprint
+    return None, None
+
+
+def _encode_class(engine: Engine, cls: type) -> Optional[List[str]]:
+    name = cls.__name__
+    if engine._app_classes.get(name) is cls:
+        return ["app", name]
+    if _BUILTIN_CLASSES.get(name) is cls:
+        return ["builtin", name]
+    return None
+
+
+def _decode_class(engine: Engine, enc) -> Optional[type]:
+    try:
+        space, name = enc
+    except (TypeError, ValueError):
+        return None
+    if space == "app":
+        return engine._app_classes.get(name)
+    if space == "builtin":
+        return _BUILTIN_CLASSES.get(name)
+    return None
+
+
+def _encode_profile(engine: Engine,
+                    profile: Tuple[type, ...]) -> Optional[list]:
+    encoded = [_encode_class(engine, cls) for cls in profile]
+    return None if any(enc is None for enc in encoded) else encoded
+
+
+def _decode_profile(engine: Engine, encoded) -> Optional[Tuple[type, ...]]:
+    decoded = tuple(_decode_class(engine, enc) for enc in encoded)
+    return None if any(cls is None for cls in decoded) else decoded
+
+
+# -- save --------------------------------------------------------------------
+
+
+def _capture_checks(engine: Engine) -> List[dict]:
+    records = []
+    for entry in engine.cache.entries():
+        recv_owner, name = entry.key
+        body_owner, body_fp = _body_fingerprint(engine, recv_owner, name)
+        if body_fp is None:
+            continue  # nothing to pin the verdict's body against
+        records.append({
+            "key": list(entry.key),
+            "deps": sorted(list(dep) for dep in entry.deps),
+            "field_deps": sorted(list(dep) for dep in entry.field_deps),
+            "hier_deps": sorted(entry.hier_deps),
+            "body_owner": body_owner,
+            "body_fp": body_fp,
+        })
+    return records
+
+
+def _capture_plans(engine: Engine) -> List[dict]:
+    plans = engine._plans
+    if plans is None:
+        return []
+    spec = engine._specializer
+    promoted = (set(key for key, _ in spec.promoted_entries())
+                if spec is not None else set())
+    records = []
+    for key, plan in plans.items():
+        profiles = []
+        for profile in plan.profiles:
+            enc = _encode_profile(engine, profile)
+            if enc is not None:
+                profiles.append(enc)
+        profile_hits = []
+        for profile, hits in plan.profile_hits.items():
+            enc = _encode_profile(engine, profile)
+            if enc is not None:
+                profile_hits.append([enc, int(hits)])
+        ret_profiles = []
+        for rcls in plan.ret_profiles:  # single classes, not tuples
+            enc = _encode_class(engine, rcls)
+            if enc is not None:
+                ret_profiles.append(enc)
+        kw_layouts = []
+        for (npos, names), layout in plan.kw_layouts.items():
+            if layout is not None and not all(
+                    isinstance(slot, str) for slot in layout):
+                continue  # BoundDefault carries a live value; re-learn
+            kw_layouts.append([[int(npos), list(names)],
+                               list(layout) if layout is not None else None])
+        records.append({
+            "key": list(key),
+            "hits": int(plan.hits),
+            "checked": bool(plan.checked),
+            "profiles": sorted(profiles),
+            "profile_hits": sorted(profile_hits),
+            "ret_profiles": sorted(ret_profiles),
+            "kw_layouts": sorted(kw_layouts),
+            "promoted": key in promoted,
+        })
+    return records
+
+
+def _capture_elisions(engine: Engine) -> List[dict]:
+    spec = engine._specializer
+    if spec is None:
+        return []
+    records = []
+    for key, elision in spec.promoted_entries():
+        if elision is None:
+            continue
+        ir_fps = []
+        stale = False
+        for resource in elision.resources:
+            if resource and resource[0] == "ir":
+                _, owner, name = resource
+                mir = engine.cfgs.lookup(owner, name)
+                if mir is None:
+                    stale = True
+                    break
+                ir_fps.append([owner, name, mir.fingerprint])
+        if stale:
+            continue
+        guard_profile = None
+        if elision.guard_profile is not None:
+            guard_profile = _encode_profile(engine, elision.guard_profile)
+            if guard_profile is None:
+                continue  # unencodable pin; the site re-analyzes live
+        records.append({
+            "key": list(key),
+            "cache_guard": bool(elision.cache_guard),
+            "frame": bool(elision.frame),
+            "arg_check": bool(elision.arg_check),
+            "ret_check": bool(elision.ret_check),
+            "guard_profile": guard_profile,
+            "arity": elision.arity,
+            "resources": sorted(list(r) for r in elision.resources),
+            "callees": sorted(list(c) for c in elision.callees),
+            "ir_fps": sorted(ir_fps),
+        })
+    return records
+
+
+def save_snapshot(engine: Engine, path: Optional[str] = None) -> dict:
+    """Serialize ``engine``'s warm state; optionally write it to
+    ``path``.  Returns the snapshot document (JSON-compatible)."""
+    with engine.write_lock:
+        doc = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "fingerprint": world_fingerprint(engine),
+            "checks": _capture_checks(engine),
+            "plans": _capture_plans(engine),
+            "elisions": _capture_elisions(engine),
+        }
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, sort_keys=True, separators=(",", ":"))
+    return doc
+
+
+# -- load --------------------------------------------------------------------
+
+
+@dataclass
+class SnapshotLoad:
+    """What a load attempt did — ``loaded`` False means the engine was
+    left exactly as found (the clean cold-start fallback)."""
+
+    loaded: bool
+    reason: str = ""
+    checks_restored: int = 0
+    checks_skipped: int = 0
+    plans_restored: int = 0
+    plans_skipped: int = 0
+    elisions_seeded: int = 0
+    promotions: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "loaded": self.loaded,
+            "reason": self.reason,
+            "checks_restored": self.checks_restored,
+            "checks_skipped": self.checks_skipped,
+            "plans_restored": self.plans_restored,
+            "plans_skipped": self.plans_skipped,
+            "elisions_seeded": self.elisions_seeded,
+            "promotions": self.promotions,
+        }
+
+
+def _read_document(source) -> Tuple[Optional[dict], str]:
+    if isinstance(source, dict):
+        return source, ""
+    if isinstance(source, (str, os.PathLike)):
+        try:
+            with io.open(source, "r", encoding="utf-8") as handle:
+                return json.load(handle), ""
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            return None, f"unreadable snapshot: {exc}"
+    return None, f"unsupported snapshot source {type(source).__name__!r}"
+
+
+def _decode_elision(engine: Engine, rec: dict) -> Optional[Elision]:
+    for owner, name, saved_fp in rec.get("ir_fps", []):
+        mir = engine.cfgs.lookup(owner, name)
+        if mir is None or mir.fingerprint != saved_fp:
+            return None  # a consumed body changed; re-analyze live
+    guard_profile = None
+    if rec.get("guard_profile") is not None:
+        guard_profile = _decode_profile(engine, rec["guard_profile"])
+        if guard_profile is None:
+            return None
+    arity = rec.get("arity")
+    return Elision(
+        cache_guard=bool(rec["cache_guard"]),
+        frame=bool(rec["frame"]),
+        arg_check=bool(rec["arg_check"]),
+        ret_check=bool(rec["ret_check"]),
+        guard_profile=guard_profile,
+        arity=int(arity) if arity is not None else None,
+        resources=tuple(tuple(r) for r in rec.get("resources", [])),
+        callees=tuple(tuple(c) for c in rec.get("callees", [])),
+    )
+
+
+def _restore_checks(engine: Engine, doc: dict,
+                    report: SnapshotLoad) -> set:
+    restored = set()
+    table_version = engine.types.version
+    for rec in doc.get("checks", []):
+        key = tuple(rec["key"])
+        body_owner, body_fp = _body_fingerprint(engine, *key)
+        if body_owner != rec["body_owner"] or body_fp != rec["body_fp"]:
+            report.checks_skipped += 1
+            continue
+        engine.cache.store(
+            key,
+            deps={tuple(dep) for dep in rec["deps"]},
+            field_deps={tuple(dep) for dep in rec["field_deps"]},
+            hier_deps=set(rec["hier_deps"]),
+            table_version=table_version)
+        restored.add(key)
+        report.checks_restored += 1
+    return restored
+
+
+def _restore_plan(engine: Engine, rec: dict, epoch: int,
+                  elisions: Dict[PlanKey, Elision],
+                  report: SnapshotLoad) -> None:
+    key: PlanKey = tuple(rec["key"])  # type: ignore[assignment]
+    def_owner, recv_owner, name, kind = key
+    spec = engine._specializer
+    plans = engine._plans
+
+    # Re-resolve through the live world, tracing the dependency edges
+    # the plan must carry — never trust the saved resolution.
+    trace: List[tuple] = []
+    resolved = engine.resolve_sig(recv_owner, name, kind, trace=trace)
+    if resolved is None:
+        resolved = engine.resolve_sig(def_owner, name, kind, trace=trace)
+    sig_owner = sig = None
+    checked = False
+    if resolved is not None:
+        sig_owner, sig = resolved
+        if sig.check and engine.config.static_checking:
+            # A checked plan skips the per-call jit_check; that is only
+            # sound with a live memoized verdict backing it.
+            if (not engine.config.caching
+                    or (recv_owner, name) not in engine.cache):
+                report.plans_skipped += 1
+                return
+            checked = True
+    if checked != bool(rec["checked"]):
+        report.plans_skipped += 1
+        return  # resolution shape drifted from the saved world
+
+    ret_checking = (sig is not None and not checked
+                    and engine._ret_mode != ARG_CHECK_NEVER)
+    plan = CallPlan(
+        sig_owner, sig, checked, engine._arg_mode,
+        sig is not None and _profile_eligible(sig),
+        engine._ret_mode if ret_checking else ARG_CHECK_NEVER,
+        ret_checking and _ret_profile_eligible(sig))
+    plan.promote_at = (spec.promote_threshold(key) if spec is not None
+                       else engine._spec_threshold)
+    plan.hits = int(rec["hits"])
+    if plan.profile_eligible:
+        decoded = []
+        for enc in rec.get("profiles", []):
+            profile = _decode_profile(engine, enc)
+            if profile is not None:
+                decoded.append(profile)
+        plan.profiles = frozenset(decoded)
+        for enc, hits in rec.get("profile_hits", []):
+            profile = _decode_profile(engine, enc)
+            if profile is not None and profile in plan.profiles:
+                plan.profile_hits[profile] = int(hits)
+    if plan.ret_profile_eligible:
+        decoded_classes = []
+        for enc in rec.get("ret_profiles", []):
+            rcls = _decode_class(engine, enc)
+            if rcls is not None:
+                decoded_classes.append(rcls)
+        plan.ret_profiles = frozenset(decoded_classes)
+    for shape, layout in rec.get("kw_layouts", []):
+        npos, names = shape
+        plan.kw_layouts[(int(npos), tuple(names))] = (
+            tuple(layout) if layout is not None else None)
+
+    if not plans.store(key, plan, trace, epoch=epoch):
+        report.plans_skipped += 1
+        return
+    report.plans_restored += 1
+
+    if not rec.get("promoted") or spec is None:
+        return
+    # Eager re-promotion: the saved site ran a specialized wrapper, so
+    # rebuild it now rather than after promote_at fresh hits.  The
+    # guard class comes from the plan's receiver owner (no live
+    # receiver exists yet); any refusal leaves the site tier-1, which
+    # re-promotes organically.
+    guard_cls = engine.host_class(recv_owner)
+    fn = engine.lookup_callable(def_owner, name, kind)
+    if guard_cls is None or fn is None:
+        return
+    elision = elisions.get(key)
+    if elision is not None and engine._elider is not None:
+        engine._elider.seed(key, plan, elision)
+        report.elisions_seeded += 1
+    if spec.maybe_promote(key, plan, fn, None, guard_cls=guard_cls):
+        report.promotions += 1
+
+
+def load_snapshot(engine: Engine, source) -> SnapshotLoad:
+    """Warm-start ``engine`` from ``source`` (a path or a snapshot
+    document).  Any envelope-level mismatch returns ``loaded=False``
+    with the engine untouched; per-entry mismatches skip just that
+    entry.  Safe to call on a freshly built world before traffic."""
+    doc, problem = _read_document(source)
+    if doc is None:
+        return SnapshotLoad(False, problem)
+    if not isinstance(doc, dict) or doc.get("format") != SNAPSHOT_FORMAT:
+        return SnapshotLoad(False, "not a warm-state snapshot")
+    if doc.get("version") != SNAPSHOT_VERSION:
+        return SnapshotLoad(
+            False, f"snapshot version {doc.get('version')!r} != "
+                   f"{SNAPSHOT_VERSION}")
+    if not all(isinstance(doc.get(k), list)
+               for k in ("checks", "plans", "elisions")):
+        return SnapshotLoad(False, "malformed snapshot body")
+    if engine.caches_disabled or not engine.config.caching:
+        # The cache-free oracle recomputes everything by definition;
+        # restoring verdicts into it would defeat its purpose.
+        return SnapshotLoad(False, "engine runs cache-free; cold start")
+
+    report = SnapshotLoad(True)
+    with engine.write_lock:
+        saved_fp = doc.get("fingerprint")
+        live_fp = world_fingerprint(engine)
+        if saved_fp != live_fp:
+            return SnapshotLoad(
+                False, "stale fingerprint: snapshot world differs from "
+                       "the live registry/hierarchy/config")
+        try:
+            _restore_checks(engine, doc, report)
+            elisions: Dict[PlanKey, Elision] = {}
+            if engine._elider is not None:
+                for rec in doc.get("elisions", []):
+                    elision = _decode_elision(engine, rec)
+                    if elision is not None:
+                        elisions[tuple(rec["key"])] = elision
+            plans = engine._plans
+            if plans is not None:
+                epoch = plans.epoch
+                for rec in doc.get("plans", []):
+                    _restore_plan(engine, rec, epoch, elisions, report)
+        except (KeyError, TypeError, ValueError) as exc:
+            # A structurally broken record mid-restore: everything
+            # already restored is individually validated (sound); stop
+            # and report rather than guessing at the rest.
+            report.errors.append(f"{type(exc).__name__}: {exc}")
+    return report

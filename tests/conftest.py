@@ -20,6 +20,7 @@ dumps every thread's stack and fails fast instead of hanging the
 runner.
 """
 
+import multiprocessing
 import os
 
 import pytest
@@ -43,6 +44,23 @@ SPECIALIZE_DISABLED = specialize_disabled_by_env() or CACHES_DISABLED
 ELIDE_DISABLED = elide_disabled_by_env() or SPECIALIZE_DISABLED
 
 
+def _fork_disabled() -> bool:
+    """The pre-fork serving mode needs the ``fork`` start method
+    (request thunks are deliberately unpicklable closures over live app
+    objects); platforms without it — and debugging runs that export
+    REPRO_DISABLE_FORK=1 — skip the multi-process suites."""
+    if os.environ.get("REPRO_DISABLE_FORK", "") not in ("", "0", "false",
+                                                        "no"):
+        return True
+    try:
+        return "fork" not in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return True
+
+
+FORK_DISABLED = _fork_disabled()
+
+
 def pytest_configure(config):
     config.addinivalue_line(
         "markers",
@@ -63,6 +81,10 @@ def pytest_configure(config):
         "requires_elision: asserts tier-3 check-elimination observables; "
         "skipped when REPRO_DISABLE_ELIDE=1 (the tier1-noelide job) or "
         "any switch that already disables tier-2 specialization")
+    config.addinivalue_line(
+        "markers",
+        "requires_fork: forks worker processes; skipped where the "
+        "'fork' start method is unavailable or REPRO_DISABLE_FORK=1")
 
 
 def pytest_runtest_setup(item):
@@ -79,3 +101,6 @@ def pytest_runtest_setup(item):
     if ELIDE_DISABLED and item.get_closest_marker("requires_elision"):
         pytest.skip("tier-3 elision observables absent under "
                     "REPRO_DISABLE_ELIDE=1 (or with specialization off)")
+    if FORK_DISABLED and item.get_closest_marker("requires_fork"):
+        pytest.skip("'fork' start method unavailable (or "
+                    "REPRO_DISABLE_FORK=1)")
