@@ -1,7 +1,8 @@
 """Benchmark-trend gate: compare fresh results against committed baselines.
 
-CI runs ``bench_hotpath.py``, ``bench_concurrency.py``, and
-``bench_serving.py``, writes their JSON reports to an artifacts
+CI runs ``bench_hotpath.py``, ``bench_concurrency.py``,
+``bench_serving.py``, ``bench_multiproc.py``, and ``bench_chaos.py``,
+writes their JSON reports to an artifacts
 directory, and then runs this script to
 compare each report against the committed ``BENCH_*.json`` baseline
 with the repo's *alarm-threshold* convention: shared runners are noisy,
@@ -240,6 +241,55 @@ SUITES = {
          _absolute_floor(1.0),
          "cold and warm fleets must both be oracle-identical (a warm "
          "start may never trade soundness for startup time)"),
+    ],
+    "chaos": [
+        ("recovery.completion_rate", _get("recovery.completion_rate"),
+         _absolute_floor(1.0),
+         "scripted worker kills cost restarts and replays, never "
+         "requests: the supervised fleet completes 100% of the "
+         "schedule"),
+        ("recovery.accounting_ok", _get("recovery.accounting_ok"),
+         _absolute_floor(1.0),
+         "scheduled == completed_first + completed_retried + abandoned "
+         "must hold on the faulted run"),
+        ("recovery.oracle_match", _get("recovery.oracle_match"),
+         _absolute_floor(1.0),
+         "every accepted outcome (replays included) must equal the "
+         "cache-free oracle for its schedule index"),
+        ("recovery.restarts", _get("recovery.restarts"),
+         _absolute_floor(1.0),
+         "the kill script must actually have exercised the supervisor "
+         "(a restartless chaos run gates nothing)"),
+        ("recovery.requests_replayed", _get("recovery.requests_replayed"),
+         _absolute_floor(1.0),
+         "respawned workers must actually have replayed remainders"),
+        ("recovery.recovery_overhead", _get("recovery.recovery_overhead"),
+         _ceiling_and_headroom(10.0, 4.0),
+         "the recovery detour (detect + respawn + replay + backoff) "
+         "stays a bounded multiple of the fault-free run — a timeout-"
+         "shaped cliff lands here"),
+        ("recovery.abandonment.accounting_ok",
+         _get("recovery.abandonment.accounting_ok"), _absolute_floor(1.0),
+         "accounting must survive retry-budget exhaustion too"),
+        ("recovery.abandonment.isolated",
+         _get("recovery.abandonment.isolated"), _absolute_floor(1.0),
+         "an unrecoverable worker abandons exactly its own slice; "
+         "every other slice completes oracle-identically"),
+        ("breaker.trips", _get("breaker.trips"), _absolute_floor(1.0),
+         "the flap storm must trip the deopt-storm breaker"),
+        ("breaker.wasted_promotions_avoided",
+         _get("breaker.wasted_promotions_avoided"), _absolute_floor(1.0),
+         "the armed breaker must avoid the re-promotions the unarmed "
+         "engine burns on a site that never stays warm"),
+        ("breaker.steady_p999_ratio", _get("breaker.steady_p999_ratio"),
+         _ceiling_and_headroom(0.9, 4.0),
+         "post-trip steady tail: the armed p999 stays well under the "
+         "keep-promoting p999 (ratio < 1; loose cap for shared-runner "
+         "noise on microsecond calls)"),
+        ("breaker.soundness", _get("breaker.soundness"),
+         _absolute_floor(1.0),
+         "armed and unarmed storms must produce identical outcomes — "
+         "the breaker is a governor, not a soundness mechanism"),
     ],
 }
 

@@ -33,6 +33,7 @@ from .driver import (
     ConcurrentDriver, DriverRun, MultiProcessDriver, MultiProcessRun,
     WorkerReport, fork_available, normalize_outcome,
 )
+from .supervise import SupervisedDriver, SupervisedRun
 from .workload import (
     build_concurrent_world, churn_recipe, request_thunks,
 )
@@ -42,6 +43,8 @@ __all__ = [
     "DriverRun",
     "MultiProcessDriver",
     "MultiProcessRun",
+    "SupervisedDriver",
+    "SupervisedRun",
     "WorkerReport",
     "fork_available",
     "normalize_outcome",

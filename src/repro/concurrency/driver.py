@@ -95,13 +95,20 @@ class ConcurrentDriver:
                  io_wait_s: float = 0.0,
                  churn: Union[Churn, Sequence[Churn], None] = None,
                  churn_interval_s: float = 0.01,
-                 record_outcomes: bool = True) -> None:
+                 record_outcomes: bool = True,
+                 faults=None) -> None:
         if not thunks:
             raise ValueError("need at least one request thunk")
         self.thunks = list(thunks)
         self.threads = threads
         self.requests = requests
         self.io_wait_s = io_wait_s
+        #: optional :class:`repro.faults.FaultPlan`; None (production)
+        #: keeps every loop on the exact pre-existing code path.  In
+        #: threads, a KILL degrades to a raised worker-loop crash (the
+        #: process must survive); HANG sleeps; CHURN_DIE kills the
+        #: scripted mutator thread mid-wave-sequence.
+        self.faults = faults
         # ``churn`` is one mutation recipe or a list of them; each gets a
         # dedicated mutator thread (the serving harness runs dev-mode
         # reloads, schema retypes, and signature churn side by side).
@@ -132,13 +139,21 @@ class ConcurrentDriver:
         stop_churn = threading.Event()
         io_wait = self.io_wait_s
 
+        faults = self.faults
+
         def worker(idx: int) -> None:
             mine: List[Tuple[int, int, tuple]] = []
             done = 0
             try:
                 schedule = self.schedule_for(idx)
                 start_barrier.wait(timeout=JOIN_TIMEOUT_S)
-                for sched_idx, thunk in schedule:
+                for ordinal, (sched_idx, thunk) in enumerate(schedule):
+                    if faults is not None:
+                        # Fires *before* the request: an injected fault
+                        # crashes this worker loop (never becomes an
+                        # outcome), so completed counts stay honest.
+                        faults.on_request(idx, 0, ordinal,
+                                          in_process=False)
                     outcome = normalize_outcome(thunk)
                     done += 1
                     if io_wait:
@@ -153,10 +168,15 @@ class ConcurrentDriver:
                     if mine:
                         result.outcomes.extend(mine)
 
-        def churner(fn: Churn) -> None:
+        def churner(churn_idx: int, fn: Churn) -> None:
             step = 0
             try:
                 while not stop_churn.is_set():
+                    if faults is not None:
+                        # Mutator death mid-wave-sequence: requests keep
+                        # serving; the engine's writer lock made each
+                        # individual wave atomic, so this must be safe.
+                        faults.on_churn_step(churn_idx, step)
                     fn(step)
                     step += 1
                     with outcomes_lock:
@@ -168,9 +188,9 @@ class ConcurrentDriver:
 
         workers = [threading.Thread(target=worker, args=(i,), daemon=True)
                    for i in range(self.threads)]
-        churn_threads = [threading.Thread(target=churner, args=(fn,),
+        churn_threads = [threading.Thread(target=churner, args=(ci, fn),
                                           daemon=True)
-                         for fn in self.churns]
+                         for ci, fn in enumerate(self.churns)]
         for t in workers:
             t.start()
         for t in churn_threads:
@@ -267,6 +287,11 @@ class MultiProcessRun:
     requests: int
     elapsed_s: float
     completed: int = 0
+    #: scheduled requests that never completed — the slices of crashed
+    #: or silent workers, computed from the schedule split (not derived
+    #: as ``requests - completed``, so ``completed + lost == requests``
+    #: is a real accounting check rather than a tautology).
+    lost: int = 0
     reports: List[WorkerReport] = field(default_factory=list)
     #: worker tracebacks and lost-worker diagnoses; a crash means the
     #: run proves nothing — always assert this is empty.
@@ -335,7 +360,8 @@ class MultiProcessDriver:
                  workers: int = 4, requests: int = 400,
                  io_wait_s: float = 0.0, engine=None,
                  reservoir_capacity: int = 16384,
-                 first_pass: Optional[int] = None) -> None:
+                 first_pass: Optional[int] = None,
+                 faults=None) -> None:
         if not thunks:
             raise ValueError("need at least one request thunk")
         if not fork_available():
@@ -345,6 +371,10 @@ class MultiProcessDriver:
         self.workers = workers
         self.requests = requests
         self.io_wait_s = io_wait_s
+        #: optional :class:`repro.faults.FaultPlan`; in forked workers a
+        #: KILL fault calls ``os._exit`` — no cleanup, no queue flush —
+        #: so the parent sees a silent worker with a nonzero exit code.
+        self.faults = faults
         #: the engine the thunks run against, for per-worker stats
         #: deltas (optional: without it deltas are empty).
         self.engine = engine
@@ -392,7 +422,10 @@ class MultiProcessDriver:
             barrier.wait(JOIN_TIMEOUT_S)
             loop_start = clock()
             first_pass_s = 0.0
+            faults = self.faults
             for done, (sched_idx, thunk) in enumerate(schedule, start=1):
+                if faults is not None:
+                    faults.on_request(idx, 0, done - 1, in_process=True)
                 started = clock()
                 outcome = normalize_outcome(thunk)
                 # thunk-only latency: the simulated I/O sleep below
@@ -436,12 +469,29 @@ class MultiProcessDriver:
         # through the queue's pipe cannot exit until the parent reads
         # it — join-first would deadlock.
         pending = self.workers
+        reported: set = set()
+        graced = False
         while pending:
-            try:
-                payload = result_queue.get(
-                    timeout=max(0.1, deadline - time.perf_counter()))
-            except queue_module.Empty:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
                 break
+            try:
+                payload = result_queue.get(timeout=min(0.25, remaining))
+            except queue_module.Empty:
+                # A dead child can never report; waiting out the full
+                # deadline for one would stall a crashed run for
+                # minutes.  One extra grace poll covers a payload still
+                # in flight through the queue's feeder pipe.
+                dead = sum(1 for idx in range(self.workers)
+                           if idx not in reported
+                           and not processes[idx].is_alive())
+                if dead == pending:
+                    if graced:
+                        break
+                    graced = True
+                continue
+            graced = False
+            reported.add(payload["worker"])
             pending -= 1
             if payload.get("error"):
                 run.crashes.append(
@@ -459,9 +509,10 @@ class MultiProcessDriver:
             run.completed += payload["completed"]
         run.elapsed_s = time.perf_counter() - started
         if pending:
+            missing = sorted(set(range(self.workers)) - reported)
             run.crashes.append(
-                f"{pending} worker(s) sent no report within "
-                f"{JOIN_TIMEOUT_S}s")
+                f"{pending} worker(s) sent no report "
+                f"(workers {missing})")
         for process in processes:
             process.join(timeout=max(0.1, deadline - time.perf_counter()))
         for idx, process in enumerate(processes):
@@ -474,4 +525,8 @@ class MultiProcessDriver:
                 run.crashes.append(
                     f"worker {idx}: exit code {process.exitcode}")
         run.reports.sort(key=lambda report: report.worker)
+        reported = {report.worker: report.completed
+                    for report in run.reports}
+        run.lost = sum(len(self.schedule_for(idx)) - reported.get(idx, 0)
+                       for idx in range(self.workers))
         return run

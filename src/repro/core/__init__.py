@@ -15,7 +15,9 @@ from .errors import (
     ArgumentTypeError, CastError, HummingbirdError, NoMethodBodyError,
     ReturnTypeError, StaticTypeError, TypeSignatureError,
 )
-from .specialize import Specializer, specialize_disabled_by_env
+from .specialize import (
+    Specializer, breaker_disabled_by_env, specialize_disabled_by_env,
+)
 from .stats import PhaseTracker, Stats
 
 __all__ = [
@@ -23,6 +25,7 @@ __all__ = [
     "CheckOutcome", "Checker", "DepGraph", "Elider", "Elision", "Engine",
     "EngineConfig", "HummingbirdError", "NoMethodBodyError", "PhaseTracker",
     "ReturnTypeError", "Specializer", "StaticTypeError", "Stats",
-    "TypedMethod", "TypeSignatureError", "caches_disabled_by_env",
-    "elide_disabled_by_env", "specialize_disabled_by_env",
+    "TypedMethod", "TypeSignatureError", "breaker_disabled_by_env",
+    "caches_disabled_by_env", "elide_disabled_by_env",
+    "specialize_disabled_by_env",
 ]

@@ -165,6 +165,24 @@ class EngineConfig:
     #: keeps tier-2 wrappers performing every check — the
     #: ``tier1-noelide`` differential mode.
     elide: bool = True
+    #: deopt-storm circuit breaker: demote chronically flapping sites to
+    #: tier 1 with a cooldown, and pause all promotion during an
+    #: invalidation-wave storm (:mod:`repro.core.specialize`).  False
+    #: (or ``REPRO_DISABLE_BREAKER=1``) re-promotes forever — the
+    #: ungated-thrash ablation mode.
+    breaker: bool = True
+    #: deopts of one site within ``breaker_window_s`` that count as a
+    #: flap storm and trip the per-site breaker.
+    breaker_flap_limit: int = 8
+    #: sliding window (seconds) for both the per-site flap count and
+    #: the engine-wide displacing-wave count.
+    breaker_window_s: float = 1.0
+    #: how long (seconds) a tripped site (or the whole engine) stays
+    #: demoted before the breaker re-arms.
+    breaker_cooldown_s: float = 2.0
+    #: displacing invalidation waves within ``breaker_window_s`` that
+    #: trip the engine-wide promotion pause.
+    breaker_wave_limit: int = 32
 
 
 class Engine:

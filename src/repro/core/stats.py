@@ -147,6 +147,17 @@ class Stats:
         #: tier-3 entries among the displaced deopt counts — elided
         #: wrappers torn down by an invalidation wave.
         self.elide_deopts = 0
+        #: circuit-breaker activations: per-site flap trips plus
+        #: engine-wide promotion pauses (see core/specialize.py).
+        self.breaker_trips = 0
+        #: chronic flappers demoted to tier 1 with a cooldown — the
+        #: per-site subset of breaker_trips.
+        self.breaker_demotions = 0
+        #: requests completed on a retry attempt after their original
+        #: worker crashed or hung (bumped by the supervised driver).
+        self.requests_replayed = 0
+        #: worker processes respawned by the supervisor.
+        self.workers_restarted = 0
         self.subtype_cache_hits = 0      # synced by Engine.stats_snapshot
         self.subtype_cache_misses = 0
         # dependency-tracked invalidation (the deps.DepGraph subsystem)
@@ -291,6 +302,10 @@ class Stats:
             "elide_promotions": self.elide_promotions,
             "elide_deopts": self.elide_deopts,
             "plan_invalidations": self.plan_invalidations,
+            "breaker_trips": self.breaker_trips,
+            "breaker_demotions": self.breaker_demotions,
+            "requests_replayed": self.requests_replayed,
+            "workers_restarted": self.workers_restarted,
             "ret_profile_hits": self.ret_profile_hits,
             "dynamic_ret_checks": self.dynamic_ret_checks,
             "subtype_cache_hits": self.subtype_cache_hits,

@@ -1,0 +1,19 @@
+"""``repro.faults`` — deterministic fault injection for chaos testing.
+
+Seed-driven scripts of worker kills, injected errors, stuck requests,
+mutator-thread deaths, and snapshot corruption, installable into the
+concurrency drivers and the serving harness without touching production
+paths when disabled.  See :mod:`repro.faults.inject`.
+"""
+
+from .inject import (
+    CHURN_DIE, ERROR, FAULT_KINDS, HANG, KILL, KILL_EXIT_CODE, Fault,
+    FaultPlan, InjectedFaultError, corrupt_file, generate_fault_plan,
+    truncate_file,
+)
+
+__all__ = [
+    "CHURN_DIE", "ERROR", "FAULT_KINDS", "Fault", "FaultPlan", "HANG",
+    "InjectedFaultError", "KILL", "KILL_EXIT_CODE", "corrupt_file",
+    "generate_fault_plan", "truncate_file",
+]

@@ -29,11 +29,12 @@ surface as tail latency instead of averaging away.
 from .churn import churn_suite, count_storms, reload_churn, retype_churn, typegen_churn
 from .harness import (
     MultiProcReport, MultiProcScenario, ServingReport, ServingScenario,
-    run_multiproc_scenario, run_scenario,
+    SupervisedReport, SupervisedScenario, run_multiproc_scenario,
+    run_scenario, run_supervised_scenario,
 )
 from .latency import (
     DEFAULT_CAPACITY, LatencyRecorder, LatencySummary, Reservoir, nearest_rank,
-    summarize_samples,
+    summarize_partitioned, summarize_samples,
 )
 from .recipes import (
     build_serving_world, mask_ids, mixed_thunks, read_thunks, scenario_thunks,
@@ -49,6 +50,8 @@ __all__ = [
     "Reservoir",
     "ServingReport",
     "ServingScenario",
+    "SupervisedReport",
+    "SupervisedScenario",
     "build_serving_world",
     "churn_suite",
     "count_storms",
@@ -60,7 +63,9 @@ __all__ = [
     "retype_churn",
     "run_multiproc_scenario",
     "run_scenario",
+    "run_supervised_scenario",
     "scenario_thunks",
+    "summarize_partitioned",
     "summarize_samples",
     "typegen_churn",
     "write_heavy_thunks",

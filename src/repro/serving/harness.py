@@ -33,12 +33,17 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..concurrency import ConcurrentDriver, MultiProcessDriver
+from ..concurrency import (
+    ConcurrentDriver, MultiProcessDriver, SupervisedDriver,
+)
 from ..concurrency.driver import normalize_outcome
 from ..core import Engine, EngineConfig
 from ..snapshot import load_snapshot
 from .churn import churn_suite, count_storms
-from .latency import LatencyRecorder, LatencySummary, summarize_samples
+from .latency import (
+    LatencyRecorder, LatencySummary, summarize_partitioned,
+    summarize_samples,
+)
 from .recipes import build_serving_world, scenario_thunks
 
 #: the stats attributes snapshotted at phase boundaries — the tier
@@ -139,8 +144,13 @@ def _oracle_multiset(thunks, requests: int) -> Counter:
 
 def run_scenario(scenario: ServingScenario, *,
                  differential: bool = True,
-                 cache_free_oracle: bool = True) -> ServingReport:
-    """Run one scenario end to end; see the module docstring."""
+                 cache_free_oracle: bool = True,
+                 faults=None) -> ServingReport:
+    """Run one scenario end to end; see the module docstring.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) scripts worker-thread
+    and mutator-thread failures into the measured run; injected faults
+    surface as driver crashes, never as request outcomes."""
     world = build_serving_world(scenario.app, cfg=scenario.cfg)
     thunks = scenario_thunks(world, scenario.mix)
     stats = world.engine.stats
@@ -164,7 +174,7 @@ def run_scenario(scenario: ServingScenario, *,
     driver = ConcurrentDriver(
         timed, threads=scenario.threads, requests=scenario.requests,
         io_wait_s=scenario.io_wait_s, churn=churns or None,
-        churn_interval_s=scenario.churn_interval_s)
+        churn_interval_s=scenario.churn_interval_s, faults=faults)
     run = driver.run()
     after_run = _transition_snapshot(stats)
     phases["measured"] = _transition_delta(after_warm, after_run)
@@ -239,6 +249,10 @@ class MultiProcReport:
     workers: int
     requests: int
     completed: int
+    #: scheduled requests that never completed (crashed workers'
+    #: slices); ``completed + lost == requests`` always — a crashed
+    #: worker's share can no longer silently vanish from the report.
+    lost: int
     elapsed_s: float
     rps: float
     latency: LatencySummary
@@ -268,6 +282,7 @@ class MultiProcReport:
             "workers": self.workers,
             "requests": self.requests,
             "completed": self.completed,
+            "lost": self.lost,
             "rps": round(self.rps, 1),
             "errors": self.errors,
             "crashes": len(self.crashes),
@@ -281,7 +296,8 @@ class MultiProcReport:
 
 
 def run_multiproc_scenario(scenario: MultiProcScenario, *,
-                           differential: bool = True) -> MultiProcReport:
+                           differential: bool = True,
+                           faults=None) -> MultiProcReport:
     """Run one pre-fork scenario: build (and optionally snapshot-warm)
     the parent world, fork ``workers`` processes over the shared
     round-robin schedule, merge their reservoirs for exact aggregate
@@ -305,8 +321,18 @@ def run_multiproc_scenario(scenario: MultiProcScenario, *,
     driver = MultiProcessDriver(
         thunks, workers=scenario.workers, requests=scenario.requests,
         io_wait_s=scenario.io_wait_s, engine=engine,
-        reservoir_capacity=scenario.reservoir_capacity)
+        reservoir_capacity=scenario.reservoir_capacity, faults=faults)
     run = driver.run()
+
+    # Accounting identity: every scheduled request either completed or
+    # is explicitly counted lost — crashed slices must not vanish.
+    if run.completed + run.lost != scenario.requests:
+        raise RuntimeError(
+            f"multiproc accounting violated: completed={run.completed} "
+            f"+ lost={run.lost} != scheduled={scenario.requests}")
+    if run.lost and not run.crashes:
+        raise RuntimeError(
+            f"{run.lost} request(s) lost with no crash recorded")
 
     samples, count = run.merged_samples()
     latency = summarize_samples(samples, count)
@@ -314,7 +340,7 @@ def run_multiproc_scenario(scenario: MultiProcScenario, *,
     report = MultiProcReport(
         scenario=scenario.name, app=scenario.app, mix=scenario.mix,
         workers=scenario.workers, requests=scenario.requests,
-        completed=run.completed, elapsed_s=run.elapsed_s,
+        completed=run.completed, lost=run.lost, elapsed_s=run.elapsed_s,
         rps=run.throughput_rps, latency=latency,
         errors=len(run.error_outcomes), crashes=list(run.crashes),
         first_pass_s=run.first_pass_s,
@@ -340,4 +366,171 @@ def run_multiproc_scenario(scenario: MultiProcScenario, *,
         report.oracle_match_cache_free = (
             bool(matches) and all(matches) and not run.crashes
             and len(matches) == scenario.workers)
+    return report
+
+
+# -- supervised fault-tolerant serving ---------------------------------------
+
+
+@dataclass
+class SupervisedScenario:
+    """One supervised (fault-tolerant) serving configuration."""
+
+    name: str
+    app: str = "boxroom"
+    mix: str = "read"              # read | write | mixed
+    workers: int = 4
+    requests: int = 480
+    io_wait_s: float = 0.002
+    #: parent-side warm passes before the first fork (children and
+    #: every respawn inherit the warm engine copy-on-write).
+    warm_rounds: int = 0
+    #: snapshot path/document to warm-start the parent from; respawned
+    #: workers fork from this restored state too.
+    snapshot: Optional[object] = None
+    cfg: Optional[dict] = None
+    specialize_threshold: Optional[int] = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+    hang_timeout_s: float = 5.0
+
+
+@dataclass
+class SupervisedReport:
+    """Everything one supervised run measured, recovered, and verified."""
+
+    scenario: str
+    app: str
+    mix: str
+    workers: int
+    requests: int
+    completed_first: int
+    completed_retried: int
+    abandoned: int
+    restarts: int
+    elapsed_s: float
+    rps: float
+    #: {"first_attempt": {...}, "replayed": {...}|None, "combined":
+    #: {...}} — replay latency attributed separately so recovery cost
+    #: cannot hide in the steady-state tail.
+    latency: Dict[str, Optional[dict]] = field(default_factory=dict)
+    crashes: List[str] = field(default_factory=list)
+    restart_log: List[str] = field(default_factory=list)
+    #: STATS_DELTA_FIELDS summed over attempts that finished cleanly.
+    transitions: Dict[str, int] = field(default_factory=dict)
+    snapshot: Dict[str, object] = field(default_factory=dict)
+    #: parent-engine deltas of the fault-tolerance counters.
+    workers_restarted: int = 0
+    requests_replayed: int = 0
+    #: scheduled == completed_first + completed_retried + abandoned.
+    accounting_ok: bool = False
+    #: every accepted outcome (replays included) equals the cache-free
+    #: oracle's outcome for its exact schedule index.
+    oracle_match_cache_free: bool = False
+
+    @property
+    def completed(self) -> int:
+        return self.completed_first + self.completed_retried
+
+    def as_dict(self) -> dict:
+        """The committed-baseline JSON shape for this scenario."""
+        return {
+            "app": self.app,
+            "mix": self.mix,
+            "workers": self.workers,
+            "requests": self.requests,
+            "completed": self.completed,
+            "completed_first": self.completed_first,
+            "completed_retried": self.completed_retried,
+            "abandoned": self.abandoned,
+            "restarts": self.restarts,
+            "workers_restarted": self.workers_restarted,
+            "requests_replayed": self.requests_replayed,
+            "rps": round(self.rps, 1),
+            "crashes": len(self.crashes),
+            "accounting_ok": int(self.accounting_ok),
+            "oracle_match_cache_free": int(self.oracle_match_cache_free),
+            "latency": self.latency,
+        }
+
+
+def run_supervised_scenario(scenario: SupervisedScenario, *,
+                            differential: bool = True,
+                            faults=None) -> SupervisedReport:
+    """Run one supervised pre-fork scenario: build (and optionally
+    snapshot-warm) the parent world, fork workers under supervision,
+    recover from injected (or real) worker deaths by respawning from
+    the parent's warm engine, and verify every *accepted* outcome —
+    replays included — against a cache-free oracle replay of its exact
+    schedule index.
+
+    The accounting invariant is enforced, not just reported: a run
+    whose buckets do not partition the schedule raises."""
+    engine = None
+    if scenario.specialize_threshold is not None:
+        engine = Engine(EngineConfig(
+            specialize_threshold=scenario.specialize_threshold))
+    world = build_serving_world(scenario.app, engine=engine,
+                                cfg=scenario.cfg)
+    engine = world.engine
+
+    snapshot_report: Dict[str, object] = {}
+    if scenario.snapshot is not None:
+        snapshot_report = load_snapshot(engine, scenario.snapshot).as_dict()
+
+    thunks = scenario_thunks(world, scenario.mix)
+    _warm(thunks, scenario.warm_rounds)
+
+    stats = engine.stats
+    restarted_before = stats.workers_restarted
+    replayed_before = stats.requests_replayed
+
+    driver = SupervisedDriver(
+        thunks, workers=scenario.workers, requests=scenario.requests,
+        io_wait_s=scenario.io_wait_s, engine=engine, faults=faults,
+        max_retries=scenario.max_retries,
+        backoff_base_s=scenario.backoff_base_s,
+        backoff_cap_s=scenario.backoff_cap_s,
+        hang_timeout_s=scenario.hang_timeout_s)
+    run = driver.run()
+
+    if not run.accounting_ok():
+        raise RuntimeError(
+            f"supervised accounting violated: "
+            f"first={run.completed_first} retried={run.completed_retried} "
+            f"abandoned={run.abandoned} != scheduled={scenario.requests}")
+
+    report = SupervisedReport(
+        scenario=scenario.name, app=scenario.app, mix=scenario.mix,
+        workers=scenario.workers, requests=scenario.requests,
+        completed_first=run.completed_first,
+        completed_retried=run.completed_retried,
+        abandoned=run.abandoned, restarts=run.restarts,
+        elapsed_s=run.elapsed_s, rps=run.throughput_rps,
+        latency=summarize_partitioned(run.first_samples,
+                                      run.replay_samples),
+        crashes=list(run.crashes), restart_log=list(run.restart_log),
+        transitions=dict(run.stats_delta), snapshot=snapshot_report,
+        workers_restarted=stats.workers_restarted - restarted_before,
+        requests_replayed=stats.requests_replayed - replayed_before,
+        accounting_ok=run.accounting_ok())
+
+    if differential:
+        # Per-index (not multiset) equality: each accepted outcome —
+        # first attempt or replay — must equal the cache-free oracle's
+        # outcome for that exact schedule index.
+        oracle_world = build_serving_world(
+            scenario.app, engine=Engine(disable_caches=True),
+            cfg=scenario.cfg)
+        oracle_thunks = scenario_thunks(oracle_world, scenario.mix)
+        n = len(oracle_thunks)
+        mismatches = 0
+        for sched_idx, (_, _, outcome) in sorted(run.outcomes.items()):
+            if normalize_outcome(oracle_thunks[sched_idx % n]) != outcome:
+                mismatches += 1
+        report.oracle_match_cache_free = (
+            mismatches == 0 and not run.crashes
+            and len(run.outcomes) == run.completed_first
+            + run.completed_retried)
     return report

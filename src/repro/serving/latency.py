@@ -118,6 +118,29 @@ def summarize_samples(samples: List[float],
     )
 
 
+def summarize_partitioned(first_samples: List[float],
+                          replay_samples: List[float]) -> dict:
+    """Latency attribution for supervised runs: first-attempt and
+    replayed requests summarized *separately*, plus the combined view.
+
+    Folding replays into one population would let recovery cost hide in
+    (or masquerade as) the steady-state tail; keeping the partitions
+    apart makes "replays are slower because they re-pay cold start"
+    visible as its own percentile column.  Keys without samples (e.g.
+    ``replayed`` in a fault-free run) are None.
+    """
+    out = {
+        "first_attempt": (summarize_samples(first_samples).as_ms_dict()
+                          if first_samples else None),
+        "replayed": (summarize_samples(replay_samples).as_ms_dict()
+                     if replay_samples else None),
+    }
+    combined = first_samples + replay_samples
+    out["combined"] = (summarize_samples(combined).as_ms_dict()
+                       if combined else None)
+    return out
+
+
 @dataclass(frozen=True)
 class LatencySummary:
     """Merged percentile view across every recording thread."""

@@ -509,9 +509,24 @@ def load_snapshot(engine: Engine, source) -> SnapshotLoad:
                 epoch = plans.epoch
                 for rec in doc.get("plans", []):
                     _restore_plan(engine, rec, epoch, elisions, report)
-        except (KeyError, TypeError, ValueError) as exc:
-            # A structurally broken record mid-restore: everything
-            # already restored is individually validated (sound); stop
-            # and report rather than guessing at the rest.
-            report.errors.append(f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # noqa: BLE001 - see below
+            # A structurally broken record mid-restore (a snapshot that
+            # passed the envelope checks but carries garbage — e.g. a
+            # torn write that still parses as JSON).  Every entry
+            # already restored is individually validated, but serving
+            # from a *half*-warm engine makes later behavior depend on
+            # where exactly the snapshot broke; degrade to a clean cold
+            # start instead.  Warm state is pure performance — dropping
+            # it is always sound, and plans.clear() fires the deopt
+            # hook so any eagerly re-promoted site is demoted before we
+            # return.
+            engine.cache.clear()
+            if engine._plans is not None:
+                engine._plans.clear()
+            rollback = SnapshotLoad(
+                False, f"mid-restore failure "
+                       f"({type(exc).__name__}: {exc}); rolled back to "
+                       f"cold start")
+            rollback.errors.append(f"{type(exc).__name__}: {exc}")
+            return rollback
     return report

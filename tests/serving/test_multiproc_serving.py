@@ -50,11 +50,35 @@ def test_all_workers_complete_and_report():
     report = run_multiproc_scenario(_small_scenario())
     assert not report.crashes, report.crashes
     assert report.completed == REQUESTS
+    assert report.lost == 0
     assert report.errors == 0
     assert report.workers == WORKERS
     assert len(report.per_worker) == WORKERS
     assert report.rps > 0
     assert report.elapsed_s > 0
+
+
+def test_crashed_worker_slice_is_counted_lost_not_vanished():
+    """Regression: a killed worker's unfinished slice used to vanish
+    from the report entirely (completed just came up short, with
+    nothing accounting for the difference).  The ``lost`` field must
+    make it explicit, and the identity completed + lost == requests
+    must survive the crash."""
+    from repro.faults import KILL, Fault, FaultPlan
+
+    world = build_serving_world("countries")
+    thunks = scenario_thunks(world, "read")
+    plan = FaultPlan([Fault(KILL, 1, 0)])  # worker 1 dies immediately
+    driver = MultiProcessDriver(thunks, workers=WORKERS,
+                                requests=REQUESTS, engine=world.engine,
+                                faults=plan)
+    run = driver.run()
+    slice_sizes = [len(driver.schedule_for(w)) for w in range(WORKERS)]
+    assert run.crashes and any("worker 1" in c for c in run.crashes)
+    assert run.lost == slice_sizes[1]
+    assert run.completed + run.lost == REQUESTS
+    # Exit code 87 (the injected kill) is diagnosed, not swallowed.
+    assert any("exit code 87" in c for c in run.crashes)
 
 
 def test_schedule_partition_is_exhaustive_and_disjoint():

@@ -1,0 +1,161 @@
+"""Snapshot corruption: every damaged load degrades to a clean cold
+start — never a half-warm engine.
+
+The fault layer damages a real saved snapshot two ways:
+
+* **truncation at every boundary** — the mid-write / mid-transfer
+  snapshot, swept across the file so the cut lands inside the envelope,
+  inside a record, and between records;
+* **deterministic byte flips** — the bit-rotted snapshot, which may
+  still parse as JSON but carry garbage records.
+
+After *any* damaged load the engine must either be untouched
+(``loaded=False``) or rolled back to empty caches, and in both cases it
+must then serve traffic correctly from a cold start, oracle-identically
+to an undamaged world.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Engine, EngineConfig
+from repro.faults import corrupt_file, truncate_file
+from repro.serving import build_serving_world, scenario_thunks
+from repro.snapshot import load_snapshot, save_snapshot
+
+pytestmark = pytest.mark.requires_caches
+
+THRESHOLD = 4
+
+
+def _warm_snapshot(tmp_path, app="countries", passes=8):
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    world = build_serving_world(app, engine=engine)
+    thunks = scenario_thunks(world, "read")
+    for _ in range(passes):
+        for thunk in thunks:
+            thunk()
+    path = tmp_path / "warm.json"
+    save_snapshot(engine, str(path))
+    return path
+
+
+def _fresh_engine():
+    return Engine(EngineConfig(specialize_threshold=THRESHOLD))
+
+
+def _fresh_world(app="countries"):
+    engine = _fresh_engine()
+    world = build_serving_world(app, engine=engine)
+    return engine, world
+
+
+def _expected_outcomes(app="countries"):
+    from repro.concurrency import normalize_outcome
+    oracle_engine = Engine(disable_caches=True)
+    world = build_serving_world(app, engine=oracle_engine)
+    return [normalize_outcome(t) for t in scenario_thunks(world, "read")]
+
+
+def _baseline(engine):
+    """The engine's pre-load warm state (world construction itself
+    derives a check or two — a fresh world is not cache-empty)."""
+    return (set(engine.cache.keys()),
+            {key for key, _ in engine._plans.items()},
+            len(engine._specializer) if engine._specializer else 0)
+
+
+def _assert_cold_start_clean(engine, world, report, expected,
+                             baseline):
+    """The post-damage contract: no half-warm state, correct traffic."""
+    from repro.concurrency import normalize_outcome
+    if not report.loaded:
+        # Rejected or rolled back: nothing *restored* may remain — the
+        # engine holds at most what it held before the load attempt.
+        base_checks, base_plans, base_promoted = baseline
+        assert set(engine.cache.keys()) <= base_checks
+        assert {key for key, _ in engine._plans.items()} <= base_plans
+        if engine._specializer is not None:
+            assert len(engine._specializer) <= base_promoted
+    thunks = scenario_thunks(world, "read")
+    assert [normalize_outcome(t) for t in thunks] == expected
+
+
+def test_truncation_at_every_boundary_degrades_to_cold_start(tmp_path):
+    path = _warm_snapshot(tmp_path)
+    blob = path.read_bytes()
+    size = len(blob)
+    assert size > 0
+    expected = _expected_outcomes()
+    # Sweep cut points across the whole file (bounded stride so big
+    # snapshots don't make the sweep quadratic), plus the exact edges.
+    stride = max(1, size // 64)
+    cuts = sorted(set(range(0, size, stride)) | {0, 1, size - 1})
+    for cut in cuts:
+        path.write_bytes(blob)
+        original = truncate_file(str(path), cut)
+        assert original == size
+        engine, world = _fresh_world()
+        baseline = _baseline(engine)
+        report = load_snapshot(engine, str(path))
+        # A truncated JSON document can never pass the envelope.
+        assert not report.loaded, f"cut at {cut} byte(s) loaded"
+        _assert_cold_start_clean(engine, world, report, expected,
+                                 baseline)
+
+
+def test_byte_flips_never_leave_a_half_warm_engine(tmp_path):
+    path = _warm_snapshot(tmp_path)
+    blob = path.read_bytes()
+    expected = _expected_outcomes()
+    for seed in range(24):
+        path.write_bytes(blob)
+        corrupt_file(str(path), seed=seed, flips=4)
+        engine, world = _fresh_world()
+        baseline = _baseline(engine)
+        report = load_snapshot(engine, str(path))
+        # Whatever happened — rejected, partially skipped with per-entry
+        # validation, or rolled back — traffic must be exactly correct.
+        _assert_cold_start_clean(engine, world, report, expected,
+                                 baseline)
+
+
+def test_structurally_broken_record_rolls_back_wholesale():
+    """A snapshot that passes the envelope but blows up mid-restore
+    (here: a record of the wrong shape) must roll the engine back to a
+    clean cold start, not stop half-warm."""
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    world = build_serving_world("countries", engine=engine)
+    thunks = scenario_thunks(world, "read")
+    for _ in range(8):
+        for thunk in thunks:
+            thunk()
+    doc = save_snapshot(engine)
+    assert doc["plans"], "warmup built no plans"
+    # Damage a *late* plan record so earlier ones restore first.
+    broken = json.loads(json.dumps(doc))
+    broken["plans"][-1]["key"] = None  # tuple(None) -> TypeError
+    engine2, world2 = _fresh_world()
+    baseline = _baseline(engine2)
+    report = load_snapshot(engine2, broken)
+    assert not report.loaded
+    assert "rolled back" in report.reason
+    assert report.errors
+    _assert_cold_start_clean(engine2, world2, report,
+                             _expected_outcomes(), baseline)
+
+
+def test_midfile_truncation_that_still_parses_is_rejected(tmp_path):
+    """Truncating to 0 bytes (torn create) and to valid-JSON prefixes
+    like '{}' must both reject without touching the engine."""
+    path = tmp_path / "warm.json"
+    expected = _expected_outcomes()
+    for content in (b"", b"{}", b"null", b'{"format": "wrong"}'):
+        path.write_bytes(content)
+        engine, world = _fresh_world()
+        baseline = _baseline(engine)
+        report = load_snapshot(engine, str(path))
+        assert not report.loaded
+        _assert_cold_start_clean(engine, world, report, expected,
+                                 baseline)
