@@ -130,6 +130,21 @@ SUITES = {
         ("reload.warm_hit_rate", _get("reload.warm_hit_rate"),
          _absolute_floor(0.9),
          "dev-mode reload keeps >=90% of calls on warm plans"),
+    ] + [
+        (f"serving_elision.{name}.rate",
+         _get(f"serving_elision.{name}.rate"),
+         _floor_and_fraction(floor, 0.9),
+         f"provable check-elimination rate on the warm {name} serving "
+         "mix (deterministic audit, not a timing — 0.9 of baseline "
+         "tolerates only workload-shape drift).  rolify's floor gates "
+         "the >=1.5x-over-pre-PR criterion: its pre-name-level-"
+         "contract-gate rate was 0.0")
+        for name, floor in (("boxroom_read", 0.55),
+                            ("boxroom_mixed", 0.55),
+                            ("countries_read", 0.55),
+                            ("countries_mixed", 0.55),
+                            ("rolify_read", 0.4),
+                            ("rolify_mixed", 0.4))
     ],
     "overhead": [
         ("overhead_reduction", _get("overhead_reduction"),

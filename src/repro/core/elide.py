@@ -24,7 +24,10 @@ verdict with four independent switches:
 ``arg_check``
     When some signature arm accepts the site's arity with *vacuous*
     parameter types (``%any``/type variables), the dynamic argument
-    check passes for every value — only the arity needs guarding.
+    check passes for every value — only the arity needs guarding.  At a
+    compiled kwargs-layout site even the arity test is dead on the
+    keyword path: the layout *constructs* the full positional view, so
+    its length is a compile-time constant.
 
 ``frame``
     The checked-frame push/pop exists so intercepted *callees* can see
@@ -38,21 +41,36 @@ verdict with four independent switches:
     signature's return type, the dynamic return check (or return
     profile guard) is dead.
 
-Frame and return verdicts may hold only *under the dominant profile*
-(the body is safe when ``n`` is an Integer, not for arbitrary ``n``).
-Then the verdict carries ``guard_profile``: the wrapper hoists the
-dominant class chain into an **unconditional** guard — no copy-on-write
-fallback set, a miss bails to the generic path — so the seeded facts
-hold on every call that runs the elided body.  A verdict that already
+Frame and return verdicts may hold only *under a seeded profile* (the
+body is safe when ``n`` is an Integer, not for arbitrary ``n``).  Then
+the verdict carries ``guard_profiles``: up to :data:`TOP_K_PROFILES`
+learned class chains, each independently re-proving every seeded
+verdict, compiled as an **unconditional** OR-of-chains guard — no
+copy-on-write fallback set, a miss on every chain bails to the generic
+path — so the seeded facts hold on every call that runs the elided
+body.  A chain slot may be ``None`` (no pin for that position): the
+layout pseudo-profile pins only the slots a stable kwargs layout binds
+to declared defaults, and then ``chain_conforms`` is False — the chain
+seeds the dataflow but does not certify argument *conformance*, so the
+wrapper keeps its profile membership test.  A verdict that already
 holds seed-free needs no pin and keeps serving every learned profile.
 
 Soundness: every fact a verdict read (signature slots with negative
-probes, linearizations, field types, callee bodies as ``("ir", ...)``
-edges) is merged into the site's plan-dependency edges **before** the
-wrapper is installed (:meth:`CallPlanCache.add_resources`), so mutating
-any of them deopts the elided site exactly like a tier-2 plan.  The
-``REPRO_DISABLE_ELIDE=1`` escape hatch (and ``EngineConfig.elide``)
-turns the stage off, leaving tier 2 untouched.
+probes, linearizations — including the ``("lin", cls)`` leaf-exactness
+edges — field types, callee bodies as ``("ir", ...)`` edges along the
+whole followed chain) is merged into the site's plan-dependency edges
+**before** the wrapper is installed (:meth:`CallPlanCache.add_resources`),
+so mutating any of them deopts the elided site exactly like a tier-2
+plan.  The ``REPRO_DISABLE_ELIDE=1`` escape hatch (and
+``EngineConfig.elide``) turns the stage off, leaving tier 2 untouched.
+
+Every decision — elided or refused — is also explainable:
+:meth:`Elider.audit_site` re-derives the verdict for a warm site and
+returns a :class:`SiteAudit` naming, per check-op kind, whether it was
+proved (seed-free or pinned), inapplicable, or blocked, and on what
+(``unknown_join``, ``non_leaf_nominal``, ``budget_exhausted``,
+``whitelist_miss``, ...).  ``python -m repro.ril.audit`` aggregates
+these over every promoted site.
 """
 
 from __future__ import annotations
@@ -68,6 +86,25 @@ from .plans import ARG_CHECK_NEVER, CallPlan, PlanKey
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import Engine
 
+#: learned argument profiles the elider tries to prove under (and the
+#: wrapper pins) per site.  Hottest first; chains beyond the first only
+#: survive when they re-prove everything the first one proved.
+TOP_K_PROFILES = 3
+
+#: the four per-call check operations a verdict rules on, in report
+#: order.
+CHECK_KINDS = ("cache_guard", "arg_check", "frame", "ret_check")
+
+#: audit statuses.
+PROVED = "proved"              # elidable with no profile pin
+PROVED_PINNED = "proved_pinned"  # elidable under the pinned chain(s)
+NOT_APPLICABLE = "not_applicable"  # the check never runs at this site
+BLOCKED = "blocked"            # provability failed; reasons attached
+
+#: blocker code for sites a registered contract pins to the generic
+#: wrapper (the analysis-level codes live in :mod:`repro.ril.analysis`).
+BLOCK_CONTRACT = "contract"
+
 
 def elide_disabled_by_env() -> bool:
     """True when ``REPRO_DISABLE_ELIDE`` disables tier-3 elision."""
@@ -79,19 +116,27 @@ class Elision:
     """What one compiled entry may omit, and the facts that justify it."""
 
     __slots__ = ("cache_guard", "frame", "arg_check", "ret_check",
-                 "guard_profile", "arity", "count", "resources", "callees")
+                 "guard_profiles", "chain_conforms", "arity", "count",
+                 "resources", "callees")
 
     def __init__(self, *, cache_guard: bool, frame: bool, arg_check: bool,
-                 ret_check: bool, guard_profile: Optional[tuple],
-                 arity: Optional[int], resources: Tuple[Resource, ...],
+                 ret_check: bool,
+                 guard_profiles: Optional[Tuple[tuple, ...]],
+                 chain_conforms: bool, arity: Optional[int],
+                 resources: Tuple[Resource, ...],
                  callees: Tuple[Tuple[str, str, str], ...]) -> None:
         self.cache_guard = cache_guard
         self.frame = frame
         self.arg_check = arg_check
         self.ret_check = ret_check
-        #: dominant-profile classes to pin unconditionally, or ``None``
-        #: when every verdict holds seed-free.
-        self.guard_profile = guard_profile
+        #: class chains to pin unconditionally (OR of chains; a ``None``
+        #: slot inside a chain means "no pin for this position"), or
+        #: ``None`` when every verdict holds seed-free.
+        self.guard_profiles = guard_profiles
+        #: whether a matched chain also certifies argument conformance
+        #: (learned profiles do; the layout pseudo-profile pins classes
+        #: for the dataflow only, so the profile test stays).
+        self.chain_conforms = chain_conforms
         #: arity to guard when ``arg_check`` is elided without a pinned
         #: profile chain (the chain already fixes the length).
         self.arity = arity
@@ -102,11 +147,48 @@ class Elision:
         self.resources = resources
         self.callees = callees
 
+    @property
+    def guard_profile(self) -> Optional[tuple]:
+        """The hottest pinned chain (compat accessor for single-chain
+        consumers; ``None`` when nothing is pinned)."""
+        return self.guard_profiles[0] if self.guard_profiles else None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Elision(cache_guard={self.cache_guard}, "
                 f"frame={self.frame}, arg_check={self.arg_check}, "
                 f"ret_check={self.ret_check}, "
-                f"pinned={self.guard_profile is not None})")
+                f"pinned={len(self.guard_profiles or ())})")
+
+
+class SiteAudit:
+    """Per-site provability report: one status (and blocking reasons)
+    per check-op kind, as derived by :meth:`Elider.audit_site`."""
+
+    __slots__ = ("key", "checks", "pinned", "blockers")
+
+    def __init__(self, key: PlanKey) -> None:
+        self.key = key
+        #: kind -> (status, reasons); reasons is a tuple of blocker
+        #: codes, empty unless status is BLOCKED.
+        self.checks: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+        #: number of pinned guard chains (0 = seed-free or refused).
+        self.pinned = 0
+        #: every (code, detail) blocker the analysis reported, for the
+        #: verbose audit listing.
+        self.blockers: Tuple[Tuple[str, str], ...] = ()
+
+    def proved(self, kind: str, *, pinned: bool = False) -> None:
+        self.checks[kind] = (PROVED_PINNED if pinned else PROVED, ())
+
+    def skipped(self, kind: str) -> None:
+        self.checks[kind] = (NOT_APPLICABLE, ())
+
+    def blocked(self, kind: str, reasons: Tuple[str, ...]) -> None:
+        self.checks[kind] = (BLOCKED, reasons or ("unproved",))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bits = ", ".join(f"{k}={v[0]}" for k, v in self.checks.items())
+        return f"SiteAudit({self.key!r}: {bits})"
 
 
 def _fixed_arity(arms) -> Optional[int]:
@@ -118,6 +200,46 @@ def _fixed_arity(arms) -> Optional[int]:
             return None
         arity = lo
     return arity
+
+
+def _contract_blocks(engine: "Engine", name: str) -> bool:
+    """Whether a registered contract forces ``name`` to stay generic.
+
+    Contract hooks resolve per (receiver class, method name) with an
+    MRO walk, so any contract anywhere on the *name* may fire for some
+    receiver of a promoted site — those sites stay on the generic
+    wrapper.  Other names promote freely: a metaprogramming contract on
+    ``attr_accessor`` must not veto tier 2 for the whole application.
+    """
+    store = engine._contracts
+    if not store:
+        return False
+    return any(n == name for (_cls, n) in store)
+
+
+def _layout_pseudo_profile(
+        layout: Tuple[int, tuple]) -> Optional[Tuple[Optional[type], ...]]:
+    """The partial class chain a stable kwargs layout pins, or ``None``
+    when it binds no defaulted slot.
+
+    ``BoundDefault`` slots are filled with a def-time constant by the
+    compiled reorder, so their classes are known without any learned
+    profile; every other slot stays unpinned (``None``).  The chain is
+    sound on the positional path too — there the emitted type tests
+    actually guard — so it needs no kw-path condition.
+    """
+    npos, names = layout
+    chain: List[Optional[type]] = [None] * npos
+    pinned = False
+    for n in names:
+        if n.__class__ is str:
+            chain.append(None)
+        else:  # BoundDefault
+            chain.append(type(n.value))
+            pinned = True
+    if not pinned:
+        return None
+    return tuple(chain)
 
 
 class Elider:
@@ -151,21 +273,56 @@ class Elider:
             seeded = self._seeds.pop(key, None)
             if seeded is not None and seeded[0] is plan:
                 return seeded[1]
+        return self._decide(key, plan, fn)[0]
+
+    def audit_site(self, key: PlanKey, plan: CallPlan, fn) -> SiteAudit:
+        """Re-derive the verdict for a live site purely for reporting
+        (never consumes snapshot seeds, never installs anything)."""
+        return self._decide(key, plan, fn)[1]
+
+    def _decide(self, key: PlanKey, plan: CallPlan,
+                fn) -> Tuple[Optional[Elision], SiteAudit]:
         # Lazy import: repro.ril's package init imports the analysis
         # module, which reaches back into repro.core — importing it at
         # module level here would dead-end when repro.ril loads first.
         from ..ril.analysis import (
-            analyze_method, class_conforms, is_vacuous, rdl_class_name,
+            BLOCK_NO_IR, analyze_method, class_conforms, is_vacuous,
+            rdl_class_name,
         )
 
         engine = self.engine
+        audit = SiteAudit(key)
         def_owner, recv_owner, name, kind = key
         if kind != INSTANCE:
             # Class-method receivers are class objects; the analysis
             # models instance-typed self only.
-            return None
+            for ck in CHECK_KINDS:
+                audit.skipped(ck)
+            return None, audit
         sig = plan.sig
         arms = list(sig.intersection()) if sig is not None else []
+        if _contract_blocks(engine, name):
+            # A contract on this method name forces the generic wrapper
+            # (the specializer refuses promotion), so no check op here
+            # is ever discharged — report every applicable one blocked.
+            arg_rel = bool(arms) and plan.arg_mode != ARG_CHECK_NEVER
+            ret_rel = bool(arms) and plan.ret_mode != ARG_CHECK_NEVER
+            reason = (BLOCK_CONTRACT,)
+            audit.blockers = ((BLOCK_CONTRACT, name),)
+            if plan.checked:
+                audit.blocked("cache_guard", reason)
+            else:
+                audit.skipped("cache_guard")
+            if arg_rel:
+                audit.blocked("arg_check", reason)
+            else:
+                audit.skipped("arg_check")
+            audit.blocked("frame", reason)
+            if ret_rel:
+                audit.blocked("ret_check", reason)
+            else:
+                audit.skipped("ret_check")
+            return None, audit
         mir = (engine.cfgs.lookup(def_owner, name)
                or engine.cfgs.lookup(recv_owner, name))
         if mir is None:
@@ -174,8 +331,9 @@ class Elider:
             except RegistrationError:
                 mir = None
 
-        dominant = plan.dominant_profile()
-        arity = len(dominant) if dominant is not None else _fixed_arity(arms)
+        tops = plan.top_profiles(TOP_K_PROFILES) \
+            if plan.profile_eligible else ()
+        arity = len(tops[0]) if tops else _fixed_arity(arms)
 
         # -- argument verdict (signature-only: vacuous types) ----------
         arg_relevant = bool(arms) and plan.arg_mode != ARG_CHECK_NEVER
@@ -190,9 +348,11 @@ class Elider:
         strict = engine.config.strict_nil
         frame_ok = False
         ret_ok = False
-        guard_profile: Optional[tuple] = None
+        guard_profiles: Optional[Tuple[tuple, ...]] = None
+        chain_conforms = True
         resources: List[Resource] = []
         callees: Tuple[Tuple[str, str, str], ...] = ()
+        blockers: List[Tuple[str, str]] = []
 
         def ret_provable(report) -> bool:
             if report.ret_classes is None:
@@ -202,7 +362,9 @@ class Elider:
                     for arm in arms)
                 for cls in report.ret_classes)
 
-        if mir is not None:
+        if mir is None:
+            blockers.append((BLOCK_NO_IR, f"{def_owner}#{name}"))
+        else:
             # The verdicts were derived while *this* body was installed.
             resources.append(ir_resource(mir.owner, name))
             if mir.owner != def_owner:
@@ -212,36 +374,117 @@ class Elider:
             ret_ok = ret_relevant and ret_provable(report)
             resources.extend(report.resources)
             callees = report.callees
+            blockers.extend(report.blockers)
             if ret_ok:
                 resources.extend(
                     lin_resource(cls) for cls in report.ret_classes)
             want_seed = (not frame_ok) or (ret_relevant and not ret_ok)
-            if want_seed and plan.profile_eligible and dominant:
-                seeds = tuple(rdl_class_name(cls) for cls in dominant)
-                seeded = analyze_method(engine, mir, recv_owner, seeds)
-                seeded_frame = seeded.frame_elidable
-                seeded_ret = ret_relevant and ret_provable(seeded)
-                if ((seeded_frame and not frame_ok)
-                        or (seeded_ret and not ret_ok)):
-                    guard_profile = dominant
-                    resources.extend(seeded.resources)
-                    callees = callees + seeded.callees
-                    if seeded_ret and not ret_ok:
-                        resources.extend(
-                            lin_resource(cls) for cls in seeded.ret_classes)
-                    frame_ok = frame_ok or seeded_frame
-                    ret_ok = ret_ok or seeded_ret
+            if want_seed and tops:
+                # Prove under each hot profile; the hottest sets the
+                # target verdict, and further chains are admitted only
+                # when they independently re-prove everything a seeded
+                # verdict will claim (the wrapper elides whenever *any*
+                # admitted chain matches).
+                seeded = [
+                    (p, analyze_method(
+                        engine, mir, recv_owner,
+                        tuple(rdl_class_name(c) for c in p)))
+                    for p in tops]
+                t_frame = seeded[0][1].frame_elidable
+                t_ret = ret_relevant and ret_provable(seeded[0][1])
+                gain_frame = t_frame and not frame_ok
+                gain_ret = t_ret and not ret_ok
+                if gain_frame or gain_ret:
+                    admitted = []
+                    for p, rep in seeded:
+                        p_ret = ret_relevant and ret_provable(rep)
+                        if ((rep.frame_elidable or not gain_frame)
+                                and (p_ret or not gain_ret)):
+                            admitted.append((p, rep, p_ret))
+                    guard_profiles = tuple(p for p, _, _ in admitted)
+                    for _, rep, p_ret in admitted:
+                        resources.extend(rep.resources)
+                        callees = callees + rep.callees
+                        if p_ret and gain_ret:
+                            resources.extend(
+                                lin_resource(cls)
+                                for cls in rep.ret_classes)
+                    audit.pinned = len(admitted)
+                    frame_ok = frame_ok or t_frame
+                    ret_ok = ret_ok or t_ret
+                else:
+                    for _, rep in seeded:
+                        blockers.extend(rep.blockers)
+            still_want = (not frame_ok) or (ret_relevant and not ret_ok)
+            if still_want and guard_profiles is None:
+                # Layout pseudo-profile: a stable kwargs layout that
+                # binds defaulted slots pins their classes *by
+                # construction* — no learned profile needed.  The chain
+                # carries the pins (None for unpinned slots) but does
+                # not certify conformance of the unpinned ones, so the
+                # wrapper keeps its profile test (``chain_conforms``).
+                layout = plan.stable_kw_layout() \
+                    if plan.profile_eligible else None
+                chain = _layout_pseudo_profile(layout) \
+                    if layout is not None else None
+                if chain is not None:
+                    rep = analyze_method(
+                        engine, mir, recv_owner,
+                        tuple(rdl_class_name(c) if c is not None else None
+                              for c in chain))
+                    s_frame = rep.frame_elidable
+                    s_ret = ret_relevant and ret_provable(rep)
+                    if (s_frame and not frame_ok) or (s_ret and not ret_ok):
+                        guard_profiles = (chain,)
+                        chain_conforms = False
+                        audit.pinned = 1
+                        resources.extend(rep.resources)
+                        callees = callees + rep.callees
+                        if s_ret and not ret_ok:
+                            resources.extend(
+                                lin_resource(cls)
+                                for cls in rep.ret_classes)
+                        frame_ok = frame_ok or s_frame
+                        ret_ok = ret_ok or s_ret
+                    else:
+                        blockers.extend(rep.blockers)
+
+        # -- audit assembly --------------------------------------------
+        reasons = tuple(dict.fromkeys(code for code, _ in blockers))
+        audit.blockers = tuple(dict.fromkeys(blockers))
+        pinned = guard_profiles is not None
+        if plan.checked:
+            audit.proved("cache_guard")
+        else:
+            audit.skipped("cache_guard")
+        if not arg_relevant:
+            audit.skipped("arg_check")
+        elif arg_ok:
+            audit.proved("arg_check")
+        else:
+            audit.blocked("arg_check", ("non_vacuous_params",))
+        if frame_ok:
+            audit.proved("frame", pinned=pinned)
+        else:
+            audit.blocked("frame", reasons)
+        if not ret_relevant:
+            audit.skipped("ret_check")
+        elif ret_ok:
+            audit.proved("ret_check", pinned=pinned)
+        else:
+            audit.blocked("ret_check", reasons)
 
         cache_guard = plan.checked
         if not (cache_guard or frame_ok or arg_ok or ret_ok):
-            return None
+            return None, audit
         return Elision(
             cache_guard=cache_guard,
             frame=frame_ok,
             arg_check=arg_ok,
             ret_check=ret_ok,
-            guard_profile=guard_profile,
+            guard_profiles=guard_profiles,
+            chain_conforms=chain_conforms,
             arity=arity if arg_ok else None,
             resources=tuple(dict.fromkeys(resources)),
             callees=tuple(dict.fromkeys(callees)),
-        )
+        ), audit

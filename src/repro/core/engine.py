@@ -316,6 +316,17 @@ class Engine:
                 parent = supers[0].__name__ if supers else "Object"
                 if not self.hier.is_known(name):
                     self.hier.add_class(name, parent)
+                    # A genuinely-new subclass makes its parent a
+                    # non-leaf: tier-3 elisions that proved exactness
+                    # from the parent's leafness carry a
+                    # ("lin", parent) edge and must fall.  Plans only —
+                    # the check cache and subtype memos never read
+                    # leafness (a new leaf class changes no
+                    # linearization), so they stay warm.
+                    if self._plans is not None:
+                        self.stats.plan_invalidations += \
+                            self._plans.invalidate_resources(
+                                (lin_resource(parent),))
             for base in bases:
                 if base.__dict__.get("__hb_module__"):
                     self.hier.include_module(name, base.__name__)
@@ -745,6 +756,24 @@ class Engine:
                 mir = self.cfgs.lookup(key[0], key[1])
                 mir_owner = key[0]
             if mir is None:
+                # Lazy registration from the live callable: a method
+                # defined while its signature was check=False has no
+                # eagerly-registered CFG (_install_wrapper only registers
+                # checked slots), and whether promotion registered it
+                # since is a cache artifact the outcome must not depend
+                # on (the cache-free oracle never promotes).
+                for probe in (def_owner, key[0]):
+                    live = self.lookup_callable(probe, key[1], kind)
+                    if live is None:
+                        continue
+                    try:
+                        mir = self.cfgs.register_function(probe, key[1],
+                                                          live)
+                        mir_owner = probe
+                        break
+                    except RegistrationError:
+                        continue
+            if mir is None:
                 raise NoMethodBodyError(
                     f"{key[0]}#{key[1]} has a type signature but no method "
                     f"body is registered for checking")
@@ -763,6 +792,20 @@ class Engine:
                 deps.add((mir_owner, key[1]))
                 if sig_owner is not None:
                     deps.add((sig_owner, key[1]))
+                    # The resolution walk's *negative* probes: every slot
+                    # between the receiver and ``sig_owner`` was consulted
+                    # and found empty.  A signature appearing later on a
+                    # closer ancestor changes what this derivation should
+                    # have checked against, so each walked-past slot is a
+                    # dependency — exactly the edges the plan cache already
+                    # records via its resolution trace.
+                    hier_reads = set(hier_reads)
+                    if self.hier.is_known(key[0]):
+                        hier_reads.add(key[0])  # walk order = receiver lin
+                        for anc in self.hier.ancestors(key[0]):
+                            if anc == sig_owner:
+                                break
+                            deps.add((anc, key[1]))
                 deps.discard(key)  # no self-loops; invalidate(key) covers it
                 self.cache.store(key, deps, outcome.field_deps, hier_reads,
                                  self.types.version)

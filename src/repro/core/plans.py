@@ -186,6 +186,21 @@ class CallPlan:
         counts = dict(self.profile_hits)  # snapshot vs racy writers
         return max(profiles, key=lambda p: counts.get(p, 0))
 
+    def top_profiles(self, k: int) -> Tuple[tuple, ...]:
+        """The up-to-``k`` hottest passing profiles by pre-promotion hit
+        counts, hottest first.  Ties break on the profile's class names,
+        so two engines warmed by the same traffic pin identical guard
+        chains (the warm-state snapshot round-trip depends on that)."""
+        profiles = self.profiles
+        if not profiles:
+            return ()
+        counts = dict(self.profile_hits)  # snapshot vs racy writers
+        ranked = sorted(
+            profiles,
+            key=lambda p: (-counts.get(p, 0),
+                           tuple(c.__qualname__ for c in p)))
+        return tuple(ranked[:k])
+
     def learn_kw_layout(self, fn, args: tuple, kwargs: dict
                         ) -> Optional[tuple]:
         """Memoize how this call shape's kwargs map onto ``fn``'s

@@ -146,8 +146,11 @@ valid.  Three further guards close the remaining corners:
   writer lock.
 
 Contracts (``rdl.wrap`` pre/post hooks) always run in the generic
-wrapper; registering any contract deoptimizes every site and blocks
-further promotion while contracts exist.
+wrapper; registering a contract deoptimizes every site, and promotion
+stays blocked — per method *name* — while a contract on that name
+exists anywhere (contract hooks resolve per receiver class, so any
+same-named contract may fire for some receiver).  Unrelated names
+re-promote freely.
 
 ``REPRO_DISABLE_SPECIALIZE=1`` (or ``EngineConfig(specialize=False)``)
 turns the tier off — the ``tier1-nospec`` CI job runs the whole suite
@@ -165,6 +168,7 @@ from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional, \
     Set, Tuple
 
 from ..rdl.registry import CLASS
+from .elide import _contract_blocks
 from .plans import (
     ARG_CHECK_ALWAYS, ARG_CHECK_BOUNDARY, ARG_CHECK_NEVER, CallPlan, PlanKey,
 )
@@ -429,7 +433,7 @@ class Specializer:
             return False
         plan.promoted = True
         engine = self.engine
-        if engine._contracts:
+        if _contract_blocks(engine, key[2]):
             return False  # contracts only run in the generic wrapper
         if not _plan_specializable(plan):
             return False
@@ -455,7 +459,7 @@ class Specializer:
                 or getattr(inner, "__hb_original__", None) is not fn):
             return False
         with engine.write_lock:
-            if engine._contracts:
+            if _contract_blocks(engine, name):
                 # Re-validated under the lock: a contract registered
                 # between the lock-free probe above and here must win —
                 # contract registration serializes on the same lock.
@@ -810,7 +814,7 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
     sig = plan.sig
     checked = plan.checked
     el = entry.elision
-    gp = el.guard_profile if el is not None else None
+    gps = el.guard_profiles if el is not None else None
     recv_owner = entry.key[1]
     ns: dict = {f"_key{i}": entry.key, f"_plan{i}": plan}
     lines = []
@@ -874,19 +878,28 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
             f"    {bail}",
         ]
         ns[f"_ckey{i}"] = (recv_owner, name)
-    if gp is not None:
-        # Pinned dominant profile: the frame/return verdicts below were
-        # proved *under these argument classes*, so the chain guards
-        # unconditionally — no copy-on-write fallback; a miss (another
-        # learned profile, a new shape) bails to the generic tier.
-        guard = [f"len({argname}) == {len(gp)}"]
-        guard += [f"type({argname}[{j}]) is _d{i}_{j}"
-                  for j in range(len(gp))]
+    if gps:
+        # Pinned profile chains: the frame/return verdicts below were
+        # proved *under these argument classes*, so the chains guard
+        # unconditionally — no copy-on-write fallback; a call matching
+        # none of them (another learned profile, a new shape) bails to
+        # the generic tier.  Every admitted chain re-proved every seeded
+        # verdict, so matching any one of them is sufficient.  A None
+        # slot is unpinned (the layout pseudo-profile pins only
+        # defaulted slots) and emits no test.
+        conds = []
+        for p_idx, gp in enumerate(gps):
+            tests = [f"len({argname}) == {len(gp)}"]
+            for j, cls in enumerate(gp):
+                if cls is None:
+                    continue
+                tests.append(f"type({argname}[{j}]) is _d{i}_{p_idx}_{j}")
+                ns[f"_d{i}_{p_idx}_{j}"] = cls
+            conds.append("(" + " and ".join(tests) + ")")
         lines += [
-            f"if not ({' and '.join(guard)}):",
+            f"if not ({' or '.join(conds)}):",
             f"    {bail}",
         ]
-        ns.update({f"_d{i}_{j}": cls for j, cls in enumerate(gp)})
     frame_elided = el is not None and el.frame
     arg_elided = el is not None and el.arg_check
     ret_elided = el is not None and el.ret_check
@@ -898,18 +911,30 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
     lines.append("tls = _tls")
     if need_stack:
         lines.append("stack = tls.stack")
+    kw_arity_free = False
     if sig is None:
         arg_counters = []
     else:
-        if gp is not None:
-            # The pinned chain above already vetted the arguments.
+        if gps and el.chain_conforms:
+            # The pinned chains above already vetted the arguments
+            # (learned profiles only ever contain conforming tuples).
             profile_test = None
         elif arg_elided:
             # Every matching parameter type is vacuous: the dynamic
             # check passes for any value — only the arity it was proved
-            # at needs guarding.
-            profile_test = [f"if len({argname}) != {el.arity}:",
-                            f"    {bail}"]
+            # at needs guarding.  At a compiled kwargs layout whose full
+            # positional view has exactly that arity, the keyword path
+            # *constructs* the view, so its length is a compile-time
+            # fact and even the arity test is elided there.
+            if entry.kw_layout is not None:
+                npos_l, names_l = entry.kw_layout
+                kw_arity_free = npos_l + len(names_l) == el.arity
+            if kw_arity_free:
+                profile_test = [f"if not kw and len({argname}) != {el.arity}:",
+                                f"    {bail}"]
+            else:
+                profile_test = [f"if len({argname}) != {el.arity}:",
+                                f"    {bail}"]
         else:
             profile_test, guard_classes = _profile_test_lines(
                 i, plan, bail, argname)
@@ -964,6 +989,12 @@ def _entry_lines(engine: "Engine", i: int, entry: _Entry, name: str,
     lines += arg_counters
     if el is not None and el.count:
         lines.append(f"c.checks_elided += {el.count}")
+    if kw_arity_free:
+        # The keyword path skipped even the arity test.
+        lines += [
+            "if kw:",
+            "    c.checks_elided += 1",
+        ]
     call = f"_fn(recv, *{argname})"
     if frame_elided:
         # The body provably never re-enters intercepted code, so no

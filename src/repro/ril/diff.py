@@ -9,7 +9,7 @@ helpers compute exactly those three sets from two registry snapshots.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from .registry import CFGRegistry, MethodIR
 
@@ -24,7 +24,12 @@ def bodies_differ(old: MethodIR, new: MethodIR) -> bool:
 
 def snapshot_fingerprints(reg: CFGRegistry) -> Dict[Key, str]:
     """Capture the registry's current body fingerprints."""
-    return {key: reg.lookup(*key).fingerprint for key in reg.keys()}
+    out: Dict[Key, str] = {}
+    for key in reg.keys():
+        mir = reg.lookup(*key)
+        if mir is not None:  # racing forget(): skip, don't crash
+            out[key] = mir.fingerprint
+    return out
 
 
 def diff_registries(old: Dict[Key, str], reg: CFGRegistry) -> "RegistryDiff":
@@ -41,7 +46,7 @@ class RegistryDiff:
     """The three change sets dev-mode invalidation needs."""
 
     def __init__(self, changed: Set[Key], added: Set[Key],
-                 removed: Set[Key]):
+                 removed: Set[Key]) -> None:
         self.changed = changed
         self.added = added
         self.removed = removed

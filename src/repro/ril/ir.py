@@ -20,8 +20,8 @@ structural comparison in :mod:`repro.ril.diff`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -315,10 +315,10 @@ def seq(*stmts: Node) -> Node:
         return NilLit()
     if len(flat) == 1:
         return flat[0]
-    return Seq(tuple(flat), flat[0].pos if hasattr(flat[0], "pos") else NOWHERE)
+    return Seq(tuple(flat), getattr(flat[0], "pos", NOWHERE))
 
 
-def walk(node: Node):
+def walk(node: Node) -> Iterator[Node]:
     """Yield ``node`` and all descendants, pre-order."""
     yield node
     for name in getattr(node, "__dataclass_fields__", ()):

@@ -12,19 +12,19 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import fields
-from typing import Any, Dict
+from typing import Any, Dict, Type
 
 from . import ir
 from .ir import Node, Pos
 
-_NODE_CLASSES: Dict[str, type] = {
+_NODE_CLASSES: Dict[str, Type[Node]] = {
     cls.__name__: cls
     for cls in vars(ir).values()
     if isinstance(cls, type) and issubclass(cls, Node) and cls is not Node
 }
 
 
-def to_json(node: Node, *, include_pos: bool = True) -> dict:
+def to_json(node: Node, *, include_pos: bool = True) -> Dict[str, Any]:
     """Serialize an IR node to JSON-compatible data."""
     out: Dict[str, Any] = {"kind": type(node).__name__}
     for f in fields(node):
@@ -45,7 +45,7 @@ def _encode(value: Any, include_pos: bool) -> Any:
     return value
 
 
-def from_json(data: dict) -> Node:
+def from_json(data: Dict[str, Any]) -> Node:
     """Deserialize JSON data produced by :func:`to_json`."""
     kind = data["kind"]
     cls = _NODE_CLASSES.get(kind)

@@ -21,7 +21,7 @@ source position.
 from __future__ import annotations
 
 import ast
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from . import ir
 from .ir import NOWHERE, Node, Pos
@@ -30,19 +30,19 @@ from .ir import NOWHERE, Node, Pos
 class LoweringError(ValueError):
     """Raised when a method body uses a construct the IR cannot express."""
 
-    def __init__(self, message: str, pos: Pos = NOWHERE):
+    def __init__(self, message: str, pos: Pos = NOWHERE) -> None:
         super().__init__(f"{message} ({pos})")
         self.pos = pos
 
 
-_BINOPS = {
+_BINOPS: Dict[Type[ast.AST], str] = {
     ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
     ast.FloorDiv: "/", ast.Mod: "%", ast.Pow: "**",
     ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
     ast.LShift: "<<", ast.RShift: ">>",
 }
 
-_CMPOPS = {
+_CMPOPS: Dict[Type[ast.AST], str] = {
     ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
     ast.Gt: ">", ast.GtE: ">=",
 }
@@ -138,7 +138,7 @@ def _assign_to(target: ast.expr, value: Node, pos: Pos) -> Node:
         index = lower_expr(target.slice)
         return ir.Call(recv, "[]=", (index, value), None, pos)
     if isinstance(target, (ast.Tuple, ast.List)):
-        names = []
+        names: List[str] = []
         for elt in target.elts:
             if not isinstance(elt, ast.Name):
                 raise LoweringError(
@@ -199,7 +199,7 @@ def _lower_for(stmt: ast.For, pos: Pos) -> Node:
     if isinstance(target, ast.Name):
         return ir.ForEach(target.id, iterable, body, pos)
     if isinstance(target, (ast.Tuple, ast.List)):
-        names = []
+        names: List[str] = []
         for elt in target.elts:
             if not isinstance(elt, ast.Name):
                 raise LoweringError("loop targets must be plain names", pos)
@@ -217,7 +217,7 @@ def _lower_for(stmt: ast.For, pos: Pos) -> Node:
 
 
 def _lower_try(stmt: ast.Try, pos: Pos) -> Node:
-    handlers = []
+    handlers: List[ir.Handler] = []
     for h in stmt.handlers:
         class_name = None
         if h.type is not None:
@@ -270,7 +270,7 @@ def lower_expr(expr: ast.expr) -> Node:
     if isinstance(expr, (ast.List, ast.Tuple)):
         return ir.ArrayLit(tuple(lower_expr(e) for e in expr.elts), pos)
     if isinstance(expr, ast.Dict):
-        pairs = []
+        pairs: List[Tuple[Node, Node]] = []
         for k, v in zip(expr.keys, expr.values):
             if k is None:
                 raise LoweringError("dict unpacking is not supported", pos)
@@ -369,7 +369,8 @@ def _lower_block(args: ast.arguments, body: Node, pos: Pos) -> ir.BlockFn:
     return ir.BlockFn(tuple(a.arg for a in args.args), body, pos)
 
 
-def _lower_comprehension(expr, pos: Pos) -> Node:
+def _lower_comprehension(expr: Union[ast.ListComp, ast.GeneratorExp],
+                         pos: Pos) -> Node:
     """``[f(x) for x in xs]`` becomes ``xs.map { |x| f(x) }``; a single
     ``if`` becomes a ``select`` before the ``map``."""
     if len(expr.generators) != 1:
@@ -453,7 +454,8 @@ def _match_cast(expr: ast.Call, pos: Pos) -> Optional[Node]:
     return None
 
 
-def _lower_args(expr: ast.Call, pos: Pos):
+def _lower_args(expr: ast.Call, pos: Pos
+                ) -> Tuple[Tuple[Node, ...], Optional[ir.BlockFn]]:
     """Positional args lower directly; keyword args become a trailing
     hash argument (Ruby options-hash convention); a trailing lambda becomes
     the code block."""
@@ -463,9 +465,12 @@ def _lower_args(expr: ast.Call, pos: Pos):
         if isinstance(a, ast.Starred):
             raise LoweringError("argument splat is not supported", pos)
         args.append(lower_expr(a))
-    if args and isinstance(args[-1], ir.BlockFn):
-        block = args.pop()  # trailing lambda is the code block
-    kw_pairs = []
+    if args:
+        last = args[-1]
+        if isinstance(last, ir.BlockFn):
+            block = last  # trailing lambda is the code block
+            args.pop()
+    kw_pairs: List[Tuple[ir.SymLit, Node]] = []
     for kw in expr.keywords:
         if kw.arg is None:
             raise LoweringError("keyword splat is not supported", pos)

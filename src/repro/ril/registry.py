@@ -23,7 +23,7 @@ import ast
 import inspect
 import textwrap
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from .ir import Node
 from .json_io import fingerprint
@@ -69,7 +69,7 @@ class CFGRegistry:
     def __init__(self) -> None:
         self._methods: Dict[Tuple[str, str], MethodIR] = {}
 
-    def register_function(self, owner: str, name: str, fn,
+    def register_function(self, owner: str, name: str, fn: Any,
                           captures: Optional[Mapping[str, object]] = None
                           ) -> MethodIR:
         """Lower ``fn`` and register it under ``owner#name``.
@@ -156,7 +156,7 @@ def _parse_def(source: str) -> ast.FunctionDef:
 
 def _params_of(fn: ast.FunctionDef) -> Tuple[ParamSpec, ...]:
     args = fn.args
-    specs = []
+    specs: List[ParamSpec] = []
     positional = list(args.posonlyargs) + list(args.args)
     n_defaults = len(args.defaults)
     for i, a in enumerate(positional):
@@ -169,7 +169,7 @@ def _params_of(fn: ast.FunctionDef) -> Tuple[ParamSpec, ...]:
     return tuple(specs)
 
 
-def _closure_captures(fn) -> Dict[str, object]:
+def _closure_captures(fn: Any) -> Dict[str, object]:
     """Type the function's closure cells at registration time.
 
     When metaprogramming generates a method as a closure (Fig. 2's
@@ -190,14 +190,14 @@ def _closure_captures(fn) -> Dict[str, object]:
     return out
 
 
-def _source_file(fn) -> str:
+def _source_file(fn: Any) -> str:
     try:
         return inspect.getfile(fn)
     except TypeError:
         return "<unknown>"
 
 
-def _source_line(fn) -> int:
+def _source_line(fn: Any) -> int:
     try:
         return fn.__code__.co_firstlineno
     except AttributeError:

@@ -60,9 +60,16 @@ from ..core.elide import Elision
 from ..core.engine import Engine, _profile_eligible, _ret_profile_eligible
 from ..core.plans import ARG_CHECK_NEVER, CallPlan, PlanKey
 from ..rdl.registry import INSTANCE
+from ..rdl.registry import INSTANCE
 
 SNAPSHOT_FORMAT = "hummingbird-warm-state"
-SNAPSHOT_VERSION = 1
+#: version 2: multi-profile elision verdicts (``guard_profiles`` chains
+#: with optional unpinned slots + ``chain_conforms``) replaced the
+#: single ``guard_profile``, and verdicts may carry ``("lin", cls)``
+#: leaf-exactness resources.  Version-1 documents are rejected at the
+#: envelope (fail closed to cold start) — their verdicts cannot express
+#: the new pin semantics.
+SNAPSHOT_VERSION = 2
 
 #: builtin receiver/argument classes a profile may mention by name.
 _BUILTIN_CLASSES: Dict[str, type] = {
@@ -243,29 +250,47 @@ def _capture_elisions(engine: Engine) -> List[dict]:
         if elision is None:
             continue
         ir_fps = []
-        stale = False
         for resource in elision.resources:
             if resource and resource[0] == "ir":
                 _, owner, name = resource
                 mir = engine.cfgs.lookup(owner, name)
                 if mir is None:
-                    stale = True
-                    break
+                    # An ``("ir", ...)`` edge with no live CFG is a
+                    # builtin-callee edge (e.g. ``Integer#+`` from the
+                    # trusted-signature path): there is no body to
+                    # fingerprint, only a deopt edge to keep — the
+                    # ``callees`` chain below carries every consumed
+                    # *body*'s fingerprint for load-time re-validation.
+                    continue
                 ir_fps.append([owner, name, mir.fingerprint])
-        if stale:
-            continue
-        guard_profile = None
-        if elision.guard_profile is not None:
-            guard_profile = _encode_profile(engine, elision.guard_profile)
-            if guard_profile is None:
-                continue  # unencodable pin; the site re-analyzes live
+        guard_profiles = None
+        if elision.guard_profiles is not None:
+            guard_profiles = []
+            for chain in elision.guard_profiles:
+                enc_chain: Optional[list] = []
+                for cls in chain:
+                    if cls is None:
+                        enc_chain.append(None)  # unpinned slot
+                        continue
+                    enc = _encode_class(engine, cls)
+                    if enc is None:
+                        enc_chain = None
+                        break
+                    enc_chain.append(enc)
+                if enc_chain is None:
+                    guard_profiles = None
+                    break  # unencodable pin; the site re-analyzes live
+                guard_profiles.append(enc_chain)
+            if guard_profiles is None:
+                continue
         records.append({
             "key": list(key),
             "cache_guard": bool(elision.cache_guard),
             "frame": bool(elision.frame),
             "arg_check": bool(elision.arg_check),
             "ret_check": bool(elision.ret_check),
-            "guard_profile": guard_profile,
+            "guard_profiles": guard_profiles,
+            "chain_conforms": bool(elision.chain_conforms),
             "arity": elision.arity,
             "resources": sorted(list(r) for r in elision.resources),
             "callees": sorted(list(c) for c in elision.callees),
@@ -335,23 +360,60 @@ def _read_document(source) -> Tuple[Optional[dict], str]:
     return None, f"unsupported snapshot source {type(source).__name__!r}"
 
 
+def _live_body_fingerprint(engine: Engine, owner: str,
+                           name: str) -> Optional[str]:
+    """The live CFG fingerprint for ``owner#name``, registering the
+    body on demand: CFGs are built lazily (at static-check or promotion
+    time), so a fresh pre-traffic engine has none for *unchecked*
+    methods — exactly the bodies the inter-procedural pass recursed
+    into.  Unresolvable or unlowerable means ``None`` (fail closed)."""
+    mir = engine.cfgs.lookup(owner, name)
+    if mir is not None:
+        return mir.fingerprint
+    fn = engine.lookup_callable(owner, name, INSTANCE)
+    if fn is None:
+        return None
+    try:
+        mir = engine.cfgs.register_function(owner, name, fn)
+    except Exception:  # noqa: BLE001 - unlowerable body: no fingerprint
+        return None
+    return mir.fingerprint if mir is not None else None
+
+
 def _decode_elision(engine: Engine, rec: dict) -> Optional[Elision]:
     for owner, name, saved_fp in rec.get("ir_fps", []):
-        mir = engine.cfgs.lookup(owner, name)
-        if mir is None or mir.fingerprint != saved_fp:
+        if _live_body_fingerprint(engine, owner, name) != saved_fp:
             return None  # a consumed body changed; re-analyze live
-    guard_profile = None
-    if rec.get("guard_profile") is not None:
-        guard_profile = _decode_profile(engine, rec["guard_profile"])
-        if guard_profile is None:
+    for owner, name, saved_fp in rec.get("callees", []):
+        # The callee chain carries its own fingerprints; any drifted
+        # link (a redefined depth-2 callee) voids the whole verdict.
+        if _live_body_fingerprint(engine, owner, name) != saved_fp:
             return None
+    guard_profiles = None
+    if rec.get("guard_profiles") is not None:
+        chains = []
+        for enc_chain in rec["guard_profiles"]:
+            chain: List[Optional[type]] = []
+            for enc in enc_chain:
+                if enc is None:
+                    chain.append(None)  # unpinned slot
+                    continue
+                cls = _decode_class(engine, enc)
+                if cls is None:
+                    return None
+                chain.append(cls)
+            chains.append(tuple(chain))
+        guard_profiles = tuple(chains)
+        if not guard_profiles:
+            return None  # a pin list with no chains guards nothing
     arity = rec.get("arity")
     return Elision(
         cache_guard=bool(rec["cache_guard"]),
         frame=bool(rec["frame"]),
         arg_check=bool(rec["arg_check"]),
         ret_check=bool(rec["ret_check"]),
-        guard_profile=guard_profile,
+        guard_profiles=guard_profiles,
+        chain_conforms=bool(rec.get("chain_conforms", True)),
         arity=int(arity) if arity is not None else None,
         resources=tuple(tuple(r) for r in rec.get("resources", [])),
         callees=tuple(tuple(c) for c in rec.get("callees", [])),

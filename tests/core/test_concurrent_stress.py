@@ -40,6 +40,7 @@ BODIES = {
     "inc": "def {name}(self, n):\n    return n + 1\n",
     "stringify": "def {name}(self, n):\n    return 'x'\n",
     "call_m0": "def {name}(self, n):\n    return self.m0(n)\n",
+    "call_m1": "def {name}(self, n):\n    return self.m1(n)\n",
     "read_field": "def {name}(self, n):\n    return self.value\n",
 }
 
@@ -59,6 +60,9 @@ mutations = st.one_of(
     st.tuples(st.just("retype"), st.sampled_from(METHODS),
               st.sampled_from(SIGS)),
     st.tuples(st.just("field"), st.sampled_from(FIELD_TYPES)),
+    # pure hierarchy wave: revokes leaf-exactness ("lin", parent) facts
+    # that tier-3 elisions may have pinned, racing the worker calls
+    st.tuples(st.just("subclass")),
 )
 
 calls = st.lists(
@@ -108,6 +112,12 @@ def _apply_mutation(engine, cls, op):
         elif tag == "field":
             _, ftype = op
             engine.field_type(cls, "value", ftype)
+        elif tag == "subclass":
+            # Deterministic names: both replays mint CStressSub1, 2, ...
+            count = getattr(cls, "_sub_count", 0) + 1
+            cls._sub_count = count
+            engine.register_class(
+                type(f"CStressSub{count}", (cls,), {}))
     except Exception:  # noqa: BLE001, S110 - mutations that raise (e.g. a
         pass            # retype of an undefined method) are applied
                         # identically in both engines; call outcomes are

@@ -153,12 +153,32 @@ def test_checked_callee_signature_types_the_result(engine):
                for owner, name, _ in report.callees)
 
 
-def test_untrusted_interceptable_callee_yields_unknown_result(engine):
+def test_untrusted_callee_sig_is_ignored_but_its_body_is_analyzed(engine):
     """A *trusted* (unchecked) signature on an interceptable method is a
     claim nobody verified — its declared return type must not become a
-    static fact."""
+    static fact.  The callee's *body*, however, is fair game: the
+    inter-procedural pass recurses into it (pinned by an ``("ir", ...)``
+    edge so redefinition deopts) and proves what the body actually
+    returns — here Integer, never the lying declared String."""
     _world(engine, [
         ("liar", "def liar(self, n):\n    return n\n",
+         "(Integer) -> String", False),
+        ("caller", "def caller(self, n):\n    return self.liar(n)\n",
+         "(Integer) -> Object", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes == frozenset({"Integer"})
+    assert ("ir", "Ana", "liar") in report.resources
+    assert any(owner == "Ana" and name == "liar"
+               for owner, name, _ in report.callees)
+
+
+def test_opaque_untrusted_callee_yields_unknown_result(engine):
+    """When the unchecked callee's body is itself unprovable, nothing
+    saves the call: the declared type stays untrusted and the result is
+    unknown."""
+    _world(engine, [
+        ("liar", "def liar(self, n):\n    return self.undefined_helper(n)\n",
          "(Integer) -> String", False),
         ("caller", "def caller(self, n):\n    return self.liar(n)\n",
          "(Integer) -> Object", True),
@@ -167,18 +187,95 @@ def test_untrusted_interceptable_callee_yields_unknown_result(engine):
     assert report.ret_classes is None
 
 
-def test_app_nominal_returns_are_not_exact(engine):
-    """Application class names are not exact under the quotient (a
-    subclass instance carries a different name), so a callee declared to
-    return an app nominal contributes no exact class."""
-    _world(engine, [
-        ("make", "def make(self, n):\n    return self\n",
+def test_leaf_app_nominal_is_exact_until_subclassed(engine):
+    """A checked callee declared to return an app nominal the hierarchy
+    knows is a *leaf* contributes an exact class — recorded against a
+    ``("lin", cls)`` resource so registering a subclass deopts the
+    proof.  Once a subclass exists the declared type is inexact again
+    (and this callee's body is opaque, so nothing else proves it)."""
+    cls = _world(engine, [
+        ("make", "def make(self, n):\n    return self.fetch_one(n)\n",
          "(Integer) -> Ana", True),
         ("caller", "def caller(self, n):\n    return self.make(n)\n",
          "(Integer) -> Ana", True),
     ])
     report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes == frozenset({"Ana"})
+    assert ("lin", "Ana") in report.resources
+    # Subclassing makes "Ana" non-leaf: the fact must no longer derive.
+    engine.register_class(type("AnaSub", (cls,), {}))
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
     assert report.ret_classes is None
+    assert any(reason == "non_leaf_nominal" and "Ana" in detail
+               for reason, detail in report.blockers)
+
+
+def test_if_join_preserves_facts_common_to_both_arms(engine):
+    """The finite class-set domain joins at phis instead of widening:
+    a value that is Integer on both branches is Integer after the
+    merge, and a two-class join survives as a two-class set."""
+    _world(engine, [
+        ("both", "def both(self, n):\n"
+         "    if n > 0:\n        x = 1\n    else:\n        x = 2\n"
+         "    return x\n", "(Integer) -> Integer", True),
+        ("mixed", "def mixed(self, n):\n"
+         "    if n > 0:\n        x = 1\n    else:\n        x = 'a'\n"
+         "    return x\n", "(Integer) -> Object", True),
+    ])
+    assert _analyze(engine, "Ana", "both",
+                    ("Integer",)).ret_classes == frozenset({"Integer"})
+    assert _analyze(engine, "Ana", "mixed",
+                    ("Integer",)).ret_classes == frozenset(
+                        {"Integer", "String"})
+
+
+def test_loop_fixpoint_keeps_stable_classes(engine):
+    """A loop-carried variable whose class is stable across iterations
+    survives the bounded fixpoint instead of widening to unknown."""
+    _world(engine, [
+        ("accum", "def accum(self, n):\n"
+         "    total = 0\n"
+         "    while n > 0:\n        total = total + n\n        n = n - 1\n"
+         "    return total\n", "(Integer) -> Integer", True),
+    ])
+    report = _analyze(engine, "Ana", "accum", ("Integer",))
+    assert report.ret_classes == frozenset({"Integer"})
+    assert report.frame_elidable is True
+
+
+def test_depth_two_callee_chain_is_followed_with_ir_edges(engine):
+    """Unchecked callee bodies are followed transitively (axis c): the
+    caller's proof pins *every* link of the chain with an ``("ir", ...)``
+    edge and a fingerprinted callee record."""
+    _world(engine, [
+        ("deep", "def deep(self, n):\n    return n + 1\n",
+         "(Integer) -> Object", False),
+        ("mid", "def mid(self, n):\n    return self.deep(n)\n",
+         "(Integer) -> Object", False),
+        ("top", "def top(self, n):\n    return self.mid(n)\n",
+         "(Integer) -> Object", True),
+    ])
+    report = _analyze(engine, "Ana", "top", ("Integer",))
+    assert report.ret_classes == frozenset({"Integer"})
+    assert ("ir", "Ana", "mid") in report.resources
+    assert ("ir", "Ana", "deep") in report.resources
+    chain = {(owner, name) for owner, name, _ in report.callees}
+    assert {("Ana", "mid"), ("Ana", "deep")} <= chain
+
+
+def test_recursive_callee_chain_hits_the_budget(engine):
+    """Self-recursion cannot be resolved by body-chasing: the cycle guard
+    reports a budget blocker and the result stays unknown."""
+    _world(engine, [
+        ("loop", "def loop(self, n):\n    return self.loop(n)\n",
+         "(Integer) -> Integer", False),
+        ("caller", "def caller(self, n):\n    return self.loop(n)\n",
+         "(Integer) -> Object", True),
+    ])
+    report = _analyze(engine, "Ana", "caller", ("Integer",))
+    assert report.ret_classes is None
+    assert any(reason == "budget_exhausted"
+               for reason, detail in report.blockers)
 
 
 # -- resources (dependency edges) ---------------------------------------------

@@ -238,6 +238,132 @@ def test_load_into_cache_free_oracle_is_refused():
     assert "cache-free" in report.reason
 
 
+def test_old_version_snapshot_rejected_with_cold_start():
+    """Format-version evolution is fail-closed in *both* directions: a
+    version-1 snapshot (single ``guard_profile`` tuples, no
+    ``chain_conforms``, no callee re-validation) is rejected wholesale —
+    never half-decoded under version-2 rules — and the engine cold-starts
+    cleanly, oracle-identical."""
+    engine, _, _ = _warm_world()
+    doc = save_snapshot(engine)
+    old = dict(doc, version=SNAPSHOT_VERSION - 1)
+
+    engine2, world2 = _fresh_world()
+    plans_before = len(engine2._plans)
+    report = load_snapshot(engine2, old)
+    assert not report.loaded and "version" in report.reason
+    assert report.checks_restored == 0 and report.plans_restored == 0
+    assert report.elisions_seeded == 0
+    assert len(engine2._plans) == plans_before
+
+    cold = _outcomes(scenario_thunks(world2, "read"), passes=1)
+    oracle_world = build_serving_world(
+        "countries", engine=Engine(disable_caches=True))
+    oracle = _outcomes(scenario_thunks(oracle_world, "read"), passes=1)
+    assert cold == oracle
+
+
+def _pinned_world(engine):
+    """A hot ``%any``-typed site whose frame verdict holds only under
+    the learned Integer profile: the elision carries a pinned guard
+    chain (``guard_profiles``), exercising the version-2 fields."""
+    cls = type("SnapPinned", (object,), {})
+    body = "def relay(self, x):\n    return x + 1\n"
+    namespace = {}
+    exec(body, namespace)  # noqa: S102 - fixed test template
+    engine.define_method(cls, "relay", namespace["relay"],
+                         sig="(%any) -> %any", check=True, source=body)
+    return cls
+
+
+def _pinned_elision(engine):
+    return next(el for _, el in engine._specializer.promoted_entries()
+                if el is not None and el.guard_profiles is not None)
+
+
+@pytest.mark.requires_elision
+def test_pinned_guard_chains_roundtrip():
+    """The version-2 elision fields — multi-profile ``guard_profiles``
+    chains and ``chain_conforms`` — survive save/load bit-for-bit, and
+    the warm-started wrapper still enforces the pinned chain (an
+    off-profile argument class bails to the generic tier)."""
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    obj = _pinned_world(engine)()
+    for i in range(THRESHOLD + 8):
+        obj.relay(i)
+    saved = _pinned_elision(engine)
+    assert saved.guard_profiles == ((int,),)
+    assert saved.chain_conforms
+    doc = save_snapshot(engine)
+    rec = next(r for r in doc["elisions"]
+               if r.get("guard_profiles") is not None)
+    assert rec["chain_conforms"] is True
+
+    engine2 = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    cls2 = _pinned_world(engine2)
+    report = load_snapshot(engine2, doc)
+    assert report.loaded, report
+    assert report.elisions_seeded >= 1
+    restored = _pinned_elision(engine2)
+    assert restored.guard_profiles == saved.guard_profiles
+    assert restored.chain_conforms == saved.chain_conforms
+    assert restored.frame == saved.frame
+
+    # the restored pinned wrapper serves on-profile traffic and the
+    # off-profile class takes the generic path with identical outcomes
+    obj2 = cls2()
+    assert obj2.relay(5) == 6
+    with pytest.raises(TypeError):
+        obj2.relay("s")      # generic tier: plain host TypeError
+    assert obj2.relay(6) == 7  # site healthy afterwards
+
+
+@pytest.mark.requires_elision
+def test_drifted_callee_fingerprint_voids_only_the_verdict():
+    """An elision record whose followed-callee fingerprint no longer
+    matches the live CFG registry is *not* seeded (the inter-procedural
+    facts were derived against a different body) — but the load itself
+    still succeeds and the site still re-promotes from scratch."""
+    def build(engine):
+        cls = type("SnapChain", (object,), {})
+        for name, body in (
+                ("helper", "def helper(self, x):\n    return x + 1\n"),
+                ("relay", "def relay(self, x):\n"
+                          "    return self.helper(x)\n")):
+            namespace = {}
+            exec(body, namespace)  # noqa: S102 - fixed test template
+            engine.define_method(
+                cls, name, namespace[name], sig="(%any) -> %any",
+                # helper is annotated-but-unchecked: relay's analysis
+                # cannot trust its signature and recurses into its
+                # body, recording the fingerprinted callee link.
+                check=(name == "relay"), source=body)
+        return cls
+
+    engine = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    obj = build(engine)()
+    for i in range(THRESHOLD + 8):
+        obj.relay(i)
+    doc = save_snapshot(engine)
+    doc = json.loads(json.dumps(doc))  # deep copy
+    seedable = [r for r in doc["elisions"] if r.get("callees")]
+    assert seedable, "chain world produced no callee-bearing elisions"
+    for rec in seedable:
+        rec["callees"][0][2] = "0" * 64
+
+    engine2 = Engine(EngineConfig(specialize_threshold=THRESHOLD))
+    cls2 = build(engine2)
+    report = load_snapshot(engine2, doc)
+    assert report.loaded, report
+    assert report.elisions_seeded == len(doc["elisions"]) - len(seedable)
+    # the un-seeded site still works and re-derives its own verdict
+    obj2 = cls2()
+    for i in range(THRESHOLD + 8):
+        assert obj2.relay(i) == i + 1
+    assert any(el is not None and el.callees
+               for _, el in engine2._specializer.promoted_entries())
+
+
 def test_body_drift_skips_only_the_stale_entry():
     """Per-entity soundness: if one method body changed since the save
     (same signatures, so the world fingerprint still matches), only
